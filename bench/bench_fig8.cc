@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Regenerates Figure 8 of the paper: TxRace runtime overhead with 2,
+ * 4, and 8 worker threads, each normalized to the native execution
+ * at the same thread count.
+ *
+ * The paper's key observation reproduced here: 8 worker threads
+ * oversubscribe the 4 physical cores, so (hyperthreading-induced)
+ * unknown aborts jump and several applications get markedly slower.
+ */
+
+#include <iostream>
+
+#include "harness.hh"
+#include "support/stats.hh"
+#include "support/table.hh"
+
+using namespace txrace;
+
+int
+main(int argc, char **argv)
+{
+    bench::Options opt = bench::parseOptions(argc, argv);
+    const uint32_t thread_counts[] = {2, 4, 8};
+
+    Table table({"application", "2 threads", "4 threads", "8 threads",
+                 "unknown@2", "unknown@4", "unknown@8"});
+    std::vector<std::vector<double>> ovh(3);
+    std::vector<std::vector<double>> unknowns(3);
+
+    for (const std::string &name : bench::selectedApps(opt)) {
+        table.newRow();
+        table.cell(name);
+        std::vector<uint64_t> unk;
+        std::vector<double> o;
+        for (uint32_t w : thread_counts) {
+            workloads::WorkloadParams params;
+            params.nWorkers = w;
+            params.scale = opt.scale;
+            workloads::AppModel app = workloads::makeApp(name, params);
+
+            core::RunResult native =
+                bench::runApp(app, core::RunMode::Native, opt);
+            core::RunResult txr = bench::runApp(
+                app, core::RunMode::TxRaceProfLoopcut, opt);
+            o.push_back(txr.overheadVs(native));
+            unk.push_back(txr.stats.get("tx.abort.unknown"));
+        }
+        for (size_t i = 0; i < 3; ++i) {
+            ovh[i].push_back(o[i]);
+            unknowns[i].push_back(static_cast<double>(unk[i]) + 1.0);
+        }
+        table.cellFactor(o[0]);
+        table.cellFactor(o[1]);
+        table.cellFactor(o[2]);
+        table.cell(unk[0]);
+        table.cell(unk[1]);
+        table.cell(unk[2]);
+    }
+
+    if (opt.csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    std::cout << "\ngeomean overhead: 2t " << std::fixed;
+    std::cout.precision(2);
+    std::cout << geoMean(ovh[0]) << "x, 4t " << geoMean(ovh[1])
+              << "x, 8t " << geoMean(ovh[2])
+              << "x  (paper: 8-thread runs inflate unknown aborts "
+                 "~5-9x over 2/4 threads)\n";
+    std::cout << "geomean unknown aborts (+1): 2t "
+              << geoMean(unknowns[0]) << ", 4t " << geoMean(unknowns[1])
+              << ", 8t " << geoMean(unknowns[2]) << "\n";
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the core substrates: HTM
+ * engine conflict checking, vector-clock operations, FastTrack
+ * shadow checks, and end-to-end interpreter throughput. These
+ * measure the *simulator's* own performance (real wall-clock), not
+ * virtual time — useful for keeping the experiment harnesses fast.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/driver.hh"
+#include "detector/fasttrack.hh"
+#include "htm/htm.hh"
+#include "ir/builder.hh"
+#include "support/rng.hh"
+
+using namespace txrace;
+
+namespace {
+
+void
+BM_HtmAccess(benchmark::State &state)
+{
+    htm::HtmEngine engine;
+    engine.begin(0);
+    engine.begin(1);
+    Rng rng(7);
+    uint64_t distinct_lines = static_cast<uint64_t>(state.range(0));
+    for (auto _ : state) {
+        ir::Addr addr = rng.below(distinct_lines) * 64;
+        auto res = engine.access(0, addr, rng.chance(0.3));
+        benchmark::DoNotOptimize(res.victims.data());
+        if (res.selfCapacity) {
+            engine.begin(0);
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HtmAccess)->Arg(16)->Arg(256);
+
+void
+BM_VectorClockJoin(benchmark::State &state)
+{
+    detector::VectorClock a, b;
+    for (Tid t = 0; t < static_cast<Tid>(state.range(0)); ++t) {
+        a.set(t, t * 3 + 1);
+        b.set(t, t * 5 + 2);
+    }
+    for (auto _ : state) {
+        a.join(b);
+        benchmark::DoNotOptimize(a.get(0));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VectorClockJoin)->Arg(4)->Arg(16);
+
+void
+BM_FastTrackCheck(benchmark::State &state)
+{
+    detector::HbDetector det;
+    det.rootThread(0);
+    det.threadCreated(0, 1);
+    Rng rng(11);
+    for (auto _ : state) {
+        ir::Addr addr = rng.below(4096) * 8;
+        Tid t = static_cast<Tid>(rng.below(2));
+        if (rng.chance(0.5))
+            det.write(t, addr, 1);
+        else
+            det.read(t, addr, 2);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FastTrackCheck);
+
+void
+BM_EndToEndTxRace(benchmark::State &state)
+{
+    ir::ProgramBuilder b;
+    ir::Addr table = b.alloc("t", 1024 * 8);
+    ir::FuncId worker = b.beginFunction("worker");
+    b.loop(50, [&] {
+        b.loop(8, [&] {
+            b.load(ir::AddrExpr::randomIn(table, 1024, 8));
+            b.compute(2);
+        });
+        b.syscall(1);
+    });
+    b.endFunction();
+    b.beginFunction("main");
+    b.spawn(worker, 4);
+    b.joinAll();
+    b.endFunction();
+    ir::Program prog = b.build();
+
+    core::RunConfig cfg;
+    cfg.mode = core::RunMode::TxRaceDynLoopcut;
+    uint64_t seed = 1;
+    for (auto _ : state) {
+        cfg.machine.seed = seed++;
+        core::RunResult r = core::runProgram(prog, cfg);
+        benchmark::DoNotOptimize(r.totalCost);
+    }
+    state.SetItemsProcessed(state.iterations() * 50 * 8 * 4);
+}
+BENCHMARK(BM_EndToEndTxRace);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+#include "harness.hh"
+
+#include <cstring>
+
+#include "support/log.hh"
+
+namespace txrace::bench {
+
+Options
+parseOptions(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        auto want = [&](const char *flag) -> const char * {
+            if (std::strcmp(argv[i], flag) != 0)
+                return nullptr;
+            if (i + 1 >= argc)
+                fatal("%s needs a value", flag);
+            return argv[++i];
+        };
+        if (const char *v = want("--workers")) {
+            opt.workers = static_cast<uint32_t>(std::strtoul(
+                v, nullptr, 10));
+        } else if (const char *v2 = want("--scale")) {
+            opt.scale = std::strtoull(v2, nullptr, 10);
+        } else if (const char *v3 = want("--seed")) {
+            opt.seed = std::strtoull(v3, nullptr, 10);
+        } else if (const char *vr = want("--runs")) {
+            opt.runs = static_cast<uint32_t>(
+                std::strtoul(vr, nullptr, 10));
+        } else if (const char *v4 = want("--app")) {
+            opt.only = v4;
+        } else if (std::strcmp(argv[i], "--csv") == 0) {
+            opt.csv = true;
+        } else {
+            fatal("unknown option '%s' (use --workers N --scale N "
+                  "--seed N --runs N --app NAME --csv)", argv[i]);
+        }
+    }
+    return opt;
+}
+
+std::vector<std::string>
+selectedApps(const Options &opt)
+{
+    if (opt.only.empty())
+        return workloads::appNames();
+    return {opt.only};
+}
+
+core::RunConfig
+configFor(const workloads::AppModel &app, core::RunMode mode,
+          const Options &opt)
+{
+    core::RunConfig cfg;
+    cfg.mode = mode;
+    cfg.machine = app.machine;
+    cfg.machine.seed = opt.seed;
+    return cfg;
+}
+
+core::RunResult
+runApp(const workloads::AppModel &app, core::RunMode mode,
+       const Options &opt)
+{
+    return core::runProgram(app.program, configFor(app, mode, opt));
+}
+
+} // namespace txrace::bench

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared helpers for the table/figure regeneration harnesses.
+ */
+
+#ifndef TXRACE_BENCH_HARNESS_HH
+#define TXRACE_BENCH_HARNESS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/driver.hh"
+#include "workloads/workloads.hh"
+
+namespace txrace::bench {
+
+/** Command-line options common to all harnesses. */
+struct Options
+{
+    uint32_t workers = 4;
+    uint64_t scale = 1;
+    uint64_t seed = 1;
+    /** Trials to average where a harness supports it (paper: 5). */
+    uint32_t runs = 1;
+    bool csv = false;
+    /** Restrict to one application (empty = all). */
+    std::string only;
+};
+
+/** Parse --workers/--scale/--seed/--csv/--app from argv. */
+Options parseOptions(int argc, char **argv);
+
+/** Applications to run given the options (all, or the one chosen). */
+std::vector<std::string> selectedApps(const Options &opt);
+
+/** Build a RunConfig for @p app at @p mode with the harness seed. */
+core::RunConfig configFor(const workloads::AppModel &app,
+                          core::RunMode mode, const Options &opt);
+
+/** Run @p app under @p mode. */
+core::RunResult runApp(const workloads::AppModel &app,
+                       core::RunMode mode, const Options &opt);
+
+} // namespace txrace::bench
+
+#endif // TXRACE_BENCH_HARNESS_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Lab: why cache-line-granularity conflict detection needs a precise
+ * slow path (paper challenge #2).
+ *
+ * The same per-thread-counter program is laid out twice: packed
+ * (four 8-byte counters in one 64-byte line) and padded (one counter
+ * per line). The packed layout floods the HTM fast path with
+ * conflicts even though the program is completely race-free; the
+ * TxRace slow path re-checks at 8-byte granularity and filters every
+ * one of them — zero false warnings either way, but very different
+ * cost profiles. The printed breakdown mirrors the paper's Figure 7
+ * buckets.
+ */
+
+#include <cstdio>
+
+#include "core/driver.hh"
+#include "ir/builder.hh"
+#include "mem/layout.hh"
+#include "sim/costmodel.hh"
+
+using namespace txrace;
+
+namespace {
+
+ir::Program
+buildCounters(uint64_t slot_stride)
+{
+    ir::ProgramBuilder b;
+    constexpr uint32_t kWorkers = 4;
+    ir::Addr table = b.alloc("lookup", 512 * 8);
+    ir::Addr counters =
+        b.alloc("counters", (kWorkers + 1) * slot_stride, 64);
+
+    ir::FuncId worker = b.beginFunction("worker");
+    b.loop(50, [&] {
+        b.loop(6, [&] {
+            b.load(ir::AddrExpr::randomIn(table, 512, 8), "lookup");
+            b.compute(2);
+        });
+        // Each worker only ever touches its own counter: race-free.
+        b.store(ir::AddrExpr::perThread(counters, slot_stride),
+                "my counter");
+        b.syscall(1);
+    });
+    b.endFunction();
+
+    b.beginFunction("main");
+    b.spawn(worker, kWorkers);
+    b.joinAll();
+    b.endFunction();
+    return b.build();
+}
+
+void
+runLab(const char *title, uint64_t stride)
+{
+    ir::Program prog = buildCounters(stride);
+    core::RunConfig cfg;
+    cfg.machine.seed = 11;
+
+    cfg.mode = core::RunMode::Native;
+    core::RunResult native = core::runProgram(prog, cfg);
+    cfg.mode = core::RunMode::TxRaceProfLoopcut;
+    core::RunResult txr = core::runProgram(prog, cfg);
+
+    std::printf("== %s (counter stride %llu bytes) ==\n", title,
+                (unsigned long long)stride);
+    std::printf("  conflict aborts: %llu, races reported: %zu\n",
+                (unsigned long long)txr.stats.get("tx.abort.conflict"),
+                txr.races.count());
+    std::printf("  overhead %.2fx, breakdown:", txr.overheadVs(native));
+    for (size_t i = 0; i < sim::kNumBuckets; ++i) {
+        if (txr.buckets[i] == 0)
+            continue;
+        std::printf("  %s %.2fx",
+                    sim::bucketName(static_cast<sim::Bucket>(i)),
+                    static_cast<double>(txr.buckets[i]) /
+                        static_cast<double>(native.totalCost));
+    }
+    std::printf("\n\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("A race-free program, two memory layouts.\n\n");
+    runLab("packed: false sharing", mem::kGranuleSize);
+    runLab("padded: one counter per line", mem::kLineSize);
+    std::printf("Same program, same (absent) races — the packed "
+                "layout pays for its cache-line conflicts on the "
+                "slow path, the padded one runs almost entirely on "
+                "the HTM fast path.\n");
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Demonstration of the capacity problem and the loop-cut fix (§4.3).
+ *
+ * A streaming kernel writes a long strided row per iteration — its
+ * write set overflows the transactional buffer, so every iteration
+ * capacity-aborts and falls back to the slow path under
+ * TxRace-NoOpt. TxRace-DynLoopcut learns the largest committing
+ * segment length online (first abort -> threshold 2, +1 per
+ * committed region, -1 and pinned on a governed abort);
+ * TxRace-ProfLoopcut preloads the profiled threshold and avoids even
+ * the first abort.
+ */
+
+#include <cstdio>
+
+#include "core/driver.hh"
+#include "ir/builder.hh"
+
+using namespace txrace;
+
+namespace {
+
+ir::Program
+buildStreamingKernel()
+{
+    ir::ProgramBuilder b;
+    constexpr uint32_t kWorkers = 2;
+    constexpr uint64_t kRows = 14;  // write set: 14 same-set lines
+    ir::Addr params = b.alloc("params", 64 * 8);
+    ir::Addr matrix =
+        b.alloc("matrix", kRows * 4096 + (kWorkers + 1) * 64, 64);
+
+    ir::FuncId worker = b.beginFunction("worker");
+    b.loop(25, [&] {
+        for (int k = 0; k < 6; ++k)
+            b.load(ir::AddrExpr::randomIn(params, 64, 8), "param");
+        b.loop(kRows, [&] {
+            ir::AddrExpr e = ir::AddrExpr::perThread(matrix, 64);
+            e.loopStride = 4096;  // rows collide in one L1 set
+            b.store(e, "row");
+        });
+        b.syscall(1);
+    });
+    b.endFunction();
+
+    b.beginFunction("main");
+    b.spawn(worker, kWorkers);
+    b.joinAll();
+    b.endFunction();
+    return b.build();
+}
+
+} // namespace
+
+int
+main()
+{
+    ir::Program prog = buildStreamingKernel();
+    core::RunConfig cfg;
+    cfg.machine.seed = 3;
+
+    cfg.mode = core::RunMode::Native;
+    core::RunResult native = core::runProgram(prog, cfg);
+
+    std::printf("%-22s %10s %10s %10s %10s\n", "configuration",
+                "overhead", "commits", "capacity", "loop-cuts");
+    for (core::RunMode mode :
+         {core::RunMode::TSan, core::RunMode::TxRaceNoOpt,
+          core::RunMode::TxRaceDynLoopcut,
+          core::RunMode::TxRaceProfLoopcut}) {
+        cfg.mode = mode;
+        core::RunResult r = core::runProgram(prog, cfg);
+        std::printf("%-22s %9.2fx %10llu %10llu %10llu\n",
+                    core::runModeName(mode), r.overheadVs(native),
+                    (unsigned long long)r.stats.get("tx.committed"),
+                    (unsigned long long)r.stats.get("tx.abort.capacity"),
+                    (unsigned long long)r.stats.get("txrace.loop_cuts"));
+    }
+    std::printf("\nNoOpt re-executes every overflowing region on the "
+                "slow path; DynLoopcut learns the segment length after "
+                "a couple of aborts; ProfLoopcut starts with the "
+                "profiled threshold and never overflows.\n");
+    return 0;
+}

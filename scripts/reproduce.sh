@@ -1,0 +1,12 @@
+#!/bin/sh
+# Reproduce everything: build, test, regenerate every table/figure.
+# Usage: scripts/reproduce.sh [build-dir]
+set -e
+BUILD="${1:-build}"
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" --output-on-failure 2>&1 | tee test_output.txt
+for b in "$BUILD"/bench/bench_*; do
+    echo "==== $b ===="
+    "$b"
+done 2>&1 | tee bench_output.txt

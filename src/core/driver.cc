@@ -1,0 +1,136 @@
+#include "core/driver.hh"
+
+#include "core/policies.hh"
+#include "support/log.hh"
+
+namespace txrace::core {
+
+RunResult
+runProgram(const ir::Program &prog, const RunConfig &cfg)
+{
+    if (!prog.finalized())
+        fatal("runProgram: program not finalized");
+
+    RunResult result;
+    result.mode = cfg.mode;
+
+    switch (cfg.mode) {
+      case RunMode::Native: {
+        NativePolicy policy;
+        sim::Machine machine(prog, cfg.machine, policy);
+        machine.run();
+        result.totalCost = machine.totalCost();
+        result.buckets = machine.buckets();
+        result.stats.merge(machine.stats());
+        break;
+      }
+
+      case RunMode::Eraser: {
+        ir::Program prepared = passes::preparedForTSan(prog);
+        EraserPolicy policy;
+        sim::Machine machine(prepared, cfg.machine, policy);
+        machine.run();
+        result.totalCost = machine.totalCost();
+        result.buckets = machine.buckets();
+        result.stats.merge(machine.stats());
+        result.stats.merge(policy.lockset().stats());
+        result.races = policy.lockset().races();
+        break;
+      }
+
+      case RunMode::RaceTM: {
+        // RaceTM needs the transactionalized program (it uses the
+        // same region markers) and the extended debug-bit hardware.
+        ir::Program prepared =
+            passes::preparedForTxRace(prog, cfg.passes);
+        sim::MachineConfig mcfg = cfg.machine;
+        mcfg.htm.trackInstructions = true;
+        RaceTmPolicy policy;
+        sim::Machine machine(prepared, mcfg, policy);
+        machine.run();
+        result.totalCost = machine.totalCost();
+        result.buckets = machine.buckets();
+        result.stats.merge(machine.stats());
+        result.stats.merge(machine.htm().stats());
+        result.races = policy.races();
+        result.events = std::move(machine.events());
+        break;
+      }
+
+      case RunMode::TSan:
+      case RunMode::TSanSampling: {
+        double rate =
+            cfg.mode == RunMode::TSan ? 1.0 : cfg.sampleRate;
+        ir::Program prepared = passes::preparedForTSan(prog);
+        TsanPolicy policy(rate, cfg.machine.seed ^ 0x7a57eULL);
+        sim::Machine machine(prepared, cfg.machine, policy);
+        machine.run();
+        result.totalCost = machine.totalCost();
+        result.buckets = machine.buckets();
+        result.stats.merge(machine.stats());
+        result.stats.merge(machine.det().stats());
+        result.races = machine.det().races();
+        break;
+      }
+
+      case RunMode::TxRaceNoOpt:
+      case RunMode::TxRaceDynLoopcut:
+      case RunMode::TxRaceProfLoopcut: {
+        passes::PassConfig pass_cfg = cfg.passes;
+        if (cfg.mode == RunMode::TxRaceNoOpt)
+            pass_cfg.insertLoopCuts = false;
+        ir::Program prepared = passes::preparedForTxRace(prog, pass_cfg);
+
+        TxRacePolicy::Scheme scheme = TxRacePolicy::Scheme::NoOpt;
+        if (cfg.mode == RunMode::TxRaceDynLoopcut)
+            scheme = TxRacePolicy::Scheme::Dyn;
+        else if (cfg.mode == RunMode::TxRaceProfLoopcut)
+            scheme = TxRacePolicy::Scheme::Prof;
+
+        LoopCutTable profiled(cfg.dynLoopcutInitial);
+        if (scheme == TxRacePolicy::Scheme::Prof) {
+            // Offline profiling run on a "representative input"
+            // (perturbed seed): learn thresholds the Dyn way, keep
+            // only the table. Profiling cost is not part of the
+            // measured run, as in the paper.
+            TxRacePolicy profiler(TxRacePolicy::Scheme::Dyn, nullptr,
+                                  cfg.dynLoopcutInitial);
+            sim::MachineConfig prof_cfg = cfg.machine;
+            prof_cfg.seed ^= cfg.profileSeedDelta;
+            sim::Machine machine(prepared, prof_cfg, profiler);
+            machine.run();
+            profiled = profiler.loopcuts();
+        }
+
+        TxRacePolicy policy(scheme,
+                            scheme == TxRacePolicy::Scheme::Prof
+                                ? &profiled
+                                : nullptr,
+                            cfg.dynLoopcutInitial, 4,
+                            cfg.conflictAddressHints);
+        sim::Machine machine(prepared, cfg.machine, policy);
+        machine.run();
+        result.totalCost = machine.totalCost();
+        result.buckets = machine.buckets();
+        result.stats.merge(machine.stats());
+        result.stats.merge(machine.htm().stats());
+        result.stats.merge(machine.det().stats());
+        result.races = machine.det().races();
+        result.events = std::move(machine.events());
+        break;
+      }
+    }
+    return result;
+}
+
+double
+recallOf(const detector::RaceSet &tool,
+         const detector::RaceSet &reference)
+{
+    if (reference.count() == 0)
+        return 1.0;
+    return static_cast<double>(tool.intersectCount(reference)) /
+           static_cast<double>(reference.count());
+}
+
+} // namespace txrace::core

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * One-call experiment driver: build the right instrumented program,
+ * run it under the right policy, and package the results. This is the
+ * primary public entry point of the library.
+ */
+
+#ifndef TXRACE_CORE_DRIVER_HH
+#define TXRACE_CORE_DRIVER_HH
+
+#include <array>
+
+#include "core/runmode.hh"
+#include "detector/report.hh"
+#include "ir/program.hh"
+#include "passes/passes.hh"
+#include "sim/eventlog.hh"
+#include "sim/machine.hh"
+#include "support/stats.hh"
+
+namespace txrace::core {
+
+/** Everything that defines one run. */
+struct RunConfig
+{
+    RunMode mode = RunMode::TxRaceProfLoopcut;
+    /** Fraction of accesses checked in TSanSampling mode. */
+    double sampleRate = 1.0;
+    /** Machine parameters (seed, cores, costs, HTM geometry...). */
+    sim::MachineConfig machine;
+    /** Instrumentation-pass parameters. */
+    passes::PassConfig passes;
+    /** Dyn loop-cut first-abort estimate (paper: 2). */
+    uint64_t dynLoopcutInitial = 2;
+    /** Enable the §9 future-HTM extension: conflict-address hints
+     *  restrict conflict-triggered slow episodes to the conflicting
+     *  cache line (TxRace modes only). */
+    bool conflictAddressHints = false;
+    /** Seed perturbation for the ProfLoopcut profiling pre-run
+     *  ("representative input" differs from the measured input). */
+    uint64_t profileSeedDelta = 0x50f11eULL;
+};
+
+/** Results of one run. */
+struct RunResult
+{
+    RunMode mode = RunMode::Native;
+    /** Total virtual time. */
+    uint64_t totalCost = 0;
+    /** Per-bucket cost attribution (Figure 7 breakdown). */
+    std::array<uint64_t, sim::kNumBuckets> buckets{};
+    /** Merged machine + HTM + detector + policy counters. */
+    StatSet stats;
+    /** Distinct static races reported. */
+    detector::RaceSet races;
+    /** Structured event timeline (only populated when
+     *  machine.recordEvents was set). */
+    sim::EventLog events;
+
+    /** Runtime overhead factor relative to a native run. */
+    double
+    overheadVs(const RunResult &native) const
+    {
+        return native.totalCost == 0
+            ? 0.0
+            : static_cast<double>(totalCost) /
+                  static_cast<double>(native.totalCost);
+    }
+};
+
+/**
+ * Run @p prog (an uninstrumented, finalized program) under @p cfg.
+ * The driver applies the appropriate instrumentation pipeline
+ * internally; for ProfLoopcut it performs the profiling pre-run
+ * (whose cost is offline and not included in the result).
+ */
+RunResult runProgram(const ir::Program &prog, const RunConfig &cfg);
+
+/** Recall of @p tool against @p reference (paper §8.4):
+ *  |reported ∩ reference| / |reference|; 1.0 when reference is empty. */
+double recallOf(const detector::RaceSet &tool,
+                const detector::RaceSet &reference);
+
+} // namespace txrace::core
+
+#endif // TXRACE_CORE_DRIVER_HH

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * The execution policies: Native (baseline), TSan (always-on
+ * happens-before detection, with optional sampling), and the TxRace
+ * two-phase runtime.
+ */
+
+#ifndef TXRACE_CORE_POLICIES_HH
+#define TXRACE_CORE_POLICIES_HH
+
+#include <set>
+
+#include "core/loopcut.hh"
+#include "detector/lockset.hh"
+#include "core/runmode.hh"
+#include "sim/machine.hh"
+#include "sim/policy.hh"
+#include "support/rng.hh"
+
+namespace txrace::core {
+
+/** No instrumentation at all: defines the overhead baseline. */
+class NativePolicy : public sim::ExecutionPolicy
+{
+};
+
+/**
+ * The TSan baseline (and its sampling variant): every instrumented
+ * access is happens-before checked against shadow memory; sync ops
+ * always maintain vector clocks. With sampleRate < 1, an access is
+ * fully processed with that probability and otherwise only pays a
+ * cheap sampling-branch cost — modeling LiteRace-style sampling the
+ * paper compares against (§8.4).
+ */
+class TsanPolicy : public sim::ExecutionPolicy
+{
+  public:
+    explicit TsanPolicy(double sample_rate = 1.0, uint64_t seed = 7);
+
+    void onThreadCreated(sim::Machine &m, Tid parent,
+                         Tid child) override;
+    void onThreadJoined(sim::Machine &m, Tid joiner,
+                        Tid joined) override;
+    void onSyncPerformed(sim::Machine &m, Tid t,
+                         const ir::Instruction &ins) override;
+    void onBarrierRelease(sim::Machine &m,
+                          const std::vector<Tid> &parts) override;
+    bool onMemAccess(sim::Machine &m, Tid t,
+                     const ir::Instruction &ins, ir::Addr addr,
+                     bool is_write) override;
+
+  private:
+    double sampleRate_;
+    Rng rng_;
+};
+
+/**
+ * Eraser-style lockset baseline (ablation; paper §9). Checks every
+ * instrumented access against the candidate-lockset state machine.
+ * Deliberately blind to condvars, barriers, and join edges beyond
+ * initialization — the incompleteness the paper contrasts with
+ * happens-before detection.
+ */
+class EraserPolicy : public sim::ExecutionPolicy
+{
+  public:
+    void onSyncPerformed(sim::Machine &m, Tid t,
+                         const ir::Instruction &ins) override;
+    bool onMemAccess(sim::Machine &m, Tid t,
+                     const ir::Instruction &ins, ir::Addr addr,
+                     bool is_write) override;
+
+    const detector::LocksetDetector &lockset() const
+    {
+        return lockset_;
+    }
+
+  private:
+    detector::LocksetDetector lockset_;
+};
+
+/**
+ * RaceTM-style comparison policy (paper §9): hardware-extended HTM
+ * with per-line debug bits reports races directly in the fast path —
+ * no software slow path at all. Fast, but reports at cache-line
+ * granularity, so false sharing produces false positives (the
+ * problem TxRace's two-phase design exists to solve). Requires
+ * HtmConfig::trackInstructions.
+ */
+class RaceTmPolicy : public sim::ExecutionPolicy
+{
+  public:
+    void onRunStart(sim::Machine &m) override;
+    void onThreadExit(sim::Machine &m, Tid t) override;
+    void onTxBegin(sim::Machine &m, Tid t,
+                   const ir::Instruction &ins) override;
+    void onTxEnd(sim::Machine &m, Tid t,
+                 const ir::Instruction &ins) override;
+    bool onMemAccess(sim::Machine &m, Tid t,
+                     const ir::Instruction &ins, ir::Addr addr,
+                     bool is_write) override;
+    void onInterruptAbort(sim::Machine &m, Tid t) override;
+
+    const detector::RaceSet &races() const { return races_; }
+
+  private:
+    detector::RaceSet races_;
+};
+
+/**
+ * The TxRace two-phase runtime (paper §3-§5).
+ *
+ * Fast path: synchronization-free regions run as transactions in the
+ * HTM model; every transaction reads the TxFail flag at begin. Sync
+ * operations keep updating vector clocks so later slow-path episodes
+ * see correct happens-before order (§5, Fig. 6).
+ *
+ * Abort dispatch (§4.2):
+ *  - conflict: roll back; the victim publishes TxFail (next step),
+ *    whose strong-isolation write aborts all in-flight transactions;
+ *    everyone re-executes their region on the slow path under the
+ *    software detector, which pinpoints races and filters false
+ *    sharing;
+ *  - capacity: only this thread falls back to the slow path
+ *    (concurrent fast+slow, Fig. 5), with loop-cut learning;
+ *  - unknown (interrupts): same fallback as capacity;
+ *  - retry-only: retry the transaction a bounded number of times;
+ *  - debug/nested: cannot arise from our transactionalization.
+ *
+ * Optimizations (§4.3): single-threaded elision, small regions
+ * pre-marked slow by the pass, and the loop-cut schemes.
+ */
+class TxRacePolicy : public sim::ExecutionPolicy
+{
+  public:
+    /** Loop-cut scheme selection. */
+    enum class Scheme { NoOpt, Dyn, Prof };
+
+    /**
+     * @param scheme loop-cut handling
+     * @param preloaded profiled thresholds (Prof scheme); merged in
+     * @param dyn_initial Dyn scheme first-abort estimate (paper: 2)
+     * @param max_retries bound on retry-only re-executions
+     */
+    /**
+     * @param addr_hints enable the §9 "future HTM" extension: the
+     *        conflicting cache line is reported to the runtime, and
+     *        conflict-triggered slow episodes only software-check
+     *        accesses to that line instead of the whole region.
+     */
+    explicit TxRacePolicy(Scheme scheme,
+                          const LoopCutTable *preloaded = nullptr,
+                          uint64_t dyn_initial = 2,
+                          uint32_t max_retries = 4,
+                          bool addr_hints = false);
+
+    void onRunStart(sim::Machine &m) override;
+    void onThreadExit(sim::Machine &m, Tid t) override;
+    bool beforeStep(sim::Machine &m, Tid t) override;
+    void onTxBegin(sim::Machine &m, Tid t,
+                   const ir::Instruction &ins) override;
+    void onTxEnd(sim::Machine &m, Tid t,
+                 const ir::Instruction &ins) override;
+    void onLoopCut(sim::Machine &m, Tid t,
+                   const ir::Instruction &ins) override;
+    bool onMemAccess(sim::Machine &m, Tid t,
+                     const ir::Instruction &ins, ir::Addr addr,
+                     bool is_write) override;
+    void onSyncPerformed(sim::Machine &m, Tid t,
+                         const ir::Instruction &ins) override;
+    void onThreadCreated(sim::Machine &m, Tid parent,
+                         Tid child) override;
+    void onThreadJoined(sim::Machine &m, Tid joiner,
+                        Tid joined) override;
+    void onBarrierRelease(sim::Machine &m,
+                          const std::vector<Tid> &parts) override;
+    void onInterruptAbort(sim::Machine &m, Tid t) override;
+    void onRetryAbort(sim::Machine &m, Tid t) override;
+
+    /** Final thresholds (exported by profiling runs). */
+    const LoopCutTable &loopcuts() const { return loopcuts_; }
+
+  private:
+    /** Begin a fast-path transaction at the current point. */
+    void enterFastTx(sim::Machine &m, Tid t, uint64_t segment_loop);
+
+    /** Conflict-abort handling for a victim of a real data conflict. */
+    void handleConflictVictim(sim::Machine &m, Tid v);
+
+    /** Capacity abort of @p t's own transaction. */
+    void handleSelfCapacity(sim::Machine &m, Tid t);
+
+    /** Walk @p t's loop stack for the innermost loop-cut loop;
+     *  @p iters_in_tx receives that frame's in-transaction iteration
+     *  count (governance evidence for the learning rule). */
+    uint64_t innermostCutLoop(sim::Machine &m, Tid t,
+                              uint64_t &iters_in_tx) const;
+
+    /** Apply vector-clock updates for one sync instruction. */
+    void trackSync(sim::Machine &m, Tid t, const ir::Instruction &ins);
+
+    Scheme scheme_;
+    LoopCutTable loopcuts_;
+    uint32_t maxRetries_;
+    bool addrHints_;
+    /** Static loop ids that carry LoopCut instrumentation. */
+    std::set<uint64_t> cutLoops_;
+};
+
+} // namespace txrace::core
+
+#endif // TXRACE_CORE_POLICIES_HH

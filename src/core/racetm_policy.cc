@@ -1,0 +1,88 @@
+#include "core/policies.hh"
+
+namespace txrace::core {
+
+using sim::Bucket;
+using sim::Machine;
+
+void
+RaceTmPolicy::onRunStart(Machine &)
+{
+}
+
+void
+RaceTmPolicy::onTxBegin(Machine &m, Tid t, const ir::Instruction &)
+{
+    if (m.liveThreads() <= 1 || !m.htm().canBegin())
+        return;  // unmonitored, like TxRace's elision / hw limit
+    m.addCost(t, m.config().cost.txBeginCost, Bucket::Txn);
+    m.htm().begin(t);
+    m.context(t).takeSnapshot(m.context(t).pc + 1);
+    m.stats().add("tx.begins");
+}
+
+void
+RaceTmPolicy::onTxEnd(Machine &m, Tid t, const ir::Instruction &)
+{
+    if (!m.htm().inTx(t))
+        return;
+    m.commitTx(t);
+    m.addCost(t, m.config().cost.txEndCost, Bucket::Txn);
+    m.stats().add("tx.committed");
+    m.context(t).snap.valid = false;
+}
+
+void
+RaceTmPolicy::onThreadExit(Machine &m, Tid t)
+{
+    if (m.htm().inTx(t)) {
+        m.commitTx(t);
+        m.stats().add("tx.committed");
+    }
+}
+
+bool
+RaceTmPolicy::onMemAccess(Machine &m, Tid t, const ir::Instruction &ins,
+                          ir::Addr addr, bool is_write)
+{
+    auto res = m.htm().access(t, addr, is_write);
+    // The extended hardware attributes each conflict directly: the
+    // victim's debug bits name its instruction for the line, and we
+    // are the requester. Report at cache-line granularity — which is
+    // exactly why RaceTM-style reporting carries false-sharing false
+    // positives that TxRace's software slow path filters out.
+    for (Tid v : res.victims) {
+        m.stats().add("tx.abort.conflict");
+        ir::InstrId victim_instr = m.htm().lastConflictVictimInstr(v);
+        if (victim_instr != ir::kNoInstr && ins.instrumented) {
+            races_.record(victim_instr, ins.id,
+                          is_write ? detector::RaceKind::WriteWrite
+                                   : detector::RaceKind::WriteRead,
+                          addr);
+        }
+        // The victim simply retries its region untransactionalized
+        // (RaceTM has no software fallback); roll it back and let it
+        // re-run bare.
+        m.rollback(v, Bucket::Conflict);
+        m.context(v).snap.valid = false;
+    }
+    if (res.selfCapacity) {
+        // No software path to fall back to: run the region bare.
+        m.stats().add("tx.abort.capacity");
+        m.rollback(t, Bucket::Capacity);
+        m.context(t).snap.valid = false;
+        return false;
+    }
+    m.htm().noteAccessInstr(t, addr, ins.id);
+    return true;
+}
+
+void
+RaceTmPolicy::onInterruptAbort(Machine &m, Tid t)
+{
+    m.stats().add("tx.abort.unknown");
+    m.rollback(t, Bucket::Unknown);
+    m.context(t).snap.valid = false;
+}
+
+} // namespace txrace::core

@@ -1,0 +1,61 @@
+#include "core/report_format.hh"
+
+#include <sstream>
+
+#include "ir/printer.hh"
+
+namespace txrace::core {
+
+namespace {
+
+const char *
+kindName(detector::RaceKind kind)
+{
+    switch (kind) {
+      case detector::RaceKind::WriteWrite: return "write-write";
+      case detector::RaceKind::ReadWrite:  return "read-write";
+      case detector::RaceKind::WriteRead:  return "write-read";
+    }
+    return "?";
+}
+
+std::string
+describeInstr(const ir::Program &prog, ir::InstrId id)
+{
+    const ir::Instruction &ins = prog.instr(id);
+    std::ostringstream ss;
+    ss << "#" << id << " " << ir::formatInstr(ins) << " (in @"
+       << prog.function(prog.funcOf(id)).name << ")";
+    return ss.str();
+}
+
+} // namespace
+
+std::string
+formatRace(const ir::Program &prog, const detector::Race &race)
+{
+    std::ostringstream ss;
+    ss << "WARNING: data race (" << kindName(race.kind)
+       << ", first seen at address 0x" << std::hex << race.addr
+       << std::dec << ", " << race.hits << " dynamic occurrence"
+       << (race.hits == 1 ? "" : "s") << ")\n";
+    ss << "  between " << describeInstr(prog, race.first) << "\n";
+    if (race.second == race.first)
+        ss << "  and itself on another thread\n";
+    else
+        ss << "  and     " << describeInstr(prog, race.second) << "\n";
+    return ss.str();
+}
+
+void
+printRaceReport(const ir::Program &prog, const RunResult &result,
+                std::ostream &os)
+{
+    os << runModeName(result.mode) << ": " << result.races.count()
+       << " distinct data race(s), total cost " << result.totalCost
+       << " units\n";
+    for (const detector::Race &race : result.races.all())
+        os << formatRace(prog, race);
+}
+
+} // namespace txrace::core

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Human-readable rendering of race reports: the developer-facing
+ * output a race detector ultimately exists for. Maps static
+ * instruction ids back to their source tags and access kinds.
+ */
+
+#ifndef TXRACE_CORE_REPORT_FORMAT_HH
+#define TXRACE_CORE_REPORT_FORMAT_HH
+
+#include <ostream>
+#include <string>
+
+#include "core/driver.hh"
+#include "detector/report.hh"
+#include "ir/program.hh"
+
+namespace txrace::core {
+
+/** One race as a multi-line, ThreadSanitizer-flavoured report. */
+std::string formatRace(const ir::Program &prog,
+                       const detector::Race &race);
+
+/**
+ * Write a full report for @p result to @p os: a summary line, then
+ * every distinct race with its instruction pair, tags, access kinds,
+ * first-seen address, and dynamic hit count.
+ */
+void printRaceReport(const ir::Program &prog, const RunResult &result,
+                     std::ostream &os);
+
+} // namespace txrace::core
+
+#endif // TXRACE_CORE_REPORT_FORMAT_HH

@@ -1,0 +1,21 @@
+#include "core/runmode.hh"
+
+namespace txrace::core {
+
+const char *
+runModeName(RunMode mode)
+{
+    switch (mode) {
+      case RunMode::Native:            return "Native";
+      case RunMode::TSan:              return "TSan";
+      case RunMode::TSanSampling:      return "TSan+Sampling";
+      case RunMode::Eraser:            return "Eraser";
+      case RunMode::RaceTM:            return "RaceTM";
+      case RunMode::TxRaceNoOpt:       return "TxRace-NoOpt";
+      case RunMode::TxRaceDynLoopcut:  return "TxRace-DynLoopcut";
+      case RunMode::TxRaceProfLoopcut: return "TxRace-ProfLoopcut";
+    }
+    return "<bad-mode>";
+}
+
+} // namespace txrace::core

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The detection configurations the evaluation compares.
+ */
+
+#ifndef TXRACE_CORE_RUNMODE_HH
+#define TXRACE_CORE_RUNMODE_HH
+
+namespace txrace::core {
+
+/** Which tool monitors the execution. */
+enum class RunMode {
+    Native,             ///< uninstrumented (the overhead baseline)
+    TSan,               ///< always-on happens-before detection
+    TSanSampling,       ///< TSan checking a fraction of accesses
+    Eraser,             ///< lockset detection (ablation baseline)
+    RaceTM,             ///< hardware-only HTM reporting (§9 ablation)
+    TxRaceNoOpt,        ///< two-phase, no loop-cut optimization
+    TxRaceDynLoopcut,   ///< loop-cut threshold learned online (§4.3)
+    TxRaceProfLoopcut,  ///< loop-cut threshold profiled beforehand
+};
+
+/** Display name, matching the paper's legends. */
+const char *runModeName(RunMode mode);
+
+/** True for the three TxRace variants. */
+constexpr bool
+isTxRaceMode(RunMode mode)
+{
+    return mode == RunMode::TxRaceNoOpt ||
+           mode == RunMode::TxRaceDynLoopcut ||
+           mode == RunMode::TxRaceProfLoopcut;
+}
+
+} // namespace txrace::core
+
+#endif // TXRACE_CORE_RUNMODE_HH

@@ -1,0 +1,425 @@
+#include "core/policies.hh"
+
+#include "support/log.hh"
+
+namespace txrace::core {
+
+using sim::Bucket;
+using sim::Machine;
+using sim::PathMode;
+
+namespace {
+
+/** Sentinel: the current transaction is not a loop segment. */
+constexpr uint64_t kNoCutLoop = ~0ull;
+
+} // namespace
+
+TxRacePolicy::TxRacePolicy(Scheme scheme, const LoopCutTable *preloaded,
+                           uint64_t dyn_initial, uint32_t max_retries,
+                           bool addr_hints)
+    : scheme_(scheme), loopcuts_(dyn_initial),
+      maxRetries_(max_retries), addrHints_(addr_hints)
+{
+    if (preloaded) {
+        for (const auto &[loop, entry] : preloaded->all())
+            loopcuts_.preload(loop, entry.threshold);
+    }
+}
+
+void
+TxRacePolicy::onRunStart(Machine &m)
+{
+    const auto &prog = m.program();
+    for (ir::FuncId f = 0; f < prog.numFunctions(); ++f)
+        for (const auto &ins : prog.function(f).body)
+            if (ins.op == ir::OpCode::LoopCut)
+                cutLoops_.insert(ins.arg0);
+}
+
+void
+TxRacePolicy::enterFastTx(Machine &m, Tid t, uint64_t segment_loop)
+{
+    auto &ctx = m.context(t);
+    m.htm().begin(t);
+    // Every transaction reads TxFail right after xbegin so that a
+    // non-transactional write to it aborts all in-flight transactions
+    // (strong isolation + requester-wins).
+    m.htm().access(t, Machine::kTxFailAddr, false);
+    ctx.baseSinceTxBegin = 0;
+    ctx.lastLoopCutId = segment_loop == kNoCutLoop
+        ? ir::kNoInstr
+        : static_cast<uint32_t>(segment_loop);
+}
+
+void
+TxRacePolicy::onTxBegin(Machine &m, Tid t, const ir::Instruction &ins)
+{
+    auto &ctx = m.context(t);
+    if (ctx.path == PathMode::Slow)
+        panic("TxRacePolicy: TxBegin while on the slow path");
+
+    if (ins.arg1 == 1) {
+        // Small region (< K memory ops): the software check is
+        // cheaper than transaction management (§4.3).
+        ctx.path = PathMode::Slow;
+        ctx.slowReason = Bucket::Txn;
+        m.stats().add("txrace.small_slow_regions");
+        return;
+    }
+    if (m.liveThreads() <= 1) {
+        // Single-threaded mode: no races are possible; skip HTM.
+        m.stats().add("txrace.elided");
+        return;
+    }
+    const auto &cost = m.config().cost;
+    if (!m.htm().canBegin()) {
+        // More live transactions than hardware threads: the xbegin
+        // aborts immediately with an unspecified status (§6, reason
+        // four). Fall back to the slow path for this region.
+        m.addCost(t, cost.txBeginCost, Bucket::Txn);
+        m.stats().add("tx.abort.unknown");
+        m.stats().add("txrace.hwlimit_aborts");
+        ctx.path = PathMode::Slow;
+        ctx.slowReason = Bucket::Unknown;
+        return;
+    }
+    m.addCost(t, cost.txBeginCost, Bucket::Txn);
+    enterFastTx(m, t, kNoCutLoop);
+    ctx.takeSnapshot(ctx.pc + 1);
+    ctx.retryCount = 0;
+    m.stats().add("tx.begins");
+    if (m.events().enabled())
+        m.events().record(m.currentStep(), t, "xbegin");
+}
+
+void
+TxRacePolicy::onTxEnd(Machine &m, Tid t, const ir::Instruction &)
+{
+    auto &ctx = m.context(t);
+    if (m.htm().inTx(t)) {
+        m.commitTx(t);
+        m.addCost(t, m.config().cost.txEndCost, Bucket::Txn);
+        m.stats().add("tx.committed");
+        if (m.events().enabled())
+            m.events().record(m.currentStep(), t, "commit");
+        if (scheme_ != Scheme::NoOpt &&
+            ctx.lastLoopCutId != ir::kNoInstr)
+            loopcuts_.onCommit(ctx.lastLoopCutId);
+        ctx.lastLoopCutId = ir::kNoInstr;
+        ctx.snap.valid = false;
+        ctx.baseSinceTxBegin = 0;
+    } else if (ctx.path == PathMode::Slow) {
+        // The slow-path episode covered the whole region; resume the
+        // fast path for the next region.
+        ctx.path = PathMode::Fast;
+        ctx.slowHintLine = htm::HtmEngine::kNoLine;
+        m.stats().add("txrace.slow_regions");
+        if (m.events().enabled())
+            m.events().record(m.currentStep(), t, "slow-exit",
+                              "region finished; back to fast path");
+    }
+    // else: region was elided (single-threaded mode).
+}
+
+void
+TxRacePolicy::onLoopCut(Machine &m, Tid t, const ir::Instruction &ins)
+{
+    if (scheme_ == Scheme::NoOpt || !m.htm().inTx(t))
+        return;
+    auto &ctx = m.context(t);
+    if (ctx.loops.empty())
+        panic("TxRacePolicy: LoopCut outside any loop");
+    sim::LoopFrame &frame = ctx.loops.back();
+    ++frame.itersInTx;
+
+    uint64_t thr = loopcuts_.threshold(ins.arg0);
+    if (thr == 0 || frame.itersInTx < thr)
+        return;
+
+    // Cut: end the transaction here and immediately start the next
+    // segment, so the write set never reaches the capacity limit.
+    const auto &cost = m.config().cost;
+    m.commitTx(t);
+    m.stats().add("tx.committed");
+    m.stats().add("txrace.loop_cuts");
+    debugLog("cut t%u loop=%llu at iters=%llu thr=%llu", t,
+             (unsigned long long)ins.arg0,
+             (unsigned long long)frame.itersInTx,
+             (unsigned long long)thr);
+    m.addCost(t, cost.txEndCost + cost.txBeginCost, Bucket::Txn);
+    if (m.events().enabled())
+        m.events().record(m.currentStep(), t, "loop-cut",
+                          "segment committed mid-loop");
+    // Growth is credited once per region (at TxEnd), not per segment:
+    // per-segment growth overshoots the capacity boundary every few
+    // iterations and thrashes.
+    frame.itersInTx = 0;
+    if (!m.htm().canBegin()) {
+        m.stats().add("tx.abort.unknown");
+        m.stats().add("txrace.hwlimit_aborts");
+        ctx.path = PathMode::Slow;
+        ctx.slowReason = Bucket::Unknown;
+        return;
+    }
+    enterFastTx(m, t, ins.arg0);
+    ctx.takeSnapshot(ctx.pc + 1);
+}
+
+uint64_t
+TxRacePolicy::innermostCutLoop(Machine &m, Tid t,
+                               uint64_t &iters_in_tx) const
+{
+    const auto &ctx = m.context(t);
+    const auto &body = m.program().function(ctx.func).body;
+    for (auto it = ctx.loops.rbegin(); it != ctx.loops.rend(); ++it) {
+        uint64_t loop_id = body[it->beginPc].id;
+        if (cutLoops_.count(loop_id)) {
+            iters_in_tx = it->itersInTx;
+            return loop_id;
+        }
+    }
+    iters_in_tx = 0;
+    return kNoCutLoop;
+}
+
+void
+TxRacePolicy::handleConflictVictim(Machine &m, Tid v)
+{
+    m.stats().add("tx.abort.conflict");
+    if (m.events().enabled())
+        m.events().record(m.currentStep(), v, "conflict-abort",
+                          "will publish TxFail");
+    uint64_t hint = addrHints_ ? m.htm().lastConflictLine(v)
+                               : htm::HtmEngine::kNoLine;
+    m.rollback(v, Bucket::Conflict);
+    auto &vctx = m.context(v);
+    vctx.slowHintLine = hint;
+    vctx.snap.valid = false;
+    vctx.lastLoopCutId = ir::kNoInstr;
+    // The victim publishes TxFail at its next step (§3 step 3); the
+    // delay is what lets concurrent winners commit first and escape
+    // re-execution — false-negative source two (§6).
+    vctx.mustWriteTxFail = true;
+}
+
+bool
+TxRacePolicy::beforeStep(Machine &m, Tid t)
+{
+    auto &ctx = m.context(t);
+    if (!ctx.mustWriteTxFail)
+        return false;
+    ctx.mustWriteTxFail = false;
+    m.stats().add("txrace.txfail_writes");
+    if (m.events().enabled())
+        m.events().record(m.currentStep(), t, "txfail-write",
+                          "aborting all in-flight transactions");
+
+    // Non-transactional write to the TxFail flag: strong isolation
+    // aborts every in-flight transaction (they all read the flag at
+    // begin). They resume on the slow path without re-publishing
+    // (their abort handler observes the flag already set).
+    auto res = m.htm().access(t, Machine::kTxFailAddr, true);
+    for (Tid v : res.victims) {
+        m.stats().add("tx.abort.conflict");
+        m.stats().add("txrace.artificial_aborts");
+        m.rollback(v, Bucket::Conflict);
+        auto &vctx = m.context(v);
+        vctx.snap.valid = false;
+        vctx.lastLoopCutId = ir::kNoInstr;
+        vctx.path = PathMode::Slow;
+        vctx.slowReason = Bucket::Conflict;
+        // The future-HTM protocol shares the conflicting address with
+        // everyone forced into the slow path.
+        vctx.slowHintLine = ctx.slowHintLine;
+        if (m.events().enabled())
+            m.events().record(m.currentStep(), v, "slow-enter",
+                              "artificially aborted by TxFail");
+    }
+    m.addCost(t, m.config().cost.storeCost, Bucket::Conflict);
+    ctx.path = PathMode::Slow;
+    ctx.slowReason = Bucket::Conflict;
+    return true;
+}
+
+void
+TxRacePolicy::handleSelfCapacity(Machine &m, Tid t)
+{
+    m.stats().add("tx.abort.capacity");
+    // Attribute the abort to the innermost loop-cut loop *before*
+    // rolling back the loop stack (the stand-in for LBR attribution).
+    uint64_t iters_in_tx = 0;
+    uint64_t loop = innermostCutLoop(m, t, iters_in_tx);
+    if (scheme_ != Scheme::NoOpt && loop != kNoCutLoop) {
+        // Governed = the transaction died before reaching this loop's
+        // active cut point; only then is the threshold too large.
+        uint64_t thr = loopcuts_.threshold(loop);
+        bool governed = thr > 0 && iters_in_tx < thr;
+        loopcuts_.onCapacityAbort(loop, governed);
+        debugLog("capacity abort t%u loop=%llu governed=%d thr->%llu",
+                 t, (unsigned long long)loop, governed ? 1 : 0,
+                 (unsigned long long)loopcuts_.threshold(loop));
+    }
+    m.rollback(t, Bucket::Capacity);
+    auto &ctx = m.context(t);
+    ctx.snap.valid = false;
+    ctx.lastLoopCutId = ir::kNoInstr;
+    ctx.slowHintLine = htm::HtmEngine::kNoLine;
+    // Only this thread falls back; concurrent transactions keep
+    // running (no TxFail write) — Fig. 5's concurrent fast+slow.
+    ctx.path = PathMode::Slow;
+    ctx.slowReason = Bucket::Capacity;
+    if (m.events().enabled())
+        m.events().record(m.currentStep(), t, "capacity-abort",
+                          "falling back to the slow path alone");
+}
+
+void
+TxRacePolicy::onInterruptAbort(Machine &m, Tid t)
+{
+    m.stats().add("tx.abort.unknown");
+    m.rollback(t, Bucket::Unknown);
+    auto &ctx = m.context(t);
+    ctx.snap.valid = false;
+    ctx.lastLoopCutId = ir::kNoInstr;
+    ctx.slowHintLine = htm::HtmEngine::kNoLine;
+    ctx.path = PathMode::Slow;
+    ctx.slowReason = Bucket::Unknown;
+}
+
+void
+TxRacePolicy::onRetryAbort(Machine &m, Tid t)
+{
+    // Retry bit without conflict (§4.2): retry the transaction in
+    // place, a bounded number of times per region; then treat it like
+    // an unknown abort and fall back to the slow path.
+    m.stats().add("tx.abort.retry");
+    auto &ctx = m.context(t);
+    m.rollback(t, Bucket::Txn);
+    if (ctx.retryCount < maxRetries_ && m.htm().canBegin()) {
+        ++ctx.retryCount;
+        m.stats().add("txrace.retries");
+        m.addCost(t, m.config().cost.txBeginCost, Bucket::Txn);
+        // Re-enter at the restored resume point; the existing
+        // snapshot still describes it.
+        m.htm().begin(t);
+        m.htm().access(t, Machine::kTxFailAddr, false);
+        ctx.baseSinceTxBegin = 0;
+        return;
+    }
+    ctx.snap.valid = false;
+    ctx.lastLoopCutId = ir::kNoInstr;
+    ctx.path = PathMode::Slow;
+    ctx.slowReason = Bucket::Unknown;
+    m.stats().add("txrace.retry_exhausted");
+}
+
+bool
+TxRacePolicy::onMemAccess(Machine &m, Tid t, const ir::Instruction &ins,
+                          ir::Addr addr, bool is_write)
+{
+    const auto &cost = m.config().cost;
+    if (ins.instrumented && cost.fastHookCost > 0)
+        m.addCost(t, cost.fastHookCost, Bucket::Txn);
+
+    // Route through the HTM: conflict detection for transactional
+    // accesses, strong isolation for non-transactional ones.
+    auto res = m.htm().access(t, addr, is_write);
+    for (Tid v : res.victims)
+        handleConflictVictim(m, v);
+    if (res.selfCapacity) {
+        handleSelfCapacity(m, t);
+        return false;  // the access did not complete
+    }
+
+    auto &ctx = m.context(t);
+    if (ctx.path == PathMode::Slow && ins.instrumented) {
+        if (addrHints_ && ctx.slowHintLine != htm::HtmEngine::kNoLine &&
+            mem::lineOf(addr) != ctx.slowHintLine) {
+            // Hinted episode: accesses off the conflicting line only
+            // pay a cheap filter.
+            m.addCost(t, 1, ctx.slowReason);
+            m.stats().add("txrace.hint_filtered");
+            return true;
+        }
+        m.addCost(t, cost.effectiveCheckCost(), ctx.slowReason);
+        if (is_write)
+            m.det().write(t, addr, ins.id);
+        else
+            m.det().read(t, addr, ins.id);
+    }
+    return true;
+}
+
+void
+TxRacePolicy::trackSync(Machine &m, Tid t, const ir::Instruction &ins)
+{
+    auto &det = m.det();
+    switch (ins.op) {
+      case ir::OpCode::LockAcquire:
+        det.lockAcquire(t, ins.arg0);
+        break;
+      case ir::OpCode::LockRelease:
+        det.lockRelease(t, ins.arg0);
+        break;
+      case ir::OpCode::CondSignal:
+        det.condSignal(t, ins.arg0);
+        break;
+      case ir::OpCode::CondWait:
+        det.condWait(t, ins.arg0);
+        break;
+      default:
+        panic("TxRacePolicy: unexpected sync op %s", opName(ins.op));
+    }
+    m.addCost(t, m.config().cost.syncTrackCost, Bucket::Txn);
+}
+
+void
+TxRacePolicy::onSyncPerformed(Machine &m, Tid t,
+                              const ir::Instruction &ins)
+{
+    // Happens-before order of synchronization is tracked on both
+    // paths, so slow-path episodes never report stale false warnings
+    // (§5, Figure 6).
+    trackSync(m, t, ins);
+}
+
+void
+TxRacePolicy::onThreadCreated(Machine &m, Tid parent, Tid child)
+{
+    m.det().threadCreated(parent, child);
+    m.addCost(parent, m.config().cost.syncTrackCost, Bucket::Txn);
+}
+
+void
+TxRacePolicy::onThreadJoined(Machine &m, Tid joiner, Tid joined)
+{
+    m.det().threadJoined(joiner, joined);
+    m.addCost(joiner, m.config().cost.syncTrackCost, Bucket::Txn);
+}
+
+void
+TxRacePolicy::onBarrierRelease(Machine &m,
+                               const std::vector<Tid> &parts)
+{
+    m.det().barrierRelease(parts);
+    for (Tid p : parts)
+        m.addCost(p, m.config().cost.syncTrackCost, Bucket::Txn);
+}
+
+void
+TxRacePolicy::onThreadExit(Machine &m, Tid t)
+{
+    auto &ctx = m.context(t);
+    if (m.htm().inTx(t)) {
+        // The pass inserts TxEnd at every exit point, so this only
+        // fires if a workload bypassed the pipeline.
+        warn("TxRacePolicy: thread %u exiting inside a transaction", t);
+        m.commitTx(t);
+        m.stats().add("tx.committed");
+    }
+    if (ctx.path == PathMode::Slow)
+        ctx.path = PathMode::Fast;
+}
+
+} // namespace txrace::core

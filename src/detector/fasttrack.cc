@@ -1,0 +1,165 @@
+#include "detector/fasttrack.hh"
+
+#include <algorithm>
+
+#include "support/log.hh"
+
+namespace txrace::detector {
+
+HbDetector::HbDetector(const DetectorConfig &cfg)
+    : cfg_(cfg), rng_(cfg.seed)
+{
+}
+
+VectorClock &
+HbDetector::clock(Tid t)
+{
+    // NOTE: growing clocks_ invalidates previously returned
+    // references; callers needing two clocks at once must grow for
+    // the larger tid first (see threadCreated/threadJoined).
+    if (t >= clocks_.size())
+        clocks_.resize(static_cast<size_t>(t) + 1);
+    return clocks_[t];
+}
+
+const VectorClock &
+HbDetector::clockOf(Tid t) const
+{
+    static const VectorClock empty;
+    return t < clocks_.size() ? clocks_[t] : empty;
+}
+
+void
+HbDetector::rootThread(Tid t)
+{
+    clock(t).tick(t);
+}
+
+void
+HbDetector::threadCreated(Tid parent, Tid child)
+{
+    clock(std::max(parent, child));  // grow once, up front
+    VectorClock &p = clock(parent);
+    VectorClock &c = clock(child);
+    c.join(p);
+    c.tick(child);
+    p.tick(parent);
+}
+
+void
+HbDetector::threadJoined(Tid joiner, Tid joined)
+{
+    clock(std::max(joiner, joined));  // grow once, up front
+    clock(joiner).join(clock(joined));
+}
+
+void
+HbDetector::lockAcquire(Tid t, uint64_t lock_id)
+{
+    clock(t).join(lockClocks_[lock_id]);
+}
+
+void
+HbDetector::lockRelease(Tid t, uint64_t lock_id)
+{
+    VectorClock &vc = clock(t);
+    lockClocks_[lock_id] = vc;
+    vc.tick(t);
+}
+
+void
+HbDetector::condSignal(Tid t, uint64_t cond_id)
+{
+    VectorClock &vc = clock(t);
+    condClocks_[cond_id].join(vc);
+    vc.tick(t);
+}
+
+void
+HbDetector::condWait(Tid t, uint64_t cond_id)
+{
+    clock(t).join(condClocks_[cond_id]);
+}
+
+void
+HbDetector::barrierRelease(const std::vector<Tid> &participants)
+{
+    VectorClock merged;
+    for (Tid t : participants)
+        merged.join(clock(t));
+    for (Tid t : participants) {
+        VectorClock &vc = clock(t);
+        vc.join(merged);
+        vc.tick(t);
+    }
+}
+
+void
+HbDetector::read(Tid t, ir::Addr addr, ir::InstrId instr)
+{
+    stats_.add("detector.reads");
+    ShadowCell &cell = shadow_[mem::granuleOf(addr)];
+    const VectorClock &vc = clockOf(t);
+
+    if (!cell.write.epoch.empty() && cell.write.epoch.tid != t &&
+        !vc.covers(cell.write.epoch)) {
+        races_.record(cell.write.instr, instr, RaceKind::WriteRead, addr);
+        stats_.add("detector.race_hits");
+    }
+
+    // Update the read set: replace this thread's entry, drop entries
+    // that are now ordered before us (they can no longer race with any
+    // future access that we are ordered with), and append.
+    Epoch mine = vc.epochOf(t);
+    auto &reads = cell.reads;
+    for (size_t i = 0; i < reads.size();) {
+        if (reads[i].epoch.tid == t ||
+            (reads[i].epoch.tid != t && vc.covers(reads[i].epoch))) {
+            reads[i] = reads.back();
+            reads.pop_back();
+        } else {
+            ++i;
+        }
+    }
+    reads.push_back({mine, instr});
+    // FastTrack's adaptive-representation statistic: when the read
+    // state collapses to a single epoch, the O(1) fast path suffices;
+    // multiple survivors mean a promoted vector clock (FastTrack
+    // reports >99% of reads stay in the epoch case).
+    if (reads.size() == 1)
+        stats_.add("detector.read_epoch_sufficient");
+    else
+        stats_.add("detector.read_vc_promoted");
+    if (cfg_.maxShadowCells > 0 && reads.size() > cfg_.maxShadowCells) {
+        size_t victim = rng_.below(reads.size());
+        reads[victim] = reads.back();
+        reads.pop_back();
+        stats_.add("detector.evictions");
+    }
+}
+
+void
+HbDetector::write(Tid t, ir::Addr addr, ir::InstrId instr)
+{
+    stats_.add("detector.writes");
+    ShadowCell &cell = shadow_[mem::granuleOf(addr)];
+    const VectorClock &vc = clockOf(t);
+
+    if (!cell.write.epoch.empty() && cell.write.epoch.tid != t &&
+        !vc.covers(cell.write.epoch)) {
+        races_.record(cell.write.instr, instr, RaceKind::WriteWrite,
+                      addr);
+        stats_.add("detector.race_hits");
+    }
+    for (const Access &r : cell.reads) {
+        if (r.epoch.tid != t && !vc.covers(r.epoch)) {
+            races_.record(r.instr, instr, RaceKind::ReadWrite, addr);
+            stats_.add("detector.race_hits");
+        }
+    }
+
+    cell.write = {vc.epochOf(t), instr};
+    cell.reads.clear();
+}
+
+} // namespace txrace::detector

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * FastTrack-style sound and complete happens-before race detector —
+ * the reproduction of the paper's slow path (ThreadSanitizer) and of
+ * the TSan baseline it is compared against.
+ *
+ * The detector has two halves:
+ *  - synchronization tracking (lock / condvar / barrier / thread
+ *    lifecycle vector-clock updates), which TxRace keeps running even
+ *    on the fast path so that later slow-path episodes see correct
+ *    happens-before order (paper §5, Figure 6);
+ *  - per-granule shadow-memory access checking, which only runs for
+ *    accesses the active policy chooses to check (always under TSan,
+ *    only in slow-path episodes under TxRace, probabilistically under
+ *    TSan+sampling).
+ *
+ * Shadow cells hold the last write epoch and a set of concurrent read
+ * epochs. With `maxShadowCells == 0` the read set is unbounded and the
+ * detector is sound for the analyzed execution (the paper configures
+ * TSan "to have enough shadow cells to be sound"); a positive bound
+ * models stock TSan's fixed shadow (random eviction ⇒ possible false
+ * negatives).
+ */
+
+#ifndef TXRACE_DETECTOR_FASTTRACK_HH
+#define TXRACE_DETECTOR_FASTTRACK_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "detector/report.hh"
+#include "detector/vectorclock.hh"
+#include "mem/layout.hh"
+#include "support/rng.hh"
+#include "support/stats.hh"
+
+namespace txrace::detector {
+
+/** Tunables for HbDetector. */
+struct DetectorConfig
+{
+    /** 0 = unbounded (sound); N > 0 caps read epochs per granule. */
+    uint32_t maxShadowCells = 0;
+    /** Seed for the eviction RNG (only used when bounded). */
+    uint64_t seed = 1;
+};
+
+/** Sound (configurable) and complete happens-before detector. */
+class HbDetector
+{
+  public:
+    explicit HbDetector(const DetectorConfig &cfg = {});
+
+    /** @name Thread lifecycle */
+    /** @{ */
+    /** Register the root thread (no parent). */
+    void rootThread(Tid t);
+    /** Child inherits the parent's clock; both sides tick. */
+    void threadCreated(Tid parent, Tid child);
+    /** Joiner acquires the joined thread's final clock. */
+    void threadJoined(Tid joiner, Tid joined);
+    /** @} */
+
+    /** @name Synchronization (vector-clock updates) */
+    /** @{ */
+    void lockAcquire(Tid t, uint64_t lock_id);
+    void lockRelease(Tid t, uint64_t lock_id);
+    /** Release half of a condvar/semaphore post. */
+    void condSignal(Tid t, uint64_t cond_id);
+    /** Acquire half, called when the waiter resumes. */
+    void condWait(Tid t, uint64_t cond_id);
+    /** All @p participants arrived; merge and redistribute clocks. */
+    void barrierRelease(const std::vector<Tid> &participants);
+    /** @} */
+
+    /** @name Memory access checking */
+    /** @{ */
+    /** Check+record a read of the granule containing @p addr. */
+    void read(Tid t, ir::Addr addr, ir::InstrId instr);
+    /** Check+record a write of the granule containing @p addr. */
+    void write(Tid t, ir::Addr addr, ir::InstrId instr);
+    /** @} */
+
+    /** Races found so far. */
+    const RaceSet &races() const { return races_; }
+    RaceSet &races() { return races_; }
+
+    /** Current clock of thread @p t (tests, runtime diagnostics). */
+    const VectorClock &clockOf(Tid t) const;
+
+    /** Counters: checks performed, races, evictions. */
+    const StatSet &stats() const { return stats_; }
+
+    /** Forget all shadow state but keep clocks (tests only). */
+    void dropShadow() { shadow_.clear(); }
+
+  private:
+    struct Access
+    {
+        Epoch epoch;
+        ir::InstrId instr = ir::kNoInstr;
+    };
+
+    struct ShadowCell
+    {
+        Access write;
+        std::vector<Access> reads;
+    };
+
+    VectorClock &clock(Tid t);
+
+    DetectorConfig cfg_;
+    Rng rng_;
+    std::vector<VectorClock> clocks_;
+    std::unordered_map<uint64_t, VectorClock> lockClocks_;
+    std::unordered_map<uint64_t, VectorClock> condClocks_;
+    std::unordered_map<uint64_t, ShadowCell> shadow_;
+    RaceSet races_;
+    StatSet stats_;
+};
+
+} // namespace txrace::detector
+
+#endif // TXRACE_DETECTOR_FASTTRACK_HH

@@ -1,0 +1,67 @@
+#include "detector/report.hh"
+
+#include <algorithm>
+
+namespace txrace::detector {
+
+void
+RaceSet::record(ir::InstrId a, ir::InstrId b, RaceKind kind,
+                ir::Addr addr)
+{
+    Key key{std::min(a, b), std::max(a, b)};
+    auto it = races_.find(key);
+    if (it != races_.end()) {
+        ++it->second.hits;
+        return;
+    }
+    races_.emplace(key, Race{key.first, key.second, kind, addr, 1});
+}
+
+bool
+RaceSet::contains(ir::InstrId a, ir::InstrId b) const
+{
+    return races_.count({std::min(a, b), std::max(a, b)}) > 0;
+}
+
+std::vector<Race>
+RaceSet::all() const
+{
+    std::vector<Race> out;
+    out.reserve(races_.size());
+    for (const auto &[key, race] : races_)
+        out.push_back(race);
+    return out;
+}
+
+std::set<std::pair<ir::InstrId, ir::InstrId>>
+RaceSet::keys() const
+{
+    std::set<Key> out;
+    for (const auto &[key, race] : races_)
+        out.insert(key);
+    return out;
+}
+
+void
+RaceSet::merge(const RaceSet &other)
+{
+    for (const auto &[key, race] : other.races_) {
+        auto it = races_.find(key);
+        if (it == races_.end())
+            races_.emplace(key, race);
+        else
+            it->second.hits += race.hits;
+    }
+}
+
+size_t
+RaceSet::intersectCount(const RaceSet &reference) const
+{
+    size_t n = 0;
+    for (const auto &[key, race] : races_)
+        if (reference.races_.count(key))
+            ++n;
+    return n;
+}
+
+} // namespace txrace::detector

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Race reports: deduplicated static racy-instruction pairs.
+ *
+ * The paper counts races as *static instances* — distinct pairs of
+ * racy instructions — which is what RaceSet stores. Dynamic recurrence
+ * of the same pair is folded into a hit counter.
+ */
+
+#ifndef TXRACE_DETECTOR_REPORT_HH
+#define TXRACE_DETECTOR_REPORT_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "ir/instruction.hh"
+
+namespace txrace::detector {
+
+/** Kind of access pairing in a reported race. */
+enum class RaceKind : uint8_t {
+    WriteWrite,
+    ReadWrite,  ///< earlier read, later write
+    WriteRead,  ///< earlier write, later read
+};
+
+/** One deduplicated race: an unordered static instruction pair. */
+struct Race
+{
+    ir::InstrId first;   ///< smaller instruction id of the pair
+    ir::InstrId second;  ///< larger instruction id of the pair
+    RaceKind kind;       ///< kind at first detection
+    ir::Addr addr;       ///< address at first detection
+    uint64_t hits;       ///< dynamic occurrences observed
+};
+
+/** A set of races keyed by the unordered instruction pair. */
+class RaceSet
+{
+  public:
+    /** Record a race between static instructions @p a and @p b. */
+    void record(ir::InstrId a, ir::InstrId b, RaceKind kind,
+                ir::Addr addr);
+
+    /** Number of distinct static races. */
+    size_t count() const { return races_.size(); }
+
+    /** True if the pair {a, b} has been recorded. */
+    bool contains(ir::InstrId a, ir::InstrId b) const;
+
+    /** All races, ordered by instruction pair (stable). */
+    std::vector<Race> all() const;
+
+    /** Keys only, for set algebra in the harnesses. */
+    std::set<std::pair<ir::InstrId, ir::InstrId>> keys() const;
+
+    /** Merge another RaceSet into this one. */
+    void merge(const RaceSet &other);
+
+    /** Number of races in this set whose pair also appears in
+     *  @p reference (used for recall computation). */
+    size_t intersectCount(const RaceSet &reference) const;
+
+    /** Drop everything. */
+    void clear() { races_.clear(); }
+
+  private:
+    using Key = std::pair<ir::InstrId, ir::InstrId>;
+    std::map<Key, Race> races_;
+};
+
+} // namespace txrace::detector
+
+#endif // TXRACE_DETECTOR_REPORT_HH

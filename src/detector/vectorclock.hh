@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Vector clocks and epochs for happens-before tracking, in the style
+ * of FastTrack (Flanagan & Freund, PLDI'09), which the paper's slow
+ * path (ThreadSanitizer) implements.
+ */
+
+#ifndef TXRACE_DETECTOR_VECTORCLOCK_HH
+#define TXRACE_DETECTOR_VECTORCLOCK_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace txrace {
+namespace detector {
+
+/** A (thread, clock) pair — FastTrack's scalar clock sample. */
+struct Epoch
+{
+    Tid tid = 0;
+    uint64_t clock = 0;
+
+    /** True if this epoch denotes "no access yet". */
+    bool empty() const { return clock == 0; }
+
+    bool operator==(const Epoch &other) const = default;
+};
+
+/**
+ * A grow-on-demand vector clock. Component t holds the latest clock
+ * of thread t known to the owning thread/object.
+ */
+class VectorClock
+{
+  public:
+    /** Clock component for thread @p t (0 if never set). */
+    uint64_t
+    get(Tid t) const
+    {
+        return t < c_.size() ? c_[t] : 0;
+    }
+
+    /** Set component @p t to @p v. */
+    void
+    set(Tid t, uint64_t v)
+    {
+        grow(t);
+        c_[t] = v;
+    }
+
+    /** Increment this thread's own component. */
+    void
+    tick(Tid t)
+    {
+        grow(t);
+        ++c_[t];
+    }
+
+    /** Pointwise maximum with @p other (the join / ⊔ operation). */
+    void
+    join(const VectorClock &other)
+    {
+        if (other.c_.size() > c_.size())
+            c_.resize(other.c_.size(), 0);
+        for (size_t i = 0; i < other.c_.size(); ++i)
+            c_[i] = std::max(c_[i], other.c_[i]);
+    }
+
+    /** True if epoch @p e happens-before (or equals) this clock. */
+    bool
+    covers(const Epoch &e) const
+    {
+        return e.clock <= get(e.tid);
+    }
+
+    /** Pointwise ≤ comparison (partial order on clocks). */
+    bool
+    leq(const VectorClock &other) const
+    {
+        for (size_t i = 0; i < c_.size(); ++i)
+            if (c_[i] > other.get(static_cast<Tid>(i)))
+                return false;
+        return true;
+    }
+
+    /** The epoch (t, this[t]). */
+    Epoch
+    epochOf(Tid t) const
+    {
+        return Epoch{t, get(t)};
+    }
+
+    /** Reset to the all-zero clock. */
+    void clear() { c_.clear(); }
+
+    bool operator==(const VectorClock &other) const
+    {
+        size_t n = std::max(c_.size(), other.c_.size());
+        for (size_t i = 0; i < n; ++i)
+            if (get(static_cast<Tid>(i)) !=
+                other.get(static_cast<Tid>(i)))
+                return false;
+        return true;
+    }
+
+  private:
+    void
+    grow(Tid t)
+    {
+        if (t >= c_.size())
+            c_.resize(t + 1, 0);
+    }
+
+    std::vector<uint64_t> c_;
+};
+
+} // namespace detector
+} // namespace txrace
+
+#endif // TXRACE_DETECTOR_VECTORCLOCK_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Transaction abort status word, modeled on the EAX status bits Intel
+ * RTM delivers to the fallback handler (Intel SDM Vol. 1 ch. 16 /
+ * optimization manual ch. 12). An all-zero status is the "unknown"
+ * abort the paper's runtime has to handle conservatively.
+ */
+
+#ifndef TXRACE_HTM_ABORT_HH
+#define TXRACE_HTM_ABORT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace txrace::htm {
+
+/** Abort cause bits; combinable, as on real hardware. */
+enum AbortBit : uint32_t {
+    kAbortRetry    = 1u << 0,  ///< retry may succeed (set with conflict)
+    kAbortConflict = 1u << 1,  ///< data conflict with another agent
+    kAbortCapacity = 1u << 2,  ///< transactional buffering overflowed
+    kAbortDebug    = 1u << 3,  ///< debug breakpoint hit
+    kAbortNested   = 1u << 4,  ///< abort during a nested transaction
+    kAbortExplicit = 1u << 5,  ///< xabort executed
+};
+
+/** Status word; 0 means "aborted for an unspecified (unknown) reason". */
+using AbortStatus = uint32_t;
+
+/** True if the status carries no architectural cause — unknown abort. */
+constexpr bool
+isUnknownAbort(AbortStatus s)
+{
+    return s == 0;
+}
+
+/** Render a status like "conflict|retry" (or "unknown"). */
+std::string abortToString(AbortStatus s);
+
+} // namespace txrace::htm
+
+#endif // TXRACE_HTM_ABORT_HH

@@ -1,0 +1,263 @@
+#include "htm/htm.hh"
+
+#include "support/log.hh"
+
+namespace txrace::htm {
+
+std::string
+abortToString(AbortStatus s)
+{
+    if (isUnknownAbort(s))
+        return "unknown";
+    std::string out;
+    auto append = [&](const char *name) {
+        if (!out.empty())
+            out += "|";
+        out += name;
+    };
+    if (s & kAbortRetry)
+        append("retry");
+    if (s & kAbortConflict)
+        append("conflict");
+    if (s & kAbortCapacity)
+        append("capacity");
+    if (s & kAbortDebug)
+        append("debug");
+    if (s & kAbortNested)
+        append("nested");
+    if (s & kAbortExplicit)
+        append("explicit");
+    return out;
+}
+
+HtmEngine::HtmEngine(const HtmConfig &cfg)
+    : cfg_(cfg), rng_(cfg.seed ^ 0xca9ac117ULL)
+{
+    if (cfg_.l1Sets == 0 || (cfg_.l1Sets & (cfg_.l1Sets - 1)) != 0)
+        fatal("HtmEngine: l1Sets must be a nonzero power of two");
+    if (cfg_.l1Ways == 0)
+        fatal("HtmEngine: l1Ways must be nonzero");
+    if (cfg_.maxConcurrentTx == 0)
+        fatal("HtmEngine: maxConcurrentTx must be nonzero");
+}
+
+void
+HtmEngine::reset()
+{
+    tx_.clear();
+    inFlight_ = 0;
+    stats_.clear();
+}
+
+bool
+HtmEngine::canBegin() const
+{
+    return inFlight_ < cfg_.maxConcurrentTx;
+}
+
+HtmEngine::TxState &
+HtmEngine::state(Tid t)
+{
+    if (t >= tx_.size())
+        tx_.resize(t + 1);
+    return tx_[t];
+}
+
+const HtmEngine::TxState *
+HtmEngine::stateIfAny(Tid t) const
+{
+    return t < tx_.size() ? &tx_[t] : nullptr;
+}
+
+void
+HtmEngine::begin(Tid t)
+{
+    if (!canBegin())
+        panic("HtmEngine::begin beyond concurrent-transaction limit");
+    TxState &s = state(t);
+    if (s.active)
+        panic("HtmEngine::begin: thread %u already transactional", t);
+    s.active = true;
+    s.readLines.clear();
+    s.writeLines.clear();
+    s.setOccupancy.assign(cfg_.l1Sets, 0);
+    ++inFlight_;
+    stats_.add("htm.begins");
+}
+
+bool
+HtmEngine::inTx(Tid t) const
+{
+    const TxState *s = stateIfAny(t);
+    return s && s->active;
+}
+
+void
+HtmEngine::collectVictims(Tid requester, uint64_t line, bool is_write,
+                          std::vector<Tid> &victims)
+{
+    for (Tid u = 0; u < tx_.size(); ++u) {
+        if (u == requester || !tx_[u].active)
+            continue;
+        bool conflicts = is_write
+            ? (tx_[u].readLines.count(line) ||
+               tx_[u].writeLines.count(line))
+            : tx_[u].writeLines.count(line) > 0;
+        if (conflicts) {
+            ir::InstrId victim_instr = ir::kNoInstr;
+            if (cfg_.trackInstructions) {
+                auto it = tx_[u].lineInstr.find(line);
+                if (it != tx_[u].lineInstr.end())
+                    victim_instr = it->second;
+            }
+            abortTx(u, kAbortConflict | kAbortRetry);
+            tx_[u].lastConflictLine = line;
+            tx_[u].lastConflictInstr = victim_instr;
+            victims.push_back(u);
+        }
+    }
+}
+
+AccessResult
+HtmEngine::access(Tid t, Addr addr, bool is_write)
+{
+    AccessResult result;
+    const uint64_t line = mem::lineOf(addr);
+    TxState *self = t < tx_.size() ? &tx_[t] : nullptr;
+    const bool self_tx = self && self->active;
+
+    if (self_tx) {
+        // Capacity is checked before the request is issued: an
+        // overflowing transaction dies without disturbing others.
+        if (is_write && !self->writeLines.count(line)) {
+            uint32_t set = static_cast<uint32_t>(line) &
+                           (cfg_.l1Sets - 1);
+            uint32_t ways = cfg_.l1Ways;
+            if (cfg_.capacityJitter > 0.0 && ways > 2 &&
+                rng_.chance(cfg_.capacityJitter)) {
+                // One or two ways transiently occupied by others
+                // (victim lines, the hyperthread twin, prefetch).
+                ways -= 1 + static_cast<uint32_t>(rng_.below(2));
+            }
+            if (self->setOccupancy[set] + 1u > ways) {
+                abortTx(t, kAbortCapacity);
+                result.selfCapacity = true;
+                return result;
+            }
+        }
+        if (!is_write && !self->readLines.count(line) &&
+            self->readLines.size() + 1 > cfg_.readSetMaxLines) {
+            abortTx(t, kAbortCapacity);
+            result.selfCapacity = true;
+            return result;
+        }
+    }
+
+    collectVictims(t, line, is_write, result.victims);
+
+    if (self_tx) {
+        if (is_write) {
+            if (self->writeLines.insert(line).second) {
+                uint32_t set = static_cast<uint32_t>(line) &
+                               (cfg_.l1Sets - 1);
+                ++self->setOccupancy[set];
+            }
+        } else {
+            self->readLines.insert(line);
+        }
+    }
+    return result;
+}
+
+void
+HtmEngine::commit(Tid t)
+{
+    TxState &s = state(t);
+    if (!s.active)
+        panic("HtmEngine::commit: thread %u not transactional", t);
+    s.active = false;
+    s.readLines.clear();
+    s.writeLines.clear();
+    s.lineInstr.clear();
+    --inFlight_;
+    stats_.add("htm.commits");
+}
+
+void
+HtmEngine::abortTx(Tid t, AbortStatus status)
+{
+    TxState &s = state(t);
+    if (!s.active)
+        panic("HtmEngine::abortTx: thread %u not transactional", t);
+    s.active = false;
+    s.readLines.clear();
+    s.writeLines.clear();
+    s.lineInstr.clear();
+    s.lastAbort = status;
+    --inFlight_;
+    if (status & kAbortCapacity)
+        stats_.add("htm.aborts.capacity");
+    else if (status & kAbortConflict)
+        stats_.add("htm.aborts.conflict");
+    else if (isUnknownAbort(status))
+        stats_.add("htm.aborts.unknown");
+    else
+        stats_.add("htm.aborts.other");
+}
+
+AbortStatus
+HtmEngine::lastAbortStatus(Tid t) const
+{
+    const TxState *s = stateIfAny(t);
+    return s ? s->lastAbort : 0;
+}
+
+uint64_t
+HtmEngine::lastConflictLine(Tid t) const
+{
+    const TxState *s = stateIfAny(t);
+    return s ? s->lastConflictLine : kNoLine;
+}
+
+ir::InstrId
+HtmEngine::lastConflictVictimInstr(Tid t) const
+{
+    const TxState *s = stateIfAny(t);
+    return s ? s->lastConflictInstr : ir::kNoInstr;
+}
+
+void
+HtmEngine::noteAccessInstr(Tid t, Addr addr, ir::InstrId instr)
+{
+    if (!cfg_.trackInstructions)
+        return;
+    TxState *s = t < tx_.size() ? &tx_[t] : nullptr;
+    if (s && s->active)
+        s->lineInstr[mem::lineOf(addr)] = instr;
+}
+
+std::vector<Tid>
+HtmEngine::inFlightTids() const
+{
+    std::vector<Tid> out;
+    for (Tid t = 0; t < tx_.size(); ++t)
+        if (tx_[t].active)
+            out.push_back(t);
+    return out;
+}
+
+size_t
+HtmEngine::readSetLines(Tid t) const
+{
+    const TxState *s = stateIfAny(t);
+    return s && s->active ? s->readLines.size() : 0;
+}
+
+size_t
+HtmEngine::writeSetLines(Tid t) const
+{
+    const TxState *s = stateIfAny(t);
+    return s && s->active ? s->writeLines.size() : 0;
+}
+
+} // namespace txrace::htm

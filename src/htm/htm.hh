@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Software model of a best-effort hardware transactional memory in
+ * the mold of Intel's Restricted Transactional Memory (TSX/RTM), the
+ * commodity HTM the paper builds on. This is the substitution for the
+ * hardware the reproduction environment lacks; see DESIGN.md.
+ *
+ * Faithfully modeled properties (each is load-bearing for TxRace):
+ *  - conflict detection at cache-line (64 B) granularity, so false
+ *    sharing raises conflicts exactly like true sharing;
+ *  - requester-wins conflict resolution: the requesting access always
+ *    succeeds and every conflicting *transaction* aborts;
+ *  - strong isolation: non-transactional accesses participate in
+ *    conflict detection and abort conflicting transactions (this is
+ *    what makes the TxFail flag protocol work);
+ *  - bounded capacity shaped like an L1d: the write set is limited by
+ *    per-set associativity (32 KiB / 64 B lines / 8 ways), the read
+ *    set by a larger secondary bound;
+ *  - a cap on concurrently executing transactions equal to the number
+ *    of hardware threads;
+ *  - an Intel-style abort status word, with all-zero meaning unknown.
+ *
+ * The engine tracks read/write line sets and decides who aborts; the
+ * simulator performs the actual rollback of thread state (the write
+ * buffering lives in the interpreter's transactional store queue).
+ */
+
+#ifndef TXRACE_HTM_HTM_HH
+#define TXRACE_HTM_HTM_HH
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "htm/abort.hh"
+#include <unordered_map>
+
+#include "ir/instruction.hh"
+#include "mem/layout.hh"
+#include "support/rng.hh"
+#include "support/stats.hh"
+#include "support/types.hh"
+
+namespace txrace::htm {
+
+using ir::Addr;
+
+/** Geometry and limits of the modeled HTM. */
+struct HtmConfig
+{
+    /** L1d sets (32 KiB / 64 B lines / 8 ways = 64 sets). */
+    uint32_t l1Sets = 64;
+    /** L1d associativity; bounds write-set lines per cache set. */
+    uint32_t l1Ways = 8;
+    /** Total read-set lines trackable (secondary structure). */
+    uint32_t readSetMaxLines = 4096;
+    /** Maximum concurrently open transactions (hardware threads). */
+    uint32_t maxConcurrentTx = 8;
+    /**
+     * Probability that a new write-set line finds one way of its set
+     * unavailable (interference from non-transactional data, the
+     * hyperthread twin, prefetchers...). Real TSX capacity boundaries
+     * are noisy in exactly this way, which is why the paper's
+     * loop-cut optimization reduces but never eliminates capacity
+     * aborts. 0 = deterministic boundary (unit tests).
+     */
+    double capacityJitter = 0.0;
+    /** Seed for the jitter RNG (set from the machine seed). */
+    uint64_t seed = 1;
+    /**
+     * Track the last instruction that touched each line of every
+     * transaction — RaceTM's proposed per-line debug-bit extension
+     * (§9), used by the RaceTM comparison policy. Off for the
+     * commodity model (real RTM exposes nothing).
+     */
+    bool trackInstructions = false;
+};
+
+/** Outcome of routing one memory access through the HTM. */
+struct AccessResult
+{
+    /** The requesting transaction overflowed and must abort. */
+    bool selfCapacity = false;
+    /** Transactions aborted by this access (requester-wins). */
+    std::vector<Tid> victims;
+};
+
+/**
+ * The HTM conflict/capacity engine. One instance per simulated
+ * machine; thread ids index its per-thread transaction state.
+ */
+class HtmEngine
+{
+  public:
+    explicit HtmEngine(const HtmConfig &cfg = {});
+
+    /** Forget all transactional state (new run). */
+    void reset();
+
+    /** True if a new transaction may begin (hardware-thread limit). */
+    bool canBegin() const;
+
+    /** Open a transaction for @p t. Caller must check canBegin(). */
+    void begin(Tid t);
+
+    /** True if @p t has an open transaction. */
+    bool inTx(Tid t) const;
+
+    /**
+     * Route an access through conflict detection, updating @p t's
+     * read/write sets if it is transactional.
+     *
+     * Requester-wins: the access itself always succeeds unless the
+     * requester overflows its own capacity; every *other* in-flight
+     * transaction whose line sets conflict with it is returned as a
+     * victim and has been marked aborted (conflict|retry) by the
+     * engine. The caller rolls the victims back.
+     *
+     * On selfCapacity the requester's transaction has been marked
+     * aborted (capacity) and no victims are produced (the request
+     * never reached the coherence fabric).
+     */
+    AccessResult access(Tid t, Addr addr, bool is_write);
+
+    /** Commit @p t's transaction. Panics if none is open. */
+    void commit(Tid t);
+
+    /**
+     * Abort @p t's transaction with @p status (used by the simulator
+     * for interrupt-induced unknown aborts and by access() internally).
+     */
+    void abortTx(Tid t, AbortStatus status);
+
+    /** Status recorded at @p t's most recent abort. */
+    AbortStatus lastAbortStatus(Tid t) const;
+
+    /** Cache line whose conflict caused @p t's most recent conflict
+     *  abort (kNoLine otherwise). Commodity RTM does not expose this;
+     *  it models the TxIntro-style hint the paper's §9 envisions for
+     *  a cheaper slow path. */
+    static constexpr uint64_t kNoLine = ~0ull;
+    uint64_t lastConflictLine(Tid t) const;
+
+    /** With trackInstructions: the instructions that last accessed
+     *  @p line in @p t's transaction at its most recent conflict
+     *  abort, and the requester instruction that hit it (RaceTM's
+     *  extended report). kNoInstr when unavailable. */
+    ir::InstrId lastConflictVictimInstr(Tid t) const;
+
+    /** Record the requester-side instruction for attribution (called
+     *  by the access path's caller, which knows the instruction). */
+    void noteAccessInstr(Tid t, Addr addr, ir::InstrId instr);
+
+    /** Number of currently open transactions. */
+    size_t inFlightCount() const { return inFlight_; }
+
+    /** All threads with open transactions. */
+    std::vector<Tid> inFlightTids() const;
+
+    /** Read/write set sizes of @p t's open transaction (lines). */
+    size_t readSetLines(Tid t) const;
+    size_t writeSetLines(Tid t) const;
+
+    /** Engine counters (begins, commits, aborts by cause). */
+    const StatSet &stats() const { return stats_; }
+
+  private:
+    struct TxState
+    {
+        bool active = false;
+        std::unordered_set<uint64_t> readLines;
+        std::unordered_set<uint64_t> writeLines;
+        std::vector<uint8_t> setOccupancy;  ///< write lines per L1 set
+        AbortStatus lastAbort = 0;
+        uint64_t lastConflictLine = kNoLine;
+        ir::InstrId lastConflictInstr = ir::kNoInstr;
+        /** line -> last instruction of THIS tx touching it (RaceTM). */
+        std::unordered_map<uint64_t, ir::InstrId> lineInstr;
+    };
+
+    TxState &state(Tid t);
+    const TxState *stateIfAny(Tid t) const;
+
+    /** Collect and mark-aborted all conflicting victim transactions. */
+    void collectVictims(Tid requester, uint64_t line, bool is_write,
+                        std::vector<Tid> &victims);
+
+    HtmConfig cfg_;
+    Rng rng_;
+    std::vector<TxState> tx_;
+    size_t inFlight_ = 0;
+    StatSet stats_;
+};
+
+} // namespace txrace::htm
+
+#endif // TXRACE_HTM_HTM_HH

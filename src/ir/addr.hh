@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Symbolic address expressions for memory-access instructions.
+ *
+ * A static Load/Store instruction computes its dynamic address from
+ * the executing thread's identity, the enclosing loop indices, and an
+ * optional seeded random component:
+ *
+ *   addr = base + threadStride * threadIndex
+ *               + loopStride   * loopIndex(loopDepth)
+ *               + randomStride * uniform(0, randomCount)
+ *
+ * This is expressive enough to model private per-thread arrays,
+ * streaming loops, strided sharing, contended hot words, and
+ * false-sharing neighbours, which together cover the access patterns
+ * of the paper's workloads.
+ */
+
+#ifndef TXRACE_IR_ADDR_HH
+#define TXRACE_IR_ADDR_HH
+
+#include <cstdint>
+
+namespace txrace::ir {
+
+/** Byte address in the simulated flat address space. */
+using Addr = uint64_t;
+
+/** Symbolic address; see file comment for the evaluation rule. */
+struct AddrExpr
+{
+    Addr base = 0;              ///< constant component
+    uint64_t threadStride = 0;  ///< multiplied by the worker index
+    uint64_t loopStride = 0;    ///< multiplied by a loop index
+    uint32_t loopDepth = 0;     ///< 0 = innermost enclosing loop
+    uint64_t randomCount = 0;   ///< >0 enables the random component
+    uint64_t randomStride = 0;  ///< stride of the random component
+
+    /** Convenience: a fixed absolute address. */
+    static AddrExpr
+    absolute(Addr a)
+    {
+        AddrExpr e;
+        e.base = a;
+        return e;
+    }
+
+    /** Convenience: base + threadIndex * stride. */
+    static AddrExpr
+    perThread(Addr base, uint64_t stride)
+    {
+        AddrExpr e;
+        e.base = base;
+        e.threadStride = stride;
+        return e;
+    }
+
+    /** Convenience: base + innermostLoopIndex * stride. */
+    static AddrExpr
+    perIter(Addr base, uint64_t stride)
+    {
+        AddrExpr e;
+        e.base = base;
+        e.loopStride = stride;
+        return e;
+    }
+
+    /** Convenience: base + uniform(0, count) * stride. */
+    static AddrExpr
+    randomIn(Addr base, uint64_t count, uint64_t stride)
+    {
+        AddrExpr e;
+        e.base = base;
+        e.randomCount = count;
+        e.randomStride = stride;
+        return e;
+    }
+
+    bool operator==(const AddrExpr &other) const = default;
+};
+
+} // namespace txrace::ir
+
+#endif // TXRACE_IR_ADDR_HH

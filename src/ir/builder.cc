@@ -1,0 +1,237 @@
+#include "ir/builder.hh"
+
+#include "support/log.hh"
+
+namespace txrace::ir {
+
+ProgramBuilder::ProgramBuilder() = default;
+
+Addr
+ProgramBuilder::alloc(const std::string &name, uint64_t bytes,
+                      uint64_t align)
+{
+    if (bytes == 0)
+        fatal("alloc(%s): zero size", name.c_str());
+    if (align == 0 || (align & (align - 1)) != 0)
+        fatal("alloc(%s): alignment must be a power of two",
+              name.c_str());
+    bump_ = (bump_ + align - 1) & ~(align - 1);
+    Addr base = bump_;
+    bump_ += bytes;
+    prog_.setAddrSpaceSize(bump_);
+    return base;
+}
+
+Addr
+ProgramBuilder::allocPrivate(const std::string &name, uint64_t bytes,
+                             uint64_t align)
+{
+    Addr base = alloc(name, bytes, align);
+    prog_.addPrivateRange({base, base + bytes});
+    return base;
+}
+
+FuncId
+ProgramBuilder::beginFunction(const std::string &name)
+{
+    if (inFunction_)
+        panic("beginFunction(%s) while %s still open", name.c_str(),
+              current_.name.c_str());
+    current_ = Function{};
+    current_.name = name;
+    inFunction_ = true;
+    return static_cast<FuncId>(prog_.numFunctions());
+}
+
+void
+ProgramBuilder::endFunction()
+{
+    if (!inFunction_)
+        panic("endFunction without beginFunction");
+    if (openLoops_ != 0)
+        panic("endFunction(%s) with %d open loops",
+              current_.name.c_str(), openLoops_);
+    prog_.addFunction(std::move(current_));
+    inFunction_ = false;
+}
+
+Instruction &
+ProgramBuilder::emit(OpCode op)
+{
+    if (!inFunction_)
+        panic("emit(%s) outside a function", opName(op));
+    current_.body.emplace_back();
+    current_.body.back().op = op;
+    return current_.body.back();
+}
+
+void
+ProgramBuilder::load(const AddrExpr &addr, const std::string &tag)
+{
+    auto &ins = emit(OpCode::Load);
+    ins.addr = addr;
+    ins.tag = tag;
+}
+
+void
+ProgramBuilder::store(const AddrExpr &addr, const std::string &tag)
+{
+    auto &ins = emit(OpCode::Store);
+    ins.addr = addr;
+    ins.tag = tag;
+}
+
+void
+ProgramBuilder::loadPrivate(const AddrExpr &addr)
+{
+    auto &ins = emit(OpCode::Load);
+    ins.addr = addr;
+    ins.instrumented = false;
+}
+
+void
+ProgramBuilder::storePrivate(const AddrExpr &addr)
+{
+    auto &ins = emit(OpCode::Store);
+    ins.addr = addr;
+    ins.instrumented = false;
+}
+
+void
+ProgramBuilder::compute(uint64_t cost)
+{
+    emit(OpCode::Compute).arg0 = cost;
+}
+
+void
+ProgramBuilder::lock(uint64_t lock_id)
+{
+    emit(OpCode::LockAcquire).arg0 = lock_id;
+}
+
+void
+ProgramBuilder::unlock(uint64_t lock_id)
+{
+    emit(OpCode::LockRelease).arg0 = lock_id;
+}
+
+void
+ProgramBuilder::signal(uint64_t cond_id)
+{
+    emit(OpCode::CondSignal).arg0 = cond_id;
+}
+
+void
+ProgramBuilder::wait(uint64_t cond_id)
+{
+    emit(OpCode::CondWait).arg0 = cond_id;
+}
+
+void
+ProgramBuilder::barrier(uint64_t barrier_id, uint64_t participants)
+{
+    auto &ins = emit(OpCode::Barrier);
+    ins.arg0 = barrier_id;
+    ins.arg1 = participants;
+}
+
+void
+ProgramBuilder::spawn(FuncId fn, uint64_t count)
+{
+    for (uint64_t i = 0; i < count; ++i)
+        emit(OpCode::ThreadCreate).arg0 = fn;
+}
+
+void
+ProgramBuilder::join(uint64_t spawn_index)
+{
+    emit(OpCode::ThreadJoin).arg0 = spawn_index;
+}
+
+void
+ProgramBuilder::joinAll()
+{
+    emit(OpCode::ThreadJoin).arg0 = ~0ull;
+}
+
+void
+ProgramBuilder::syscall(uint64_t cost)
+{
+    emit(OpCode::Syscall).arg0 = cost;
+}
+
+void
+ProgramBuilder::loopBegin(uint64_t trips, uint64_t random_extra)
+{
+    if (trips == 0 && random_extra == 0)
+        fatal("loopBegin: zero-trip loops are not supported");
+    auto &ins = emit(OpCode::LoopBegin);
+    ins.arg0 = trips;
+    ins.arg1 = random_extra;
+    ++openLoops_;
+}
+
+void
+ProgramBuilder::loopEnd()
+{
+    if (openLoops_ == 0)
+        panic("loopEnd without loopBegin");
+    emit(OpCode::LoopEnd);
+    --openLoops_;
+}
+
+void
+ProgramBuilder::loop(uint64_t trips, const std::function<void()> &body)
+{
+    loopBegin(trips);
+    body();
+    loopEnd();
+}
+
+void
+ProgramBuilder::loopJitter(uint64_t trips, uint64_t random_extra,
+                           const std::function<void()> &body)
+{
+    loopBegin(trips, random_extra);
+    body();
+    loopEnd();
+}
+
+void
+ProgramBuilder::raw(Instruction ins)
+{
+    if (!inFunction_)
+        panic("raw() outside a function");
+    current_.body.push_back(std::move(ins));
+    if (current_.body.back().op == OpCode::LoopBegin)
+        ++openLoops_;
+    if (current_.body.back().op == OpCode::LoopEnd)
+        --openLoops_;
+}
+
+void
+ProgramBuilder::setEntry(FuncId id)
+{
+    prog_.setEntry(id);
+    entrySet_ = true;
+}
+
+Program
+ProgramBuilder::build()
+{
+    if (inFunction_)
+        panic("build() with function %s still open",
+              current_.name.c_str());
+    if (prog_.numFunctions() == 0)
+        fatal("build(): empty program");
+    if (!entrySet_)
+        prog_.setEntry(static_cast<FuncId>(prog_.numFunctions() - 1));
+    Program out = std::move(prog_);
+    prog_ = Program{};
+    entrySet_ = false;
+    bump_ = 64;
+    out.finalize();
+    return out;
+}
+
+} // namespace txrace::ir

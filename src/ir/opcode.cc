@@ -1,0 +1,30 @@
+#include "ir/opcode.hh"
+
+namespace txrace::ir {
+
+const char *
+opName(OpCode op)
+{
+    switch (op) {
+      case OpCode::Nop:          return "nop";
+      case OpCode::Load:         return "load";
+      case OpCode::Store:        return "store";
+      case OpCode::Compute:      return "compute";
+      case OpCode::LockAcquire:  return "lock";
+      case OpCode::LockRelease:  return "unlock";
+      case OpCode::CondSignal:   return "signal";
+      case OpCode::CondWait:     return "wait";
+      case OpCode::Barrier:      return "barrier";
+      case OpCode::ThreadCreate: return "create";
+      case OpCode::ThreadJoin:   return "join";
+      case OpCode::Syscall:      return "syscall";
+      case OpCode::LoopBegin:    return "loop.begin";
+      case OpCode::LoopEnd:      return "loop.end";
+      case OpCode::TxBegin:      return "tx.begin";
+      case OpCode::TxEnd:        return "tx.end";
+      case OpCode::LoopCut:      return "loop.cut";
+    }
+    return "<bad-op>";
+}
+
+} // namespace txrace::ir

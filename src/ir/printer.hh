@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Textual dumping of mini-IR programs for debugging and golden tests.
+ */
+
+#ifndef TXRACE_IR_PRINTER_HH
+#define TXRACE_IR_PRINTER_HH
+
+#include <ostream>
+#include <string>
+
+#include "ir/program.hh"
+
+namespace txrace::ir {
+
+/** Render one instruction as a single line (no trailing newline). */
+std::string formatInstr(const Instruction &ins);
+
+/** Dump @p prog, one indented instruction per line, to @p os. */
+void printProgram(const Program &prog, std::ostream &os);
+
+} // namespace txrace::ir
+
+#endif // TXRACE_IR_PRINTER_HH

@@ -1,0 +1,231 @@
+#include "ir/program.hh"
+
+#include <algorithm>
+
+#include "support/log.hh"
+
+namespace txrace::ir {
+
+FuncId
+Program::addFunction(Function fn)
+{
+    funcs_.push_back(std::move(fn));
+    return static_cast<FuncId>(funcs_.size() - 1);
+}
+
+Function &
+Program::function(FuncId id)
+{
+    if (id >= funcs_.size())
+        panic("Program::function: bad id %u", id);
+    return funcs_[id];
+}
+
+const Function &
+Program::function(FuncId id) const
+{
+    if (id >= funcs_.size())
+        panic("Program::function: bad id %u", id);
+    return funcs_[id];
+}
+
+void
+Program::finalize()
+{
+    if (finalized_)
+        panic("Program::finalize called twice; use refinalize()");
+    assignIdsAndMatch(false);
+    validateStructure();
+    finalized_ = true;
+}
+
+void
+Program::refinalize()
+{
+    if (!finalized_)
+        panic("Program::refinalize before finalize");
+    assignIdsAndMatch(true);
+    validateStructure();
+}
+
+void
+Program::assignIdsAndMatch(bool keep_existing_ids)
+{
+    if (!keep_existing_ids)
+        nextId_ = 0;
+
+    // First pass: hand out ids.
+    for (auto &fn : funcs_) {
+        for (auto &ins : fn.body) {
+            if (!keep_existing_ids || ins.id == kNoInstr)
+                ins.id = nextId_++;
+            else
+                nextId_ = std::max(nextId_, ins.id + 1);
+        }
+    }
+
+    // Rebuild the id index.
+    idIndex_.assign(nextId_, {~0u, 0});
+    for (FuncId f = 0; f < funcs_.size(); ++f) {
+        auto &body = funcs_[f].body;
+        for (uint32_t pc = 0; pc < body.size(); ++pc) {
+            InstrId id = body[pc].id;
+            if (id >= idIndex_.size() || idIndex_[id].first != ~0u)
+                fatal("Program: duplicate or out-of-range instruction id");
+            idIndex_[id] = {f, pc};
+        }
+    }
+
+    // Second pass: match loops.
+    for (auto &fn : funcs_) {
+        std::vector<uint32_t> stack;
+        for (uint32_t pc = 0; pc < fn.body.size(); ++pc) {
+            auto &ins = fn.body[pc];
+            if (ins.op == OpCode::LoopBegin) {
+                stack.push_back(pc);
+            } else if (ins.op == OpCode::LoopEnd) {
+                if (stack.empty())
+                    fatal("Program: unmatched LoopEnd in %s",
+                          fn.name.c_str());
+                uint32_t begin = stack.back();
+                stack.pop_back();
+                fn.body[begin].match = static_cast<int32_t>(pc);
+                ins.match = static_cast<int32_t>(begin);
+            }
+        }
+        if (!stack.empty())
+            fatal("Program: unmatched LoopBegin in %s", fn.name.c_str());
+    }
+}
+
+void
+Program::validateStructure() const
+{
+    if (funcs_.empty())
+        fatal("Program: no functions");
+    if (entry_ >= funcs_.size())
+        fatal("Program: entry function %u out of range", entry_);
+    for (const auto &fn : funcs_) {
+        for (const auto &ins : fn.body) {
+            switch (ins.op) {
+              case OpCode::ThreadCreate:
+                if (ins.arg0 >= funcs_.size())
+                    fatal("Program: ThreadCreate of unknown function "
+                          "%llu in %s",
+                          static_cast<unsigned long long>(ins.arg0),
+                          fn.name.c_str());
+                break;
+              case OpCode::Barrier:
+                if (ins.arg1 < 1)
+                    fatal("Program: Barrier with %llu participants in %s",
+                          static_cast<unsigned long long>(ins.arg1),
+                          fn.name.c_str());
+                break;
+              case OpCode::Load:
+              case OpCode::Store:
+                if (addrSpaceSize_ > 0) {
+                    // Static bound check on the maximal reachable
+                    // address: base only (dynamic components checked
+                    // at runtime by the machine).
+                    if (ins.addr.base >= addrSpaceSize_)
+                        fatal("Program: access base 0x%llx beyond "
+                              "address space",
+                              static_cast<unsigned long long>(
+                                  ins.addr.base));
+                }
+                break;
+              default:
+                break;
+            }
+        }
+    }
+}
+
+size_t
+Program::numInstructions() const
+{
+    size_t n = 0;
+    for (const auto &fn : funcs_)
+        n += fn.body.size();
+    return n;
+}
+
+const Instruction &
+Program::instr(InstrId id) const
+{
+    if (id >= idIndex_.size() || idIndex_[id].first == ~0u)
+        panic("Program::instr: unknown id %u", id);
+    auto [f, pc] = idIndex_[id];
+    return funcs_[f].body[pc];
+}
+
+FuncId
+Program::funcOf(InstrId id) const
+{
+    if (id >= idIndex_.size() || idIndex_[id].first == ~0u)
+        panic("Program::funcOf: unknown id %u", id);
+    return idIndex_[id].first;
+}
+
+std::string
+Program::checkTransactionalForm() const
+{
+    for (const auto &fn : funcs_) {
+        bool in_tx = false;
+        // Transaction state observed at each open LoopBegin.
+        std::vector<bool> loop_state;
+        for (uint32_t pc = 0; pc < fn.body.size(); ++pc) {
+            const auto &ins = fn.body[pc];
+            switch (ins.op) {
+              case OpCode::TxBegin:
+                if (in_tx)
+                    return strprintf("%s:%u nested TxBegin",
+                                     fn.name.c_str(), pc);
+                in_tx = true;
+                break;
+              case OpCode::TxEnd:
+                if (!in_tx)
+                    return strprintf("%s:%u TxEnd outside transaction",
+                                     fn.name.c_str(), pc);
+                in_tx = false;
+                break;
+              case OpCode::Syscall:
+                if (in_tx)
+                    return strprintf("%s:%u system call inside "
+                                     "transaction",
+                                     fn.name.c_str(), pc);
+                break;
+              case OpCode::LoopBegin:
+                loop_state.push_back(in_tx);
+                break;
+              case OpCode::LoopEnd:
+                if (loop_state.empty())
+                    return strprintf("%s:%u stray LoopEnd",
+                                     fn.name.c_str(), pc);
+                if (loop_state.back() != in_tx)
+                    return strprintf("%s:%u transaction state not "
+                                     "loop-invariant",
+                                     fn.name.c_str(), pc);
+                loop_state.pop_back();
+                break;
+              case OpCode::LoopCut:
+                if (loop_state.empty())
+                    return strprintf("%s:%u LoopCut outside loop",
+                                     fn.name.c_str(), pc);
+                break;
+              default:
+                if (isSyncOp(ins.op) && in_tx)
+                    return strprintf("%s:%u %s inside transaction",
+                                     fn.name.c_str(), pc,
+                                     opName(ins.op));
+                break;
+            }
+        }
+        if (in_tx)
+            return strprintf("%s falls off end inside transaction",
+                             fn.name.c_str());
+    }
+    return "";
+}
+
+} // namespace txrace::ir

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Program container of the TxRace mini-IR: a set of functions, an
+ * entry point, and the address-space layout metadata the passes and
+ * the simulator need.
+ */
+
+#ifndef TXRACE_IR_PROGRAM_HH
+#define TXRACE_IR_PROGRAM_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ir/instruction.hh"
+
+namespace txrace::ir {
+
+/** A named straight-line-plus-loops instruction sequence. */
+struct Function
+{
+    std::string name;
+    std::vector<Instruction> body;
+};
+
+/** Half-open byte range [lo, hi) in the simulated address space. */
+struct AddrRange
+{
+    Addr lo = 0;
+    Addr hi = 0;
+
+    bool
+    contains(Addr a) const
+    {
+        return a >= lo && a < hi;
+    }
+};
+
+/**
+ * A complete program. Thread 0 executes the entry function; further
+ * threads are created by ThreadCreate instructions.
+ *
+ * finalize() must be called (once) after construction: it assigns
+ * globally unique instruction ids, resolves LoopBegin/LoopEnd partner
+ * offsets, and structurally validates the program. Passes that insert
+ * instructions call refinalize() to renumber while preserving the ids
+ * of pre-existing instructions where possible (ids of original
+ * instructions are stable because passes only insert, never reorder).
+ */
+class Program
+{
+  public:
+    /** Append a function; returns its id. */
+    FuncId addFunction(Function fn);
+
+    /** Number of functions. */
+    size_t numFunctions() const { return funcs_.size(); }
+
+    /** Mutable access (passes). @p id must be valid. */
+    Function &function(FuncId id);
+    const Function &function(FuncId id) const;
+
+    /** Entry function id (default 0). */
+    FuncId entry() const { return entry_; }
+    void setEntry(FuncId id) { entry_ = id; }
+
+    /** Total bytes of simulated address space the program touches. */
+    Addr addrSpaceSize() const { return addrSpaceSize_; }
+    void setAddrSpaceSize(Addr size) { addrSpaceSize_ = size; }
+
+    /** Ranges the workload declares thread-private (pass input). */
+    const std::vector<AddrRange> &privateRanges() const { return private_; }
+    void addPrivateRange(AddrRange range) { private_.push_back(range); }
+
+    /**
+     * Assign instruction ids, resolve loop matches, and validate.
+     * Calls fatal() on structurally invalid programs.
+     */
+    void finalize();
+
+    /** True once finalize() has run. */
+    bool finalized() const { return finalized_; }
+
+    /**
+     * Re-run id assignment and validation after a pass mutated the
+     * program. Instructions that already carry an id keep it; new
+     * instructions receive fresh ids above the previous maximum.
+     */
+    void refinalize();
+
+    /** Total number of static instructions across all functions. */
+    size_t numInstructions() const;
+
+    /** Locate an instruction by id. Panics on unknown ids. */
+    const Instruction &instr(InstrId id) const;
+
+    /** Function containing @p id. Panics on unknown ids. */
+    FuncId funcOf(InstrId id) const;
+
+    /**
+     * Validate the TxBegin/TxEnd discipline a correct
+     * transactionalization must establish (used by tests and by the
+     * pass pipeline as a post-condition):
+     *  - TxBegin/TxEnd strictly alternate along each function,
+     *  - no synchronization op or system call inside a transaction,
+     *  - transaction state is loop-invariant (equal at LoopBegin and
+     *    its matching LoopEnd),
+     *  - every function begins outside and ends outside a transaction,
+     *  - LoopCut appears only inside loops.
+     * Returns an empty string if valid, else a diagnostic.
+     */
+    std::string checkTransactionalForm() const;
+
+  private:
+    void assignIdsAndMatch(bool keep_existing_ids);
+    void validateStructure() const;
+
+    std::vector<Function> funcs_;
+    FuncId entry_ = 0;
+    Addr addrSpaceSize_ = 0;
+    std::vector<AddrRange> private_;
+    bool finalized_ = false;
+    uint32_t nextId_ = 0;
+
+    /** id -> (func, pc) lookup built at (re)finalize. */
+    std::vector<std::pair<FuncId, uint32_t>> idIndex_;
+};
+
+} // namespace txrace::ir
+
+#endif // TXRACE_IR_PROGRAM_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Textual program format (.txr): a serializer and parser for the
+ * mini-IR, so programs under test can live in files and be driven by
+ * the CLI without writing C++. The instruction syntax matches the
+ * printer's, extended with a small header for the address-space
+ * layout:
+ *
+ *     # comment
+ *     space 0x4000
+ *     private 0x1000 0x2000
+ *     func @worker
+ *       loop.begin trips=10+rnd(2)
+ *         load [0x40 + tid*8 + i0*16 + rnd(4)*64]  ; my tag
+ *         store [0x80] !noinstr
+ *         compute cost=5
+ *         lock id=0
+ *         unlock id=0
+ *         signal id=1
+ *         wait id=1
+ *         barrier id=2 n=4
+ *         syscall cost=1
+ *       loop.end
+ *     end
+ *     func @main
+ *       create fn=0
+ *       create fn=0
+ *       join all
+ *     end
+ *     entry @main
+ *
+ * writeProgramText() and parseProgramText() round-trip exactly
+ * (asserted by property tests). TxBegin/TxEnd/LoopCut are accepted
+ * too, so instrumented programs can be dumped and reloaded.
+ */
+
+#ifndef TXRACE_IR_TEXT_HH
+#define TXRACE_IR_TEXT_HH
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "ir/program.hh"
+
+namespace txrace::ir {
+
+/** Serialize @p prog (including layout header) to @p os. */
+void writeProgramText(const Program &prog, std::ostream &os);
+
+/**
+ * Parse a program from @p is. The returned program is finalized.
+ * fatal()s with a line-numbered diagnostic on malformed input.
+ */
+Program parseProgramText(std::istream &is);
+
+/** Convenience: parse a .txr file by path. */
+Program loadProgramFile(const std::string &path);
+
+} // namespace txrace::ir
+
+#endif // TXRACE_IR_TEXT_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Address-space geometry shared by the HTM model, the detector's
+ * shadow memory, and the simulator.
+ *
+ * Two granularities matter in this system, exactly as in the paper:
+ *  - the HTM detects conflicts at cache-line granularity (64 bytes on
+ *    Haswell), which is the source of false-sharing false positives;
+ *  - the software detector tracks happens-before state per 8-byte
+ *    granule (TSan's shadow granularity), which is what makes the
+ *    slow path complete (no false positives).
+ */
+
+#ifndef TXRACE_MEM_LAYOUT_HH
+#define TXRACE_MEM_LAYOUT_HH
+
+#include <cstdint>
+
+#include "ir/addr.hh"
+
+namespace txrace::mem {
+
+using ir::Addr;
+
+/** log2 of the cache-line size (64 B, Intel Haswell L1d). */
+constexpr unsigned kLineBits = 6;
+/** Cache-line size in bytes. */
+constexpr uint64_t kLineSize = 1ull << kLineBits;
+
+/** log2 of the shadow granule size (8 B, as in TSan). */
+constexpr unsigned kGranuleBits = 3;
+/** Shadow granule size in bytes. */
+constexpr uint64_t kGranuleSize = 1ull << kGranuleBits;
+
+/** Cache-line index of a byte address. */
+constexpr uint64_t
+lineOf(Addr a)
+{
+    return a >> kLineBits;
+}
+
+/** Shadow-granule index of a byte address. */
+constexpr uint64_t
+granuleOf(Addr a)
+{
+    return a >> kGranuleBits;
+}
+
+/** First byte address of cache line @p line. */
+constexpr Addr
+lineBase(uint64_t line)
+{
+    return line << kLineBits;
+}
+
+/** True if two byte addresses share a cache line but not a granule —
+ *  the false-sharing situation the fast path cannot distinguish from
+ *  a real conflict. */
+constexpr bool
+falseSharing(Addr a, Addr b)
+{
+    return lineOf(a) == lineOf(b) && granuleOf(a) != granuleOf(b);
+}
+
+} // namespace txrace::mem
+
+#endif // TXRACE_MEM_LAYOUT_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Flat simulated data memory.
+ *
+ * Race detection itself is value-agnostic, so the simulator only
+ * materializes values when a program opts in; examples and tests use
+ * VirtualMemory directly to give workloads observable state.
+ */
+
+#ifndef TXRACE_MEM_MEMORY_HH
+#define TXRACE_MEM_MEMORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "mem/layout.hh"
+
+namespace txrace::mem {
+
+/**
+ * Sparse 64-bit-granule memory. Reads of untouched granules return 0.
+ */
+class VirtualMemory
+{
+  public:
+    /** Read the 8-byte granule containing @p addr. */
+    uint64_t
+    load(Addr addr) const
+    {
+        auto it = cells_.find(granuleOf(addr));
+        return it == cells_.end() ? 0 : it->second;
+    }
+
+    /** Overwrite the 8-byte granule containing @p addr. */
+    void
+    store(Addr addr, uint64_t value)
+    {
+        cells_[granuleOf(addr)] = value;
+    }
+
+    /** Number of granules ever written. */
+    size_t footprint() const { return cells_.size(); }
+
+    /** Drop all contents. */
+    void clear() { cells_.clear(); }
+
+  private:
+    std::unordered_map<uint64_t, uint64_t> cells_;
+};
+
+} // namespace txrace::mem
+
+#endif // TXRACE_MEM_MEMORY_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Compile-time instrumentation passes — the reproduction of the
+ * paper's LLVM transformation (§4.1, §4.3, §7).
+ *
+ * The pipeline mirrors what TxRace's LLVM pass does to real IR:
+ *
+ *  1. privatize(): clear the `instrumented` bit on accesses that fall
+ *     in ranges the program declares thread-private — the stand-in
+ *     for reusing TSan's static "provably race-free" elision.
+ *  2. transactionalize(): insert TxBegin at thread entry points and
+ *     after every synchronization operation or system call; insert
+ *     TxEnd at thread exit points and before every synchronization
+ *     operation or system call (system calls must not execute inside
+ *     a transaction on RTM — privilege-level changes abort).
+ *     Then, as the paper's optimizations:
+ *       - drop transactions around regions with no instrumented
+ *         memory operations (TSan would not instrument them either);
+ *       - force regions with fewer than K (=5) estimated dynamic
+ *         memory operations onto the slow path, where the software
+ *         detector is cheaper than transaction management;
+ *       - insert LoopCut checks at the end of loop bodies that
+ *         execute inside transactions, enabling the DynLoopcut /
+ *         ProfLoopcut capacity-abort avoidance schemes.
+ *
+ * Post-condition (asserted): Program::checkTransactionalForm()
+ * passes, i.e. transactions alternate correctly on every dynamic
+ * path and never contain a system call or synchronization operation.
+ */
+
+#ifndef TXRACE_PASSES_PASSES_HH
+#define TXRACE_PASSES_PASSES_HH
+
+#include "ir/program.hh"
+
+namespace txrace::passes {
+
+/** Tunables of the instrumentation pipeline. */
+struct PassConfig
+{
+    /** Regions with < K estimated dynamic instrumented accesses are
+     *  forced onto the slow path (paper §4.3, K = 5). */
+    uint32_t smallRegionK = 5;
+    /** Insert LoopCut instrumentation (off for TxRace-NoOpt). */
+    bool insertLoopCuts = true;
+    /** Drop transactions around uninstrumented regions. */
+    bool removeUninstrumented = true;
+};
+
+/** Clear `instrumented` on accesses inside declared private ranges. */
+void privatize(ir::Program &prog);
+
+/** Insert TxBegin/TxEnd/LoopCut per the rules above. The program is
+ *  refinalized; panics if the post-condition fails. */
+void transactionalize(ir::Program &prog, const PassConfig &cfg = {});
+
+/** Copy @p prog and run the full TxRace pipeline on the copy. */
+ir::Program preparedForTxRace(const ir::Program &prog,
+                              const PassConfig &cfg = {});
+
+/** Copy @p prog and run only privatize() (TSan baseline build). */
+ir::Program preparedForTSan(const ir::Program &prog);
+
+} // namespace txrace::passes
+
+#endif // TXRACE_PASSES_PASSES_HH

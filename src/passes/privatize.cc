@@ -1,0 +1,27 @@
+#include "passes/passes.hh"
+#include "support/log.hh"
+
+namespace txrace::passes {
+
+void
+privatize(ir::Program &prog)
+{
+    if (!prog.finalized())
+        fatal("privatize: program not finalized");
+    if (prog.privateRanges().empty())
+        return;
+    for (ir::FuncId f = 0; f < prog.numFunctions(); ++f) {
+        for (auto &ins : prog.function(f).body) {
+            if (!ir::isMemAccess(ins.op) || !ins.instrumented)
+                continue;
+            for (const auto &range : prog.privateRanges()) {
+                if (range.contains(ins.addr.base)) {
+                    ins.instrumented = false;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+} // namespace txrace::passes

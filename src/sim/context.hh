@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Per-thread execution state, including the snapshot/rollback support
+ * that stands in for the hardware's transactional register/memory
+ * rollback.
+ */
+
+#ifndef TXRACE_SIM_CONTEXT_HH
+#define TXRACE_SIM_CONTEXT_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/program.hh"
+#include "sim/costmodel.hh"
+#include "support/rng.hh"
+#include "support/types.hh"
+
+namespace txrace::sim {
+
+/** Scheduling state of a simulated thread. */
+enum class ThreadState : uint8_t {
+    Runnable,
+    Blocked,
+    Finished,
+};
+
+/** Which detection path the thread is currently on (TxRace modes). */
+enum class PathMode : uint8_t {
+    Fast,  ///< HTM-monitored (or unmonitored when elided)
+    Slow,  ///< software happens-before checking until region end
+};
+
+/** One active loop of a thread. */
+struct LoopFrame
+{
+    uint32_t beginPc = 0;   ///< pc of the LoopBegin instruction
+    uint64_t index = 0;     ///< current iteration, 0-based
+    uint64_t total = 0;     ///< trip count resolved at loop entry
+    /** Iterations executed inside the current transaction (loop-cut
+     *  bookkeeping; rolled back with the frame on abort, exactly the
+     *  property §4.3 exploits). */
+    uint64_t itersInTx = 0;
+};
+
+/**
+ * The rollback image of a thread: control state captured when a
+ * transaction begins, restored on abort. Memory needs no image
+ * because transactional stores never reach memory in this simulator
+ * (the HTM engine's write set is discarded on abort) and the
+ * simulator is value-agnostic during detection runs.
+ */
+struct ContextSnapshot
+{
+    uint32_t pc = 0;
+    std::vector<LoopFrame> loops;
+    Rng rng;
+    bool valid = false;
+};
+
+/** Full per-thread state. */
+struct ThreadContext
+{
+    Tid tid = 0;
+    ir::FuncId func = 0;
+    uint32_t pc = 0;
+    std::vector<LoopFrame> loops;
+    Rng rng;
+    ThreadState state = ThreadState::Runnable;
+
+    /** @name Policy scratch (owned by the active ExecutionPolicy) */
+    /** @{ */
+    PathMode path = PathMode::Fast;
+    /** Reason bucket for the current/pending slow episode. */
+    Bucket slowReason = Bucket::Base;
+    /** The thread was conflict-aborted and must publish TxFail. */
+    bool mustWriteTxFail = false;
+    /** Consecutive retry-aborts of the current region. */
+    uint32_t retryCount = 0;
+    /** This thread's accumulated virtual cost. */
+    uint64_t myCost = 0;
+    /** Base-bucket cost accrued since the current tx began. */
+    uint64_t baseSinceTxBegin = 0;
+    /** Static loop id of the innermost loop-cut loop in the current
+     *  tx (capacity attribution for the loop-cut optimizer);
+     *  ir::kNoInstr when none. */
+    uint32_t lastLoopCutId = ir::kNoInstr;
+    /** With conflict-address hints enabled: the line whose conflict
+     *  triggered the current slow episode (~0 = no hint, check all). */
+    uint64_t slowHintLine = ~0ull;
+    /** @} */
+
+    /** Speculative store buffer: granule -> value written inside the
+     *  current transaction. Applied to memory on commit, discarded on
+     *  abort — the software stand-in for the L1's transactional
+     *  write buffering. */
+    std::unordered_map<uint64_t, uint64_t> txStores;
+
+    ContextSnapshot snap;
+
+    /** Capture control state; @p resume_pc is where re-execution of
+     *  the region (after rollback) starts. */
+    void
+    takeSnapshot(uint32_t resume_pc)
+    {
+        snap.pc = resume_pc;
+        snap.loops = loops;
+        snap.rng = rng;
+        snap.valid = true;
+    }
+
+    /** Restore the snapshot image. Keeps policy scratch counters that
+     *  the paper keeps outside transactions (retryCount, cost). */
+    void
+    restoreSnapshot()
+    {
+        pc = snap.pc;
+        loops = snap.loops;
+        rng = snap.rng;
+    }
+};
+
+} // namespace txrace::sim
+
+#endif // TXRACE_SIM_CONTEXT_HH

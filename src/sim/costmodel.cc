@@ -1,0 +1,19 @@
+#include "sim/costmodel.hh"
+
+namespace txrace::sim {
+
+const char *
+bucketName(Bucket b)
+{
+    switch (b) {
+      case Bucket::Base:     return "base";
+      case Bucket::Txn:      return "xbegin/xend";
+      case Bucket::Conflict: return "conflict-aborts";
+      case Bucket::Capacity: return "capacity-aborts";
+      case Bucket::Unknown:  return "unknown-aborts";
+      case Bucket::Check:    return "checks";
+      default:               return "<bad-bucket>";
+    }
+}
+
+} // namespace txrace::sim

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Structured execution-event log: the observability surface for
+ * debugging detection runs. When enabled, the machine and the active
+ * policy append one entry per interesting event (transaction begin /
+ * commit / abort with its cause, path transitions, TxFail writes,
+ * loop cuts, race reports), each stamped with the scheduler step and
+ * thread. `txrace_run --trace` prints the timeline.
+ */
+
+#ifndef TXRACE_SIM_EVENTLOG_HH
+#define TXRACE_SIM_EVENTLOG_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace txrace::sim {
+
+/** One logged event. */
+struct Event
+{
+    uint64_t step;     ///< scheduler step at which it happened
+    Tid tid;           ///< acting thread
+    std::string kind;  ///< short tag, e.g. "commit", "conflict-abort"
+    std::string detail;
+};
+
+/** Bounded in-memory event collector. Disabled by default. */
+class EventLog
+{
+  public:
+    /** Hard cap; recording stops (with a final marker) beyond it. */
+    static constexpr size_t kMaxEvents = 200'000;
+
+    /** Enable recording. */
+    void enable() { enabled_ = true; }
+
+    /** True if record() will store anything. */
+    bool enabled() const { return enabled_; }
+
+    /** Append an event (no-op when disabled or full). */
+    void
+    record(uint64_t step, Tid tid, std::string kind,
+           std::string detail = "")
+    {
+        if (!enabled_)
+            return;
+        if (events_.size() >= kMaxEvents) {
+            if (!truncated_) {
+                truncated_ = true;
+                events_.push_back(
+                    {step, tid, "truncated", "event cap reached"});
+            }
+            return;
+        }
+        events_.push_back(
+            {step, tid, std::move(kind), std::move(detail)});
+    }
+
+    const std::vector<Event> &events() const { return events_; }
+
+    /** Pretty-print up to @p limit events (0 = all). */
+    void
+    print(std::ostream &os, size_t limit = 0) const
+    {
+        size_t n = limit == 0 ? events_.size()
+                              : std::min(limit, events_.size());
+        for (size_t i = 0; i < n; ++i) {
+            const Event &e = events_[i];
+            os << "[" << e.step << "] t" << e.tid << " " << e.kind;
+            if (!e.detail.empty())
+                os << ": " << e.detail;
+            os << "\n";
+        }
+        if (n < events_.size())
+            os << "... (" << events_.size() - n << " more)\n";
+    }
+
+  private:
+    bool enabled_ = false;
+    bool truncated_ = false;
+    std::vector<Event> events_;
+};
+
+} // namespace txrace::sim
+
+#endif // TXRACE_SIM_EVENTLOG_HH

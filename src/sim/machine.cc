@@ -1,0 +1,481 @@
+#include "sim/machine.hh"
+
+#include "ir/printer.hh"
+#include "support/log.hh"
+
+namespace txrace::sim {
+
+namespace {
+
+/** Deterministic per-thread RNG seed derivation. */
+uint64_t
+threadSeed(uint64_t master, Tid t)
+{
+    uint64_t s = master ^ (0x9e3779b97f4a7c15ULL * (t + 1));
+    return splitmix64(s);
+}
+
+} // namespace
+
+Machine::Machine(const ir::Program &prog, const MachineConfig &cfg,
+                 ExecutionPolicy &policy)
+    : prog_(prog), cfg_(cfg), policy_(policy),
+      htm_([&] {
+          htm::HtmConfig h = cfg.htm;
+          h.maxConcurrentTx = cfg.hwThreads;
+          h.seed = cfg.seed ^ 0x7c3a11edULL;
+          return h;
+      }()),
+      det_([&] {
+          detector::DetectorConfig d = cfg.det;
+          d.seed = cfg.seed ^ 0xdecafbadULL;
+          return d;
+      }()),
+      schedRng_(cfg.seed), intrRng_(cfg.seed ^ 0x5ca1ab1eULL)
+{
+    if (!prog_.finalized())
+        fatal("Machine: program not finalized");
+    if (cfg_.nCores == 0 || cfg_.hwThreads == 0)
+        fatal("Machine: need at least one core and hardware thread");
+
+    contexts_.emplace_back();
+    ThreadContext &main = contexts_.back();
+    main.tid = 0;
+    main.func = prog_.entry();
+    main.rng = Rng(threadSeed(cfg_.seed, 0));
+    live_ = 1;
+    if (cfg_.recordEvents)
+        events_.enable();
+}
+
+ThreadContext &
+Machine::context(Tid t)
+{
+    if (t >= contexts_.size())
+        panic("Machine::context: bad tid %u", t);
+    return contexts_[t];
+}
+
+const ThreadContext &
+Machine::context(Tid t) const
+{
+    if (t >= contexts_.size())
+        panic("Machine::context: bad tid %u", t);
+    return contexts_[t];
+}
+
+void
+Machine::addCost(Tid t, uint64_t c, Bucket b)
+{
+    totalCost_ += c;
+    buckets_[static_cast<size_t>(b)] += c;
+    ThreadContext &ctx = contexts_[t];
+    ctx.myCost += c;
+    if (b == Bucket::Base && htm_.inTx(t))
+        ctx.baseSinceTxBegin += c;
+}
+
+void
+Machine::commitTx(Tid t)
+{
+    htm_.commit(t);
+    ThreadContext &ctx = contexts_[t];
+    for (const auto &[granule, value] : ctx.txStores)
+        mem_.store(granule << mem::kGranuleBits, value);
+    ctx.txStores.clear();
+}
+
+void
+Machine::rollback(Tid t, Bucket reason)
+{
+    ThreadContext &ctx = contexts_[t];
+    if (!ctx.snap.valid)
+        panic("Machine::rollback: thread %u has no snapshot", t);
+    // Speculative stores die with the transaction.
+    ctx.txStores.clear();
+    // Reclassify the doomed transaction's application work as abort
+    // overhead of the given kind (the region re-executes and pays its
+    // base cost again, so total Base stays equal to the native run).
+    uint64_t wasted = ctx.baseSinceTxBegin;
+    if (wasted > 0) {
+        buckets_[static_cast<size_t>(Bucket::Base)] -= wasted;
+        buckets_[static_cast<size_t>(reason)] += wasted;
+    }
+    ctx.baseSinceTxBegin = 0;
+    ctx.restoreSnapshot();
+    addCost(t, cfg_.cost.rollbackCost, reason);
+    stats_.add("machine.rollbacks");
+}
+
+uint32_t
+Machine::runnableThreads() const
+{
+    uint32_t n = 0;
+    for (const auto &ctx : contexts_)
+        if (ctx.state == ThreadState::Runnable)
+            ++n;
+    return n;
+}
+
+Tid
+Machine::pickRunnable()
+{
+    uint32_t runnable = 0;
+    for (const auto &ctx : contexts_)
+        if (ctx.state == ThreadState::Runnable)
+            ++runnable;
+    if (runnable == 0)
+        return kNoTid;
+    uint64_t pick = schedRng_.below(runnable);
+    for (const auto &ctx : contexts_) {
+        if (ctx.state != ThreadState::Runnable)
+            continue;
+        if (pick == 0)
+            return ctx.tid;
+        --pick;
+    }
+    panic("Machine::pickRunnable: inconsistent runnable count");
+}
+
+void
+Machine::reportDeadlock()
+{
+    warn("deadlock: no runnable threads (%u live)", live_);
+    for (const auto &ctx : contexts_) {
+        const auto &fn = prog_.function(ctx.func);
+        std::string where = ctx.pc < fn.body.size()
+            ? ir::formatInstr(fn.body[ctx.pc])
+            : "<end>";
+        warn("  thread %u state=%d at %s:%u %s", ctx.tid,
+             static_cast<int>(ctx.state), fn.name.c_str(), ctx.pc,
+             where.c_str());
+    }
+    fatal("Machine: deadlock");
+}
+
+void
+Machine::run()
+{
+    policy_.onRunStart(*this);
+    det_.rootThread(0);
+    policy_.onThreadStart(*this, 0);
+    while (live_ > 0) {
+        if (++steps_ > cfg_.maxSteps)
+            fatal("Machine: exceeded %llu steps (livelock?)",
+                  static_cast<unsigned long long>(cfg_.maxSteps));
+        step();
+    }
+    policy_.onRunEnd(*this);
+    stats_.set("machine.steps", steps_);
+}
+
+void
+Machine::step()
+{
+    Tid t = pickRunnable();
+    if (t == kNoTid)
+        reportDeadlock();
+
+    // Timer-interrupt injection: OS preemption aborts an in-flight
+    // transaction with an all-zero (unknown) status, more often when
+    // the machine is oversubscribed (paper §8.2, Figure 8).
+    if (htm_.inTx(t)) {
+        double p = cfg_.interruptPerStep;
+        if (runnableThreads() > cfg_.nCores)
+            p *= cfg_.oversubInterruptFactor;
+        if (intrRng_.chance(p)) {
+            htm_.abortTx(t, 0);
+            stats_.add("machine.interrupt_aborts");
+            events_.record(steps_, t, "interrupt",
+                           "unknown abort (preemption)");
+            policy_.onInterruptAbort(*this, t);
+            return;
+        }
+        if (cfg_.retryAbortPerStep > 0.0 &&
+            intrRng_.chance(cfg_.retryAbortPerStep)) {
+            htm_.abortTx(t, htm::kAbortRetry);
+            stats_.add("machine.retry_aborts");
+            policy_.onRetryAbort(*this, t);
+            return;
+        }
+    }
+
+    if (policy_.beforeStep(*this, t))
+        return;
+
+    execInstr(t);
+}
+
+ir::Addr
+Machine::evalAddr(const ir::AddrExpr &expr, ThreadContext &ctx)
+{
+    ir::Addr a = expr.base;
+    a += expr.threadStride * ctx.tid;
+    if (expr.loopStride != 0) {
+        if (expr.loopDepth >= ctx.loops.size())
+            fatal("Machine: loop-indexed address outside loop "
+                  "(depth %u, nesting %zu)", expr.loopDepth,
+                  ctx.loops.size());
+        const LoopFrame &frame =
+            ctx.loops[ctx.loops.size() - 1 - expr.loopDepth];
+        a += expr.loopStride * frame.index;
+    }
+    if (expr.randomCount != 0)
+        a += expr.randomStride * ctx.rng.below(expr.randomCount);
+    if (prog_.addrSpaceSize() > 0 && a >= prog_.addrSpaceSize())
+        fatal("Machine: access 0x%llx beyond address space 0x%llx",
+              static_cast<unsigned long long>(a),
+              static_cast<unsigned long long>(prog_.addrSpaceSize()));
+    return a;
+}
+
+void
+Machine::finishThread(Tid t)
+{
+    ThreadContext &ctx = contexts_[t];
+    policy_.onThreadExit(*this, t);
+    ctx.state = ThreadState::Finished;
+    --live_;
+    wakeJoinWaiters(t);
+}
+
+void
+Machine::wakeJoinWaiters(Tid finished)
+{
+    auto it = joinWaiters_.find(finished);
+    if (it == joinWaiters_.end())
+        return;
+    for (Tid w : it->second) {
+        if (contexts_[w].state == ThreadState::Blocked)
+            contexts_[w].state = ThreadState::Runnable;
+    }
+    joinWaiters_.erase(it);
+}
+
+bool
+Machine::joinReady(const ir::Instruction &ins, Tid t,
+                   std::vector<Tid> &targets)
+{
+    targets.clear();
+    if (ins.arg0 == ~0ull) {
+        for (Tid s : spawned_)
+            if (s != t)
+                targets.push_back(s);
+    } else {
+        if (ins.arg0 >= spawned_.size())
+            fatal("Machine: join of spawn index %llu but only %zu "
+                  "spawned",
+                  static_cast<unsigned long long>(ins.arg0),
+                  spawned_.size());
+        targets.push_back(spawned_[ins.arg0]);
+    }
+    for (Tid target : targets)
+        if (contexts_[target].state != ThreadState::Finished)
+            return false;
+    return true;
+}
+
+void
+Machine::execInstr(Tid t)
+{
+    ThreadContext &ctx = contexts_[t];
+    const auto &body = prog_.function(ctx.func).body;
+    if (ctx.pc >= body.size()) {
+        finishThread(t);
+        return;
+    }
+    const ir::Instruction &ins = body[ctx.pc];
+    const CostModel &cost = cfg_.cost;
+
+    switch (ins.op) {
+      case ir::OpCode::Nop:
+        ++ctx.pc;
+        break;
+
+      case ir::OpCode::Compute:
+        addCost(t, ins.arg0, Bucket::Base);
+        ++ctx.pc;
+        break;
+
+      case ir::OpCode::Syscall:
+        addCost(t, cost.syscallCost + ins.arg0, Bucket::Base);
+        stats_.add("machine.syscalls");
+        ++ctx.pc;
+        break;
+
+      case ir::OpCode::Load:
+      case ir::OpCode::Store: {
+        bool is_write = ins.op == ir::OpCode::Store;
+        addCost(t, is_write ? cost.storeCost : cost.loadCost,
+                Bucket::Base);
+        ir::Addr addr = evalAddr(ins.addr, ctx);
+        if (policy_.onMemAccess(*this, t, ins, addr, is_write)) {
+            if (is_write) {
+                // Stores accumulate into their granule; inside a
+                // transaction they go to the speculative buffer.
+                uint64_t granule = mem::granuleOf(addr);
+                auto it = ctx.txStores.find(granule);
+                uint64_t old = it != ctx.txStores.end()
+                    ? it->second
+                    : mem_.load(addr);
+                uint64_t value = old + ins.arg0 + 1;
+                if (htm_.inTx(t))
+                    ctx.txStores[granule] = value;
+                else
+                    mem_.store(addr, value);
+            }
+            ++ctx.pc;
+        }
+        // else: the access capacity/conflict-aborted this thread's own
+        // transaction; the context has been rolled back.
+        break;
+      }
+
+      case ir::OpCode::LockAcquire:
+        addCost(t, cost.syncCost, Bucket::Base);
+        if (sync_.lockTryAcquire(t, ins.arg0)) {
+            policy_.onSyncPerformed(*this, t, ins);
+            ++ctx.pc;
+        } else {
+            sync_.lockEnqueue(t, ins.arg0);
+            ctx.state = ThreadState::Blocked;
+        }
+        break;
+
+      case ir::OpCode::LockRelease: {
+        addCost(t, cost.syncCost, Bucket::Base);
+        policy_.onSyncPerformed(*this, t, ins);
+        Tid next = sync_.lockRelease(t, ins.arg0);
+        if (next != kNoTid) {
+            ThreadContext &nctx = contexts_[next];
+            const auto &nbody = prog_.function(nctx.func).body;
+            policy_.onSyncPerformed(*this, next, nbody[nctx.pc]);
+            nctx.state = ThreadState::Runnable;
+            ++nctx.pc;
+        }
+        ++ctx.pc;
+        break;
+      }
+
+      case ir::OpCode::CondSignal: {
+        addCost(t, cost.syncCost, Bucket::Base);
+        policy_.onSyncPerformed(*this, t, ins);
+        Tid woken = sync_.condSignal(ins.arg0);
+        if (woken != kNoTid) {
+            ThreadContext &wctx = contexts_[woken];
+            const auto &wbody = prog_.function(wctx.func).body;
+            policy_.onSyncPerformed(*this, woken, wbody[wctx.pc]);
+            wctx.state = ThreadState::Runnable;
+            ++wctx.pc;
+        }
+        ++ctx.pc;
+        break;
+      }
+
+      case ir::OpCode::CondWait:
+        addCost(t, cost.syncCost, Bucket::Base);
+        if (sync_.condTryWait(ins.arg0)) {
+            policy_.onSyncPerformed(*this, t, ins);
+            ++ctx.pc;
+        } else {
+            sync_.condEnqueue(t, ins.arg0);
+            ctx.state = ThreadState::Blocked;
+        }
+        break;
+
+      case ir::OpCode::Barrier: {
+        addCost(t, cost.syncCost, Bucket::Base);
+        auto released = sync_.barrierArrive(t, ins.arg0, ins.arg1);
+        if (released.empty()) {
+            ctx.state = ThreadState::Blocked;
+        } else {
+            policy_.onBarrierRelease(*this, released);
+            for (Tid p : released) {
+                ThreadContext &pctx = contexts_[p];
+                pctx.state = ThreadState::Runnable;
+                ++pctx.pc;
+            }
+        }
+        break;
+      }
+
+      case ir::OpCode::ThreadCreate: {
+        addCost(t, cost.threadOpCost, Bucket::Base);
+        Tid child = static_cast<Tid>(contexts_.size());
+        contexts_.emplace_back();
+        ThreadContext &cctx = contexts_.back();
+        cctx.tid = child;
+        cctx.func = static_cast<ir::FuncId>(ins.arg0);
+        cctx.rng = Rng(threadSeed(cfg_.seed, child));
+        spawned_.push_back(child);
+        ++live_;
+        policy_.onThreadCreated(*this, t, child);
+        policy_.onThreadStart(*this, child);
+        stats_.add("machine.threads_created");
+        ++ctx.pc;
+        break;
+      }
+
+      case ir::OpCode::ThreadJoin: {
+        std::vector<Tid> targets;
+        if (joinReady(ins, t, targets)) {
+            addCost(t, cost.threadOpCost, Bucket::Base);
+            for (Tid target : targets)
+                policy_.onThreadJoined(*this, t, target);
+            ++ctx.pc;
+        } else {
+            for (Tid target : targets)
+                if (contexts_[target].state != ThreadState::Finished)
+                    joinWaiters_[target].push_back(t);
+            ctx.state = ThreadState::Blocked;
+        }
+        break;
+      }
+
+      case ir::OpCode::LoopBegin: {
+        uint64_t trips = ins.arg0;
+        if (ins.arg1 > 0)
+            trips += ctx.rng.below(ins.arg1 + 1);
+        if (trips == 0) {
+            // Dynamically empty loop: skip past the matching LoopEnd.
+            ctx.pc = static_cast<uint32_t>(ins.match) + 1;
+        } else {
+            ctx.loops.push_back(
+                LoopFrame{ctx.pc, 0, trips, 0});
+            ++ctx.pc;
+        }
+        break;
+      }
+
+      case ir::OpCode::LoopEnd: {
+        if (ctx.loops.empty())
+            panic("Machine: LoopEnd with empty loop stack");
+        LoopFrame &frame = ctx.loops.back();
+        ++frame.index;
+        if (frame.index < frame.total) {
+            ctx.pc = frame.beginPc + 1;
+        } else {
+            ctx.loops.pop_back();
+            ++ctx.pc;
+        }
+        break;
+      }
+
+      case ir::OpCode::TxBegin:
+        policy_.onTxBegin(*this, t, ins);
+        ++ctx.pc;
+        break;
+
+      case ir::OpCode::TxEnd:
+        policy_.onTxEnd(*this, t, ins);
+        ++ctx.pc;
+        break;
+
+      case ir::OpCode::LoopCut:
+        policy_.onLoopCut(*this, t, ins);
+        ++ctx.pc;
+        break;
+    }
+}
+
+} // namespace txrace::sim

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * The simulated multithreaded machine: a seeded-interleaving
+ * interpreter for mini-IR programs, with an attached HTM model,
+ * happens-before detector, synchronization tables, virtual-time cost
+ * accounting, and timer-interrupt injection.
+ *
+ * One Machine executes one program under one ExecutionPolicy and is
+ * then discarded. Runs are a pure function of (program, config,
+ * policy), which the determinism tests assert.
+ */
+
+#ifndef TXRACE_SIM_MACHINE_HH
+#define TXRACE_SIM_MACHINE_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "detector/fasttrack.hh"
+#include "mem/memory.hh"
+#include "htm/htm.hh"
+#include "ir/program.hh"
+#include "sim/context.hh"
+#include "sim/costmodel.hh"
+#include "sim/eventlog.hh"
+#include "sim/policy.hh"
+#include "support/rng.hh"
+#include "support/stats.hh"
+#include "sync/primitives.hh"
+
+namespace txrace::sim {
+
+/** Machine-level configuration. */
+struct MachineConfig
+{
+    /** Master seed: scheduling, interrupts, per-thread streams. */
+    uint64_t seed = 1;
+    /** Physical cores (the paper's testbed: quad-core i7-4790). */
+    uint32_t nCores = 4;
+    /**
+     * Hardware threads = max concurrent transactions (8 with
+     * hyperthreading on the testbed). Propagated into the HTM config.
+     */
+    uint32_t hwThreads = 8;
+    /** Per-step probability a transactional thread takes an interrupt
+     *  (OS context switches etc. — the source of unknown aborts). */
+    double interruptPerStep = 1.0 / 20000.0;
+    /** Interrupt multiplier once live threads exceed physical cores
+     *  (hyperthread contention; drives the paper's 8-thread spike in
+     *  unknown aborts, Figure 8). */
+    double oversubInterruptFactor = 8.0;
+    /** Per-step probability a transactional thread takes a transient
+     *  retryable abort (TLB shootdowns and similar glitches that set
+     *  the RETRY bit without CONFLICT; rare on real parts). */
+    double retryAbortPerStep = 0.0;
+    /** Record a structured event timeline (txrace_run --trace). */
+    bool recordEvents = false;
+    /** Hard cap on scheduler steps (runaway guard). */
+    uint64_t maxSteps = 500'000'000;
+
+    CostModel cost;
+    htm::HtmConfig htm;
+    detector::DetectorConfig det;
+};
+
+/**
+ * The machine. Policies receive a reference and use the service
+ * accessors (htm(), det(), context(), addCost(), rollback()...).
+ */
+class Machine
+{
+  public:
+    /** Address every transaction reads at begin and conflict-aborted
+     *  threads write: the paper's TxFail flag. Lives below the
+     *  builder's allocation floor so no program data shares its line. */
+    static constexpr ir::Addr kTxFailAddr = 8;
+
+    Machine(const ir::Program &prog, const MachineConfig &cfg,
+            ExecutionPolicy &policy);
+
+    /** Execute until every thread finished. fatal()s on deadlock. */
+    void run();
+
+    /** @name Services for policies */
+    /** @{ */
+    htm::HtmEngine &htm() { return htm_; }
+    /** Committed data memory. Stores increment their granule by
+     *  (arg0 + 1); transactional stores are buffered per thread and
+     *  only reach here on commit. */
+    mem::VirtualMemory &memory() { return mem_; }
+    const mem::VirtualMemory &memory() const { return mem_; }
+    detector::HbDetector &det() { return det_; }
+    sync::SyncTables &syncTables() { return sync_; }
+    const ir::Program &program() const { return prog_; }
+    const MachineConfig &config() const { return cfg_; }
+    ThreadContext &context(Tid t);
+    const ThreadContext &context(Tid t) const;
+    size_t numThreads() const { return contexts_.size(); }
+    uint32_t liveThreads() const { return live_; }
+
+    /** Threads currently competing for cores (not blocked/finished);
+     *  drives the oversubscription interrupt model. */
+    uint32_t runnableThreads() const;
+
+    /** Charge @p c cost units to @p t under bucket @p b. */
+    void addCost(Tid t, uint64_t c, Bucket b);
+
+    /**
+     * Commit @p t's transaction in the HTM engine and publish its
+     * buffered stores to memory. Policies must use this instead of
+     * calling htm().commit() directly so speculative state stays
+     * consistent.
+     */
+    void commitTx(Tid t);
+
+    /**
+     * Reclassify @p t's base cost accrued since its transaction began
+     * as wasted work of kind @p reason, and restore the control
+     * snapshot. Does not touch the HTM engine (the caller aborts or
+     * has aborted the transaction there).
+     */
+    void rollback(Tid t, Bucket reason);
+
+    /** Total virtual cost so far. */
+    uint64_t totalCost() const { return totalCost_; }
+
+    /** Cost per attribution bucket. */
+    const std::array<uint64_t, kNumBuckets> &buckets() const
+    {
+        return buckets_;
+    }
+
+    /** Machine+policy counters. */
+    StatSet &stats() { return stats_; }
+    const StatSet &stats() const { return stats_; }
+
+    /** Structured event timeline (empty unless cfg.recordEvents). */
+    EventLog &events() { return events_; }
+    const EventLog &events() const { return events_; }
+    /** Current scheduler step (for event stamping). */
+    uint64_t currentStep() const { return steps_; }
+    /** @} */
+
+  private:
+    void step();
+    void execInstr(Tid t);
+    ir::Addr evalAddr(const ir::AddrExpr &expr, ThreadContext &ctx);
+    void finishThread(Tid t);
+    void wakeJoinWaiters(Tid finished);
+    Tid pickRunnable();
+    void reportDeadlock();
+
+    /** Resolve a ThreadJoin target list; returns true when all
+     *  targets are finished (join completes). */
+    bool joinReady(const ir::Instruction &ins, Tid t,
+                   std::vector<Tid> &targets);
+
+    const ir::Program &prog_;
+    MachineConfig cfg_;
+    ExecutionPolicy &policy_;
+
+    htm::HtmEngine htm_;
+    detector::HbDetector det_;
+    sync::SyncTables sync_;
+    mem::VirtualMemory mem_;
+
+    /** deque: reference stability across ThreadCreate growth. */
+    std::deque<ThreadContext> contexts_;
+    std::vector<Tid> spawned_;  ///< spawn-order list (join indexing)
+    std::unordered_map<Tid, std::vector<Tid>> joinWaiters_;
+
+    Rng schedRng_;
+    Rng intrRng_;
+    uint32_t live_ = 0;
+    uint64_t steps_ = 0;
+    uint64_t totalCost_ = 0;
+    std::array<uint64_t, kNumBuckets> buckets_{};
+    StatSet stats_;
+    EventLog events_;
+};
+
+} // namespace txrace::sim
+
+#endif // TXRACE_SIM_MACHINE_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Logging and error-reporting helpers.
+ *
+ * Follows the gem5 convention: panic() for internal invariant
+ * violations (simulator bugs), fatal() for user/configuration errors,
+ * warn()/inform() for status messages that never stop execution.
+ */
+
+#ifndef TXRACE_SUPPORT_LOG_HH
+#define TXRACE_SUPPORT_LOG_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace txrace {
+
+/** Verbosity levels accepted by setLogLevel(). */
+enum class LogLevel {
+    Quiet,   ///< only fatal/panic output
+    Normal,  ///< warn + inform
+    Debug,   ///< everything, including debugLog()
+};
+
+/** Set the global verbosity. Thread-safe with respect to loggers. */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+/**
+ * Report an unrecoverable internal error (a bug in this library) and
+ * abort the process. Never returns.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user-level error (bad configuration or
+ * arguments) and exit(1). Never returns.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious-but-survivable condition. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operational status. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Verbose diagnostics, only emitted at LogLevel::Debug. */
+void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace txrace
+
+#endif // TXRACE_SUPPORT_LOG_HH

@@ -1,0 +1,23 @@
+#include "support/stats.hh"
+
+#include <cmath>
+
+#include "support/log.hh"
+
+namespace txrace {
+
+double
+geoMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            panic("geoMean: non-positive value %f", v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace txrace

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Lightweight named statistics counters plus small numeric helpers
+ * (geometric mean) used throughout the experiment harnesses.
+ */
+
+#ifndef TXRACE_SUPPORT_STATS_HH
+#define TXRACE_SUPPORT_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace txrace {
+
+/**
+ * A bag of named 64-bit counters.
+ *
+ * Counters spring into existence at first touch. The map is ordered so
+ * that dumps are stable across runs, which the determinism tests rely
+ * on.
+ */
+class StatSet
+{
+  public:
+    /** Add @p delta to counter @p name (creating it at zero). */
+    void
+    add(const std::string &name, uint64_t delta = 1)
+    {
+        counters_[name] += delta;
+    }
+
+    /** Value of @p name, or zero if never touched. */
+    uint64_t
+    get(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    /** Set @p name to an absolute value. */
+    void
+    set(const std::string &name, uint64_t value)
+    {
+        counters_[name] = value;
+    }
+
+    /** Merge another set into this one (summing shared names). */
+    void
+    merge(const StatSet &other)
+    {
+        for (const auto &[name, value] : other.counters_)
+            counters_[name] += value;
+    }
+
+    /** Remove all counters. */
+    void clear() { counters_.clear(); }
+
+    /** Stable iteration over (name, value) pairs. */
+    const std::map<std::string, uint64_t> &all() const { return counters_; }
+
+  private:
+    std::map<std::string, uint64_t> counters_;
+};
+
+/**
+ * Geometric mean of a vector of positive values. Returns 0 for an
+ * empty input; non-positive entries are a caller bug and trip panic().
+ */
+double geoMean(const std::vector<double> &values);
+
+} // namespace txrace
+
+#endif // TXRACE_SUPPORT_STATS_HH

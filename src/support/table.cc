@@ -1,0 +1,98 @@
+#include "support/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "support/log.hh"
+
+namespace txrace {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        panic("Table: need at least one column");
+}
+
+void
+Table::newRow()
+{
+    if (!rows_.empty() && rows_.back().size() != headers_.size())
+        panic("Table: previous row has %zu cells, expected %zu",
+              rows_.back().size(), headers_.size());
+    rows_.emplace_back();
+}
+
+void
+Table::cell(const std::string &text)
+{
+    if (rows_.empty())
+        panic("Table: cell() before newRow()");
+    if (rows_.back().size() >= headers_.size())
+        panic("Table: too many cells in row");
+    rows_.back().push_back(text);
+}
+
+void
+Table::cell(uint64_t value)
+{
+    cell(std::to_string(value));
+}
+
+void
+Table::cell(double value, int precision)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << value;
+    cell(ss.str());
+}
+
+void
+Table::cellFactor(double value, int precision)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << value << "x";
+    cell(ss.str());
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]))
+               << row[c];
+            os << (c + 1 == row.size() ? "\n" : "  ");
+        }
+    };
+
+    emit_row(headers_);
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c)
+            os << row[c] << (c + 1 == row.size() ? "\n" : ",");
+    };
+    emit_row(headers_);
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+} // namespace txrace

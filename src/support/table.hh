@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Column-aligned ASCII table and CSV writers used by the benchmark
+ * harnesses to print paper-style result tables.
+ */
+
+#ifndef TXRACE_SUPPORT_TABLE_HH
+#define TXRACE_SUPPORT_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace txrace {
+
+/**
+ * A simple table: a header row plus data rows of strings.
+ *
+ * Cells are stored as strings; numeric helpers format with a fixed
+ * precision. print() pads each column to its widest cell.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Begin a new row. Subsequent cell() calls append to it. */
+    void newRow();
+
+    /** Append a string cell to the current row. */
+    void cell(const std::string &text);
+
+    /** Append an integer cell. */
+    void cell(uint64_t value);
+
+    /** Append a floating-point cell rendered with @p precision digits. */
+    void cell(double value, int precision = 2);
+
+    /** Append a cell like "4.65x" (overhead factors). */
+    void cellFactor(double value, int precision = 2);
+
+    /** Number of data rows so far. */
+    size_t rowCount() const { return rows_.size(); }
+
+    /** Write the table, space-padded, to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Write the table as CSV to @p os. */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace txrace
+
+#endif // TXRACE_SUPPORT_TABLE_HH

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Small shared vocabulary types.
+ */
+
+#ifndef TXRACE_SUPPORT_TYPES_HH
+#define TXRACE_SUPPORT_TYPES_HH
+
+#include <cstdint>
+
+namespace txrace {
+
+/** Simulated thread id; dense, 0 is the main thread. */
+using Tid = uint32_t;
+
+/** Sentinel for "no thread". */
+constexpr Tid kNoTid = ~0u;
+
+} // namespace txrace
+
+#endif // TXRACE_SUPPORT_TYPES_HH

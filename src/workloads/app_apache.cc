@@ -1,0 +1,53 @@
+/**
+ * @file
+ * apache: worker-pool web server driven by an accept loop (modeled
+ * after the paper's ab benchmark: 300k requests over 20 concurrent
+ * clients, scaled down). Request handling is system-call heavy
+ * (socket read/write) with light shared-cache reads; per-worker
+ * statistics live on separate cache lines, so conflicts are rare and
+ * there are no races — the tool overheads come almost entirely from
+ * instrumentation management.
+ */
+
+#include "ir/builder.hh"
+#include "workloads/apps.hh"
+
+namespace txrace::workloads {
+
+ir::Program
+buildApache(const WorkloadParams &p)
+{
+    using ir::AddrExpr;
+    ir::ProgramBuilder b;
+    const uint32_t W = p.nWorkers;
+    const uint64_t requests = 120 * p.scale;
+    const uint64_t per_worker = requests / W;
+
+    ir::Addr cache = b.alloc("doc-cache", 2048 * 8);
+    // Padded per-worker stats: one cache line each, no false sharing.
+    ir::Addr stats = b.alloc("worker-stats", (W + 1) * 64, 64);
+
+    constexpr uint64_t kConnQ = 0;
+
+    ir::FuncId worker = b.beginFunction("worker");
+    b.loop(per_worker, [&] {
+        b.wait(kConnQ);
+        b.syscall(4);  // read request
+        b.loop(20, [&] {
+            b.load(AddrExpr::randomIn(cache, 2048, 8), "doc cache");
+        });
+        b.compute(10);
+        b.store(AddrExpr::perThread(stats, 64), "request count");
+        b.syscall(4);  // write response
+    });
+    b.endFunction();
+
+    b.beginFunction("main");
+    b.spawn(worker, W);
+    b.loop(per_worker * W, [&] { b.signal(kConnQ); });
+    b.joinAll();
+    b.endFunction();
+    return b.build();
+}
+
+} // namespace txrace::workloads

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * canneal: simulated-annealing chip routing — famously written with
+ * *intentionally* unsynchronized element swaps. All workers store to
+ * random netlist locations with no locking, which is exactly one
+ * distinct static race (the swap store against itself), detected
+ * when two threads' swaps collide on a granule unordered. Line-level
+ * collisions are far more common than granule collisions and produce
+ * the app's steady diet of genuine HTM conflicts; the paper also
+ * reports a high unknown-abort count (elevated interrupt rate in the
+ * registry).
+ */
+
+#include "ir/builder.hh"
+#include "workloads/apps.hh"
+
+namespace txrace::workloads {
+
+ir::Program
+buildCanneal(const WorkloadParams &p)
+{
+    using ir::AddrExpr;
+    ir::ProgramBuilder b;
+    const uint32_t W = p.nWorkers;
+
+    ir::Addr netlist = b.alloc("netlist", 8192 * 8);
+    ir::Addr temps = b.alloc("temperature-table", 128 * 8);
+
+    ir::FuncId worker = b.beginFunction("worker");
+    b.loop(8 * p.scale, [&] {
+        b.loop(6, [&] {
+            b.loop(8, [&] {
+                b.load(AddrExpr::randomIn(temps, 128, 8),
+                       "temperature");
+                b.compute(2);
+                b.store(AddrExpr::randomIn(netlist, 8192, 8),
+                        "unsynchronized swap");
+            });
+            b.syscall(1);  // RNG / allocator
+        });
+        b.barrier(0, W);  // temperature step
+    });
+    b.endFunction();
+
+    b.beginFunction("main");
+    b.spawn(worker, W);
+    b.joinAll();
+    b.endFunction();
+    return b.build();
+}
+
+} // namespace txrace::workloads

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * ferret: content-based image search, a two-stage pipeline with
+ * semaphore-backed work queues splitting the workers between
+ * segmentation and ranking. One planted race: the ranking stage's
+ * unsynchronized update of a global query statistic (found by both
+ * tools; it is hit on every item).
+ */
+
+#include <algorithm>
+
+#include "ir/builder.hh"
+#include "workloads/apps.hh"
+
+namespace txrace::workloads {
+
+ir::Program
+buildFerret(const WorkloadParams &p)
+{
+    using ir::AddrExpr;
+    ir::ProgramBuilder b;
+    const uint32_t W = p.nWorkers;
+    const uint32_t n_a = std::max(1u, W / 2);
+    const uint32_t n_b = std::max(1u, W - n_a);
+    const uint64_t items = 160 * p.scale;
+    // Keep queue counts exactly consumable by each stage.
+    const uint64_t per_a = items / n_a;
+    const uint64_t per_b = (per_a * n_a) / n_b;
+
+    ir::Addr feats = b.alloc("feature-db", 2048 * 8);
+    ir::Addr scratch = b.allocPrivate("scratch", (W + 1) * 512);
+    ir::Addr stat = b.alloc("query-stat", 8);
+
+    constexpr uint64_t kQ0 = 0, kQ1 = 1;
+
+    ir::FuncId stage_a = b.beginFunction("segment");
+    b.loop(per_a, [&] {
+        b.wait(kQ0);
+        for (int k = 0; k < 5; ++k)
+            b.load(AddrExpr::randomIn(feats, 2048, 8), "feature");
+        AddrExpr e = AddrExpr::perThread(scratch, 512);
+        b.storePrivate(e);
+        b.compute(3);
+        b.signal(kQ1);
+    });
+    b.endFunction();
+
+    ir::FuncId stage_b = b.beginFunction("rank");
+    b.loop(per_b / 4, [&] {
+        b.loop(4, [&] {
+            b.wait(kQ1);
+            for (int k = 0; k < 5; ++k)
+                b.load(AddrExpr::randomIn(feats, 2048, 8), "feature");
+            b.compute(3);
+        });
+        // Query statistic, updated once per ranked batch, unlocked:
+        // the planted race (one static pair).
+        b.store(AddrExpr::absolute(stat), "stat write");
+    });
+    b.endFunction();
+
+    b.beginFunction("main");
+    b.spawn(stage_a, n_a);
+    b.spawn(stage_b, n_b);
+    b.loop(per_a * n_a, [&] { b.signal(kQ0); });
+    b.joinAll();
+    b.endFunction();
+    return b.build();
+}
+
+} // namespace txrace::workloads

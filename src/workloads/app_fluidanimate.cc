@@ -1,0 +1,55 @@
+/**
+ * @file
+ * fluidanimate: particle simulation over a striped grid with
+ * fine-grained per-stripe locking.
+ *
+ * Modeled characteristics: very many small critical-section
+ * transactions; stripes are deliberately *not* cache-line aligned, so
+ * adjacent stripes' boundary cells share lines and concurrent
+ * critical sections raise frequent HTM conflicts that carry no data
+ * race (false sharing — the slow path filters them). One real race:
+ * an unsynchronized per-step update of a global statistic (the
+ * paper's single fluidanimate race, which TxRace finds).
+ */
+
+#include "ir/builder.hh"
+#include "workloads/apps.hh"
+
+namespace txrace::workloads {
+
+ir::Program
+buildFluidanimate(const WorkloadParams &p)
+{
+    using ir::AddrExpr;
+    ir::ProgramBuilder b;
+    const uint32_t W = p.nWorkers;
+
+    constexpr uint64_t kStripes = 16;
+    constexpr uint64_t kStripeBytes = 17 * 8;  // 136 B: splits lines
+    ir::Addr grid = b.alloc("grid", kStripes * kStripeBytes, 8);
+    ir::Addr race_cell = b.alloc("step-stat", 8);
+
+    ir::FuncId worker = b.beginFunction("worker");
+    b.loop(25 * p.scale, [&] {
+        for (uint64_t s = 0; s < kStripes; ++s) {
+            ir::Addr stripe = grid + s * kStripeBytes;
+            b.lock(s);
+            for (int k = 0; k < 3; ++k) {
+                b.store(AddrExpr::randomIn(stripe, 17, 8), "cell");
+                b.load(AddrExpr::randomIn(stripe, 17, 8), "cell");
+            }
+            b.unlock(s);
+        }
+        // Unsynchronized global statistic: the planted race.
+        b.store(AddrExpr::absolute(race_cell), "unsync step stat");
+    });
+    b.endFunction();
+
+    b.beginFunction("main");
+    b.spawn(worker, W);
+    b.joinAll();
+    b.endFunction();
+    return b.build();
+}
+
+} // namespace txrace::workloads

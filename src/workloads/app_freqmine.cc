@@ -1,0 +1,52 @@
+/**
+ * @file
+ * freqmine: frequent-itemset mining, dominated by a long
+ * single-threaded tree-construction phase followed by a short
+ * parallel phase (the paper reports only 84 transactions).
+ *
+ * This is the showcase of TxRace's single-threaded-mode elision
+ * (§4.3): TSan instruments the sequential phase at full cost (14x in
+ * the paper) while TxRace skips monitoring it entirely and lands at
+ * 1.15x.
+ */
+
+#include "ir/builder.hh"
+#include "workloads/apps.hh"
+
+namespace txrace::workloads {
+
+ir::Program
+buildFreqmine(const WorkloadParams &p)
+{
+    using ir::AddrExpr;
+    ir::ProgramBuilder b;
+    const uint32_t W = p.nWorkers;
+
+    ir::Addr tree = b.alloc("fp-tree", 2048 * 8);
+
+    ir::FuncId worker = b.beginFunction("worker");
+    b.loop(10 * p.scale, [&] {
+        b.lock(0);
+        for (int k = 0; k < 3; ++k) {
+            b.load(AddrExpr::randomIn(tree, 2048, 8), "tree node");
+            b.store(AddrExpr::randomIn(tree, 2048, 8), "tree node");
+        }
+        b.unlock(0);
+        b.compute(100);
+    });
+    b.endFunction();
+
+    b.beginFunction("main");
+    // Sequential FP-tree construction: single-threaded, memory-heavy.
+    b.loop(1500 * p.scale, [&] {
+        b.load(AddrExpr::randomIn(tree, 2048, 8), "build read");
+        b.compute(2);
+        b.store(AddrExpr::randomIn(tree, 2048, 8), "build write");
+    });
+    b.spawn(worker, W);
+    b.joinAll();
+    b.endFunction();
+    return b.build();
+}
+
+} // namespace txrace::workloads

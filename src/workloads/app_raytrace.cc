@@ -1,0 +1,54 @@
+/**
+ * @file
+ * raytrace: frame-parallel ray tracing over a shared read-only
+ * scene; long compute-heavy regions and very few transactions (143
+ * in the paper).
+ *
+ * Two planted races on one unsynchronized global ray counter (the
+ * load/store pair against itself yields exactly two distinct static
+ * racy pairs, matching the paper's count); the counter is touched at
+ * every frame edge by all workers, so the accesses overlap and
+ * TxRace finds both.
+ */
+
+#include "ir/builder.hh"
+#include "workloads/apps.hh"
+
+namespace txrace::workloads {
+
+ir::Program
+buildRaytrace(const WorkloadParams &p)
+{
+    using ir::AddrExpr;
+    ir::ProgramBuilder b;
+    const uint32_t W = p.nWorkers;
+
+    ir::Addr scene = b.alloc("scene-bvh", 4096 * 8);
+    ir::Addr fb = b.allocPrivate("framebuffer", (W + 1) * 512);
+    ir::Addr counter = b.alloc("ray-counter", 8);
+
+    ir::FuncId worker = b.beginFunction("worker");
+    b.loop(3 * p.scale, [&] {
+        b.loop(60, [&] {
+            b.load(AddrExpr::randomIn(scene, 4096, 8), "bvh");
+            b.load(AddrExpr::randomIn(scene, 4096, 8), "bvh");
+            b.compute(25);
+            AddrExpr e = AddrExpr::perThread(fb, 512);
+            e.loopStride = 8;
+            b.storePrivate(e);
+        });
+        // rays_traced += n, with no lock: the planted race pair.
+        b.load(AddrExpr::absolute(counter), "rays_traced read");
+        b.store(AddrExpr::absolute(counter), "rays_traced write");
+        b.barrier(0, W);
+    });
+    b.endFunction();
+
+    b.beginFunction("main");
+    b.spawn(worker, W);
+    b.joinAll();
+    b.endFunction();
+    return b.build();
+}
+
+} // namespace txrace::workloads

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * swaptions: Monte-Carlo pricing with a tight main loop that makes a
+ * system call every iteration (the paper singles swaptions out for
+ * exactly this: tight loops with system calls force very short
+ * transactions whose xbegin/xend management cost dominates, Fig. 7).
+ *
+ * Also carries a capacity-prone phase: a strided store pattern whose
+ * lines map into a single L1 set and overflow its associativity —
+ * the loop-cut optimization's target (§4.3).
+ */
+
+#include "ir/builder.hh"
+#include "workloads/apps.hh"
+#include "workloads/idioms.hh"
+
+namespace txrace::workloads {
+
+ir::Program
+buildSwaptions(const WorkloadParams &p)
+{
+    using ir::AddrExpr;
+    ir::ProgramBuilder b;
+    const uint32_t W = p.nWorkers;
+
+    ir::Addr params = b.alloc("yield-curve", 64 * 8);
+    // Strided matrix: row stride 4096 B = 64 lines, so successive rows
+    // land in the same L1 set; per-worker column offset of one line.
+    constexpr uint64_t kCapRows = 14;
+    ir::Addr cap = b.alloc("hjm-matrix",
+                           kCapRows * 4096 + (W + 1) * 64, 64);
+
+    ir::FuncId worker = b.beginFunction("worker");
+    b.loop(1500 * p.scale, [&] {
+        for (int k = 0; k < 6; ++k)
+            b.load(AddrExpr::randomIn(params, 64, 8), "curve");
+        b.syscall(2);  // RNG reseed via the OS, every iteration
+    });
+    // Capacity-prone phase: one same-set streaming store per row.
+    b.loop(12 * p.scale, [&] {
+        b.loop(kCapRows, [&] {
+            AddrExpr e = AddrExpr::perThread(cap, 64);
+            e.loopStride = 4096;
+            b.store(e, "hjm row");
+        });
+        b.syscall(2);
+    });
+    // Portfolio re-aggregation: an unrolled, irregular store burst
+    // that no loop-cut can segment (residual capacity aborts).
+    ir::Addr agg = allocBurst(b, "aggregation");
+    b.loop(3 * p.scale, [&] {
+        emitCapacityBurst(b, agg);
+        b.syscall(2);
+    });
+    b.endFunction();
+
+    b.beginFunction("main");
+    b.spawn(worker, W);
+    b.joinAll();
+    b.endFunction();
+    return b.build();
+}
+
+} // namespace txrace::workloads

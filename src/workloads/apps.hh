@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Internal: per-application program builders. Each returns an
+ * uninstrumented mini-IR program for the given worker count and
+ * scale. See the .cc file of each application for the modeled
+ * characteristics and their mapping to the paper's Table 1 row.
+ */
+
+#ifndef TXRACE_WORKLOADS_APPS_HH
+#define TXRACE_WORKLOADS_APPS_HH
+
+#include "ir/program.hh"
+#include "workloads/workloads.hh"
+
+namespace txrace::workloads {
+
+ir::Program buildBlackscholes(const WorkloadParams &p);
+ir::Program buildFluidanimate(const WorkloadParams &p);
+ir::Program buildSwaptions(const WorkloadParams &p);
+ir::Program buildFreqmine(const WorkloadParams &p);
+ir::Program buildVips(const WorkloadParams &p);
+ir::Program buildRaytrace(const WorkloadParams &p);
+ir::Program buildFerret(const WorkloadParams &p);
+ir::Program buildX264(const WorkloadParams &p);
+ir::Program buildBodytrack(const WorkloadParams &p);
+ir::Program buildFacesim(const WorkloadParams &p);
+ir::Program buildStreamcluster(const WorkloadParams &p);
+ir::Program buildDedup(const WorkloadParams &p);
+ir::Program buildCanneal(const WorkloadParams &p);
+ir::Program buildApache(const WorkloadParams &p);
+
+} // namespace txrace::workloads
+
+#endif // TXRACE_WORKLOADS_APPS_HH

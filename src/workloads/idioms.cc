@@ -1,0 +1,92 @@
+#include "workloads/idioms.hh"
+
+namespace txrace::workloads {
+
+NeighborSites::NeighborSites(ir::ProgramBuilder &b,
+                             const std::string &name, size_t slots,
+                             uint32_t max_tid)
+    : slots_(slots)
+{
+    rowStride_ = slots * mem::kLineSize;
+    // One guard row below row 0 so the lowest worker's neighbor read
+    // stays in bounds.
+    ir::Addr raw = b.alloc(name, rowStride_ * (max_tid + 2),
+                           mem::kLineSize);
+    writerBase_ = raw + rowStride_;
+}
+
+ir::AddrExpr
+NeighborSites::writeExpr(size_t slot) const
+{
+    ir::AddrExpr e;
+    e.base = writerBase_ + slot * mem::kLineSize;
+    e.threadStride = rowStride_;
+    return e;
+}
+
+ir::AddrExpr
+NeighborSites::readExpr(size_t slot) const
+{
+    ir::AddrExpr e;
+    e.base = writerBase_ - rowStride_ + slot * mem::kLineSize;
+    e.threadStride = rowStride_;
+    return e;
+}
+
+InitIdiomSites::InitIdiomSites(ir::ProgramBuilder &b,
+                               const std::string &name, size_t count)
+    : count_(count)
+{
+    base_ = b.alloc(name, count * mem::kLineSize, mem::kLineSize);
+}
+
+void
+InitIdiomSites::emitInit(ir::ProgramBuilder &b) const
+{
+    for (size_t i = 0; i < count_; ++i)
+        b.store(ir::AddrExpr::absolute(base_ + i * mem::kLineSize),
+                "init-idiom write " + std::to_string(i));
+}
+
+void
+InitIdiomSites::emitLateRead(ir::ProgramBuilder &b) const
+{
+    for (size_t i = 0; i < count_; ++i)
+        b.load(ir::AddrExpr::absolute(base_ + i * mem::kLineSize),
+               "init-idiom late read " + std::to_string(i));
+}
+
+ir::Addr
+allocFalseSharingSlots(ir::ProgramBuilder &b, const std::string &name,
+                       uint32_t max_tid, uint64_t stride)
+{
+    return b.alloc(name, (max_tid + 1) * stride + mem::kGranuleSize,
+                   mem::kGranuleSize);
+}
+
+ir::AddrExpr
+falseSharingSlot(ir::Addr base, uint64_t stride)
+{
+    return ir::AddrExpr::perThread(base, stride);
+}
+
+ir::Addr
+allocBurst(ir::ProgramBuilder &b, const std::string &name,
+           uint64_t rows)
+{
+    return b.alloc(name, rows * 4096 + 16 * mem::kLineSize,
+                   mem::kLineSize);
+}
+
+void
+emitCapacityBurst(ir::ProgramBuilder &b, ir::Addr base, uint64_t rows)
+{
+    for (uint64_t r = 0; r < rows; ++r) {
+        ir::AddrExpr e;
+        e.base = base + r * 4096;
+        e.threadStride = mem::kLineSize;
+        b.store(e, "irregular flush");
+    }
+}
+
+} // namespace txrace::workloads

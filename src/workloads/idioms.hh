@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Reusable race and sharing idioms for the application models.
+ */
+
+#ifndef TXRACE_WORKLOADS_IDIOMS_HH
+#define TXRACE_WORKLOADS_IDIOMS_HH
+
+#include <cstddef>
+#include <string>
+
+#include "ir/builder.hh"
+#include "mem/layout.hh"
+
+namespace txrace::workloads {
+
+/**
+ * Neighbor-pair race sites: worker t writes its own row slot, worker
+ * t+1 reads worker t's row slot, with no synchronization between the
+ * two accesses. Each slot yields exactly one distinct static race
+ * (the static store/load instruction pair), executed by every
+ * adjacent worker pair. Works for any worker count >= 2 (the lowest
+ * worker's read hits an unwritten guard row and races with nothing).
+ */
+class NeighborSites
+{
+  public:
+    /** Reserve @p slots sites, one cache line each per row. */
+    NeighborSites(ir::ProgramBuilder &b, const std::string &name,
+                  size_t slots, uint32_t max_tid);
+
+    /** Address the executing worker writes for @p slot (own row). */
+    ir::AddrExpr writeExpr(size_t slot) const;
+
+    /** Address the executing worker reads for @p slot (the row of
+     *  the worker with the next-lower tid). */
+    ir::AddrExpr readExpr(size_t slot) const;
+
+    size_t slots() const { return slots_; }
+
+  private:
+    ir::Addr writerBase_ = 0;
+    uint64_t rowStride_ = 0;
+    size_t slots_ = 0;
+};
+
+/**
+ * Initialization-idiom race (§8.3): the main thread initializes
+ * shared state right after spawning the workers — unsynchronized but
+ * temporally far from the workers' late reads. A happens-before
+ * detector reports it; an overlap-based detector does not.
+ *
+ * Usage: call allocate() while laying out memory, emitInit() in the
+ * main function after the spawns, emitLateRead() near the end of the
+ * worker function.
+ */
+class InitIdiomSites
+{
+  public:
+    InitIdiomSites(ir::ProgramBuilder &b, const std::string &name,
+                   size_t count);
+
+    /** Main-thread initializing stores (one per site). */
+    void emitInit(ir::ProgramBuilder &b) const;
+
+    /** Worker-thread late reads (one per site). */
+    void emitLateRead(ir::ProgramBuilder &b) const;
+
+    size_t count() const { return count_; }
+
+  private:
+    ir::Addr base_ = 0;
+    size_t count_ = 0;
+};
+
+/**
+ * Reserve a per-worker accumulator array deliberately packed so that
+ * workers' slots share cache lines: the classic false-sharing
+ * pattern. HTM-level conflicts without any data race — the fast path
+ * fires, the slow path (correctly) stays silent. @p stride controls
+ * how many workers land in one 64-byte line (8 = up to eight,
+ * 24 = pairs).
+ */
+ir::Addr allocFalseSharingSlots(ir::ProgramBuilder &b,
+                                const std::string &name,
+                                uint32_t max_tid, uint64_t stride = 8);
+
+/** AddrExpr for the executing worker's false-sharing slot. */
+ir::AddrExpr falseSharingSlot(ir::Addr base, uint64_t stride = 8);
+
+/**
+ * Reserve space for an unrolled same-set store burst of @p rows
+ * cache lines (4 KiB row stride: every line lands in one L1 set).
+ */
+ir::Addr allocBurst(ir::ProgramBuilder &b, const std::string &name,
+                    uint64_t rows = 12);
+
+/**
+ * Emit the burst as straight-line stores. With more rows than the
+ * write set's associativity this transaction *always* overflows, and
+ * because there is no loop the loop-cut optimization cannot rescue
+ * it — modeling the irregular-data-structure capacity aborts that
+ * keep the paper's capacity columns nonzero even with ProfLoopcut.
+ */
+void emitCapacityBurst(ir::ProgramBuilder &b, ir::Addr base,
+                       uint64_t rows = 12);
+
+} // namespace txrace::workloads
+
+#endif // TXRACE_WORKLOADS_IDIOMS_HH

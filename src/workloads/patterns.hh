@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Catalog of classic concurrency-bug patterns (after Lu et al.,
+ * ASPLOS 2008, which the paper cites for "data races often lie at the
+ * root of other concurrency bugs"). Each entry is a small, focused
+ * program plus its expected detection outcome per tool — a validation
+ * matrix for the detectors that doubles as a library of regression
+ * scenarios.
+ */
+
+#ifndef TXRACE_WORKLOADS_PATTERNS_HH
+#define TXRACE_WORKLOADS_PATTERNS_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/program.hh"
+
+namespace txrace::workloads {
+
+/** Expected outcome of one tool on one pattern. */
+enum class Expectation {
+    Detects,     ///< reports at least the documented race(s)
+    Misses,      ///< reports nothing although a race exists
+    Silent,      ///< correctly reports nothing (no race exists)
+    FalseAlarm,  ///< reports although no race exists
+};
+
+/** One cataloged pattern. */
+struct Pattern
+{
+    std::string name;
+    std::string description;
+    ir::Program program;
+    /** True races present in the program (by happens-before). */
+    size_t trueRaces;
+    Expectation tsan;
+    Expectation txrace;  ///< TxRace-ProfLoopcut, default seed
+    Expectation eraser;
+    Expectation racetm;  ///< fast-path-only reporting (§9)
+};
+
+/** Build the whole catalog (programs are freshly constructed). */
+std::vector<Pattern> buildPatternCatalog();
+
+/** Names only (CLI listings). */
+std::vector<std::string> patternNames();
+
+/** Build a single pattern by name; fatal()s on unknown names. */
+Pattern makePattern(const std::string &name);
+
+} // namespace txrace::workloads
+
+#endif // TXRACE_WORKLOADS_PATTERNS_HH

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Unit tests for the experiment driver: mode dispatch, overhead
+ * ordering, recall computation, and the ProfLoopcut profiling pre-run.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/driver.hh"
+#include "ir/builder.hh"
+
+using namespace txrace;
+using namespace txrace::ir;
+
+namespace {
+
+/** Memory-heavy multithreaded program with one race. */
+Program
+benchmarkProgram()
+{
+    ProgramBuilder b;
+    Addr data = b.alloc("data", 4096);
+    Addr racy = b.alloc("racy", 8);
+    FuncId worker = b.beginFunction("worker");
+    b.loop(6, [&] {
+        // Mostly clean regions; the contended store is rare enough
+        // that the fast path carries the bulk of the run.
+        b.loop(6, [&] {
+            for (int i = 0; i < 8; ++i)
+                b.load(AddrExpr::randomIn(data, 64, 8));
+            b.syscall(1);
+        });
+        for (int i = 0; i < 6; ++i)
+            b.load(AddrExpr::randomIn(data, 64, 8));
+        b.store(AddrExpr::absolute(racy), "racy store");
+        b.syscall(1);
+    });
+    b.endFunction();
+    b.beginFunction("main");
+    b.spawn(worker, 4);
+    b.joinAll();
+    b.endFunction();
+    return b.build();
+}
+
+core::RunConfig
+config(core::RunMode mode, uint64_t seed = 1)
+{
+    core::RunConfig cfg;
+    cfg.mode = mode;
+    cfg.machine.seed = seed;
+    cfg.machine.interruptPerStep = 0.0;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Driver, NativeRunHasOnlyBaseCost)
+{
+    Program p = benchmarkProgram();
+    core::RunResult r =
+        core::runProgram(p, config(core::RunMode::Native));
+    EXPECT_GT(r.totalCost, 0u);
+    EXPECT_EQ(r.buckets[static_cast<size_t>(sim::Bucket::Base)],
+              r.totalCost);
+    EXPECT_EQ(r.races.count(), 0u);
+}
+
+TEST(Driver, OverheadOrderingNativeTxRaceTSan)
+{
+    Program p = benchmarkProgram();
+    core::RunResult native =
+        core::runProgram(p, config(core::RunMode::Native));
+    core::RunResult tsan =
+        core::runProgram(p, config(core::RunMode::TSan));
+    core::RunResult txr =
+        core::runProgram(p, config(core::RunMode::TxRaceProfLoopcut));
+    EXPECT_GT(tsan.totalCost, native.totalCost);
+    EXPECT_GT(txr.totalCost, native.totalCost);
+    EXPECT_LT(txr.totalCost, tsan.totalCost);
+    EXPECT_NEAR(tsan.overheadVs(native),
+                static_cast<double>(tsan.totalCost) /
+                    static_cast<double>(native.totalCost),
+                1e-12);
+}
+
+TEST(Driver, AllModesFindOrMissTheRaceAsExpected)
+{
+    Program p = benchmarkProgram();
+    core::RunResult tsan =
+        core::runProgram(p, config(core::RunMode::TSan));
+    EXPECT_EQ(tsan.races.count(), 1u);
+    core::RunResult txr =
+        core::runProgram(p, config(core::RunMode::TxRaceDynLoopcut));
+    EXPECT_EQ(txr.races.count(), 1u);  // wide windows: found
+    core::RunResult none = core::runProgram(
+        p, [] {
+            core::RunConfig c = config(core::RunMode::TSanSampling);
+            c.sampleRate = 0.0;
+            return c;
+        }());
+    EXPECT_EQ(none.races.count(), 0u);
+}
+
+TEST(Driver, SamplingRateInterpolatesCost)
+{
+    Program p = benchmarkProgram();
+    core::RunConfig half = config(core::RunMode::TSanSampling);
+    half.sampleRate = 0.5;
+    core::RunResult r_half = core::runProgram(p, half);
+    core::RunResult r_full =
+        core::runProgram(p, config(core::RunMode::TSan));
+    core::RunResult r_native =
+        core::runProgram(p, config(core::RunMode::Native));
+    EXPECT_GT(r_half.totalCost, r_native.totalCost);
+    EXPECT_LT(r_half.totalCost, r_full.totalCost);
+}
+
+TEST(Driver, RecallOf)
+{
+    detector::RaceSet reference, tool;
+    EXPECT_DOUBLE_EQ(core::recallOf(tool, reference), 1.0);  // empty ref
+    reference.record(1, 2, detector::RaceKind::WriteWrite, 0);
+    reference.record(3, 4, detector::RaceKind::WriteWrite, 0);
+    EXPECT_DOUBLE_EQ(core::recallOf(tool, reference), 0.0);
+    tool.record(1, 2, detector::RaceKind::WriteWrite, 0);
+    EXPECT_DOUBLE_EQ(core::recallOf(tool, reference), 0.5);
+    tool.record(3, 4, detector::RaceKind::WriteWrite, 0);
+    tool.record(9, 9, detector::RaceKind::WriteWrite, 0);  // extra
+    EXPECT_DOUBLE_EQ(core::recallOf(tool, reference), 1.0);
+}
+
+TEST(Driver, TxRaceModesShareInstrumentation)
+{
+    // All three TxRace variants run the same program shape; NoOpt
+    // just lacks LoopCut instructions.
+    Program p = benchmarkProgram();
+    for (core::RunMode mode :
+         {core::RunMode::TxRaceNoOpt, core::RunMode::TxRaceDynLoopcut,
+          core::RunMode::TxRaceProfLoopcut}) {
+        core::RunResult r = core::runProgram(p, config(mode));
+        EXPECT_GT(r.stats.get("tx.committed"), 0u)
+            << core::runModeName(mode);
+    }
+}
+
+TEST(Driver, RunModeNames)
+{
+    EXPECT_STREQ(core::runModeName(core::RunMode::Native), "Native");
+    EXPECT_STREQ(core::runModeName(core::RunMode::TSan), "TSan");
+    EXPECT_STREQ(core::runModeName(core::RunMode::TSanSampling),
+                 "TSan+Sampling");
+    EXPECT_STREQ(core::runModeName(core::RunMode::TxRaceNoOpt),
+                 "TxRace-NoOpt");
+    EXPECT_STREQ(core::runModeName(core::RunMode::TxRaceDynLoopcut),
+                 "TxRace-DynLoopcut");
+    EXPECT_STREQ(core::runModeName(core::RunMode::TxRaceProfLoopcut),
+                 "TxRace-ProfLoopcut");
+    EXPECT_TRUE(core::isTxRaceMode(core::RunMode::TxRaceNoOpt));
+    EXPECT_FALSE(core::isTxRaceMode(core::RunMode::TSan));
+}
+
+TEST(DriverDeathTest, UnfinalizedProgramIsFatal)
+{
+    Program p;
+    Function fn;
+    fn.name = "main";
+    p.addFunction(std::move(fn));
+    EXPECT_EXIT(core::runProgram(p, config(core::RunMode::Native)),
+                testing::ExitedWithCode(1), "not finalized");
+}

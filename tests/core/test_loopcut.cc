@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit tests for the loop-cut threshold table (§4.3 learning rules).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/loopcut.hh"
+
+using namespace txrace::core;
+
+TEST(LoopCut, InactiveByDefault)
+{
+    LoopCutTable t;
+    EXPECT_EQ(t.threshold(7), 0u);
+}
+
+TEST(LoopCut, FirstAbortActivatesAtInitial)
+{
+    LoopCutTable t(2);
+    t.onCapacityAbort(7);
+    EXPECT_EQ(t.threshold(7), 2u);
+}
+
+TEST(LoopCut, CommitsGrowThreshold)
+{
+    LoopCutTable t(2);
+    t.onCapacityAbort(7);
+    t.onCommit(7);
+    t.onCommit(7);
+    EXPECT_EQ(t.threshold(7), 4u);
+}
+
+TEST(LoopCut, CommitOnUnknownLoopIsIgnored)
+{
+    LoopCutTable t;
+    t.onCommit(9);
+    EXPECT_EQ(t.threshold(9), 0u);
+}
+
+TEST(LoopCut, AbortShrinksAndPinsCeiling)
+{
+    LoopCutTable t(2);
+    t.onCapacityAbort(7);            // thr=2
+    for (int i = 0; i < 10; ++i)
+        t.onCommit(7);               // thr grows to 12
+    EXPECT_EQ(t.threshold(7), 12u);
+    t.onCapacityAbort(7);            // thr=11, ceiling=11
+    EXPECT_EQ(t.threshold(7), 11u);
+    for (int i = 0; i < 10; ++i)
+        t.onCommit(7);               // capped at the ceiling
+    EXPECT_EQ(t.threshold(7), 11u);
+}
+
+TEST(LoopCut, ConvergesToLargestCommittingSegment)
+{
+    // Simulated capacity boundary: segments of more than 8 iterations
+    // abort. The paper's +1/-1 scheme must settle at 8.
+    LoopCutTable t(2);
+    constexpr uint64_t kFits = 8;
+    t.onCapacityAbort(1);
+    int aborts = 0;
+    for (int round = 0; round < 50; ++round) {
+        uint64_t thr = t.threshold(1);
+        if (thr > kFits) {
+            t.onCapacityAbort(1);
+            ++aborts;
+        } else {
+            t.onCommit(1);
+        }
+    }
+    EXPECT_EQ(t.threshold(1), kFits);
+    EXPECT_LE(aborts, 2);
+}
+
+TEST(LoopCut, ThresholdNeverBelowOne)
+{
+    LoopCutTable t(1);
+    t.onCapacityAbort(3);
+    for (int i = 0; i < 5; ++i)
+        t.onCapacityAbort(3);
+    EXPECT_EQ(t.threshold(3), 1u);
+}
+
+TEST(LoopCut, PreloadActsAsProfiledCeiling)
+{
+    LoopCutTable t(2);
+    t.preload(5, 9);
+    EXPECT_EQ(t.threshold(5), 9u);
+    // Commits do not grow past the profiled value...
+    t.onCommit(5);
+    EXPECT_EQ(t.threshold(5), 9u);
+    // ...so the very first capacity abort is avoided (paper claim).
+}
+
+TEST(LoopCut, PreloadZeroIsIgnored)
+{
+    LoopCutTable t;
+    t.preload(5, 0);
+    EXPECT_EQ(t.threshold(5), 0u);
+}
+
+TEST(LoopCut, IndependentLoops)
+{
+    LoopCutTable t(2);
+    t.onCapacityAbort(1);
+    t.onCapacityAbort(2);
+    t.onCommit(1);
+    EXPECT_EQ(t.threshold(1), 3u);
+    EXPECT_EQ(t.threshold(2), 2u);
+}
+
+TEST(LoopCut, ExportImportRoundTrip)
+{
+    LoopCutTable prof(2);
+    prof.onCapacityAbort(1);
+    prof.onCommit(1);
+    prof.onCapacityAbort(9);
+
+    LoopCutTable real(2);
+    for (const auto &[loop, entry] : prof.all())
+        real.preload(loop, entry.threshold);
+    EXPECT_EQ(real.threshold(1), 3u);
+    EXPECT_EQ(real.threshold(9), 2u);
+}

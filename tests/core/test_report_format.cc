@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for the human-readable race report formatter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report_format.hh"
+#include "ir/builder.hh"
+
+using namespace txrace;
+using namespace txrace::ir;
+
+namespace {
+
+Program
+taggedProgram()
+{
+    ProgramBuilder b;
+    Addr x = b.alloc("x", 8);
+    FuncId worker = b.beginFunction("worker");
+    b.load(AddrExpr::absolute(x), "reader site");
+    b.store(AddrExpr::absolute(x), "writer site");
+    b.endFunction();
+    b.beginFunction("main");
+    b.spawn(worker, 2);
+    b.joinAll();
+    b.endFunction();
+    return b.build();
+}
+
+} // namespace
+
+TEST(ReportFormat, SingleRaceMentionsBothSites)
+{
+    Program p = taggedProgram();
+    detector::Race race{0, 1, detector::RaceKind::WriteRead, 0x40, 3};
+    std::string text = core::formatRace(p, race);
+    EXPECT_NE(text.find("WARNING: data race"), std::string::npos);
+    EXPECT_NE(text.find("write-read"), std::string::npos);
+    EXPECT_NE(text.find("reader site"), std::string::npos);
+    EXPECT_NE(text.find("writer site"), std::string::npos);
+    EXPECT_NE(text.find("@worker"), std::string::npos);
+    EXPECT_NE(text.find("3 dynamic occurrences"), std::string::npos);
+    EXPECT_NE(text.find("0x40"), std::string::npos);
+}
+
+TEST(ReportFormat, SelfRaceReadsNaturally)
+{
+    Program p = taggedProgram();
+    detector::Race race{1, 1, detector::RaceKind::WriteWrite, 0x40, 1};
+    std::string text = core::formatRace(p, race);
+    EXPECT_NE(text.find("and itself on another thread"),
+              std::string::npos);
+    EXPECT_NE(text.find("1 dynamic occurrence)"), std::string::npos);
+}
+
+TEST(ReportFormat, FullReportHasSummaryLine)
+{
+    Program p = taggedProgram();
+    core::RunConfig cfg;
+    cfg.mode = core::RunMode::TSan;
+    cfg.machine.seed = 4;
+    core::RunResult r = core::runProgram(p, cfg);
+
+    std::ostringstream os;
+    core::printRaceReport(p, r, os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("TSan:"), std::string::npos);
+    EXPECT_NE(text.find("distinct data race"), std::string::npos);
+}
+
+TEST(ReportFormat, RaceFreeReportIsJustTheSummary)
+{
+    ProgramBuilder b;
+    b.beginFunction("main");
+    b.compute(5);
+    b.endFunction();
+    Program p = b.build();
+    core::RunConfig cfg;
+    cfg.mode = core::RunMode::Native;
+    core::RunResult r = core::runProgram(p, cfg);
+    std::ostringstream os;
+    core::printRaceReport(p, r, os);
+    EXPECT_NE(os.str().find("0 distinct data race(s)"),
+              std::string::npos);
+    EXPECT_EQ(os.str().find("WARNING"), std::string::npos);
+}

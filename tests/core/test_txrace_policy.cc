@@ -1,0 +1,617 @@
+/**
+ * @file
+ * Behavioral tests of the TxRace two-phase runtime: the fast path,
+ * every abort-dispatch rule of §4.2, the optimizations of §4.3, the
+ * completeness guarantee, and each false-negative source of §6.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/driver.hh"
+#include "ir/builder.hh"
+#include "mem/layout.hh"
+
+using namespace txrace;
+using namespace txrace::ir;
+
+namespace {
+
+core::RunConfig
+txraceConfig(uint64_t seed = 1)
+{
+    core::RunConfig cfg;
+    cfg.mode = core::RunMode::TxRaceDynLoopcut;
+    cfg.machine.seed = seed;
+    cfg.machine.interruptPerStep = 0.0;
+    return cfg;
+}
+
+/** Six instrumented loads: enough to stay above the K threshold. */
+void
+pad(ProgramBuilder &b, Addr base)
+{
+    for (int i = 0; i < 6; ++i)
+        b.load(AddrExpr::absolute(base + 8 * i), "pad");
+}
+
+} // namespace
+
+TEST(TxRace, CleanRunCommitsEverything)
+{
+    ProgramBuilder b;
+    Addr data = b.alloc("data", 4096);
+    FuncId worker = b.beginFunction("worker");
+    b.loop(10, [&] {
+        pad(b, data);
+        b.store(AddrExpr::perThread(data + 1024, 64), "own cell");
+        b.syscall(1);
+    });
+    b.endFunction();
+    b.beginFunction("main");
+    b.spawn(worker, 3);
+    b.joinAll();
+    b.endFunction();
+    Program p = b.build();
+
+    core::RunResult r = core::runProgram(p, txraceConfig());
+    EXPECT_EQ(r.races.count(), 0u);
+    EXPECT_EQ(r.stats.get("tx.abort.conflict"), 0u);
+    EXPECT_EQ(r.stats.get("tx.abort.capacity"), 0u);
+    EXPECT_EQ(r.stats.get("tx.abort.unknown"), 0u);
+    EXPECT_GE(r.stats.get("tx.committed"), 30u);
+    // No software checking happened at all.
+    EXPECT_EQ(r.stats.get("detector.reads"), 0u);
+    EXPECT_EQ(r.stats.get("detector.writes"), 0u);
+}
+
+TEST(TxRace, ConflictTriggersSlowPathAndPinpointsRace)
+{
+    ProgramBuilder b;
+    Addr data = b.alloc("data", 4096);
+    Addr racy = b.alloc("racy", 8);
+    FuncId worker = b.beginFunction("worker");
+    b.loop(20, [&] {
+        pad(b, data);
+        b.store(AddrExpr::absolute(racy), "unlocked store");
+        b.syscall(1);
+    });
+    b.endFunction();
+    b.beginFunction("main");
+    b.spawn(worker, 3);
+    b.joinAll();
+    b.endFunction();
+    Program p = b.build();
+
+    core::RunResult r = core::runProgram(p, txraceConfig());
+    EXPECT_GE(r.stats.get("tx.abort.conflict"), 1u);
+    EXPECT_GE(r.stats.get("txrace.txfail_writes"), 1u);
+    ASSERT_EQ(r.races.count(), 1u);
+    // The reported pair is the unlocked store against itself.
+    detector::Race race = r.races.all()[0];
+    EXPECT_EQ(race.first, race.second);
+    EXPECT_EQ(p.instr(race.first).tag, "unlocked store");
+}
+
+TEST(TxRace, FalseSharingIsFilteredBySlowPath)
+{
+    // Per-thread slots packed in one cache line: the fast path must
+    // conflict, the slow path must stay silent (completeness).
+    ProgramBuilder b;
+    Addr data = b.alloc("data", 4096);
+    Addr slots = b.alloc("slots", 64, 64);
+    FuncId worker = b.beginFunction("worker");
+    b.loop(20, [&] {
+        pad(b, data);
+        b.store(AddrExpr::perThread(slots, 8), "own slot");
+        b.syscall(1);
+    });
+    b.endFunction();
+    b.beginFunction("main");
+    b.spawn(worker, 4);
+    b.joinAll();
+    b.endFunction();
+    Program p = b.build();
+
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+        core::RunResult r = core::runProgram(p, txraceConfig(seed));
+        EXPECT_GE(r.stats.get("tx.abort.conflict"), 1u);
+        EXPECT_EQ(r.races.count(), 0u) << "seed " << seed;
+        EXPECT_GT(r.stats.get("detector.writes"), 0u);
+    }
+}
+
+TEST(TxRace, CapacityAbortFallsBackAlone)
+{
+    // Worker 1 overflows its write set; workers keep committing.
+    // Capacity aborts must not write TxFail (no artificial aborts).
+    ProgramBuilder b;
+    Addr data = b.alloc("data", 4096);
+    Addr wide = b.alloc("wide", 16 * 4096 + 1024, 64);
+    FuncId worker = b.beginFunction("worker");
+    b.loop(6, [&] {
+        pad(b, data);
+        b.loop(12, [&] {
+            AddrExpr e = AddrExpr::perThread(wide, 64);
+            e.loopStride = 4096;  // same-set strided stores
+            b.store(e, "stream");
+        });
+        b.syscall(1);
+    });
+    b.endFunction();
+    b.beginFunction("main");
+    b.spawn(worker, 2);
+    b.joinAll();
+    b.endFunction();
+    Program p = b.build();
+
+    core::RunConfig cfg = txraceConfig();
+    cfg.mode = core::RunMode::TxRaceNoOpt;  // no loop-cut rescue
+    core::RunResult r = core::runProgram(p, cfg);
+    EXPECT_GE(r.stats.get("tx.abort.capacity"), 6u);
+    EXPECT_EQ(r.stats.get("txrace.artificial_aborts"), 0u);
+    EXPECT_EQ(r.stats.get("txrace.txfail_writes"), 0u);
+    EXPECT_EQ(r.races.count(), 0u);
+}
+
+TEST(TxRace, DynLoopcutEliminatesRepeatedCapacityAborts)
+{
+    ProgramBuilder b;
+    Addr data = b.alloc("data", 4096);
+    Addr wide = b.alloc("wide", 16 * 4096 + 1024, 64);
+    FuncId worker = b.beginFunction("worker");
+    b.loop(10, [&] {
+        pad(b, data);
+        b.loop(12, [&] {
+            AddrExpr e = AddrExpr::perThread(wide, 64);
+            e.loopStride = 4096;
+            b.store(e, "stream");
+        });
+        b.syscall(1);
+    });
+    b.endFunction();
+    b.beginFunction("main");
+    b.spawn(worker, 2);
+    b.joinAll();
+    b.endFunction();
+    Program p = b.build();
+
+    core::RunConfig noopt = txraceConfig();
+    noopt.mode = core::RunMode::TxRaceNoOpt;
+    core::RunResult r_noopt = core::runProgram(p, noopt);
+
+    core::RunConfig dyn = txraceConfig();
+    dyn.mode = core::RunMode::TxRaceDynLoopcut;
+    core::RunResult r_dyn = core::runProgram(p, dyn);
+
+    core::RunConfig prof = txraceConfig();
+    prof.mode = core::RunMode::TxRaceProfLoopcut;
+    core::RunResult r_prof = core::runProgram(p, prof);
+
+    // NoOpt aborts on every execution of the loop; Dyn learns after a
+    // couple; Prof avoids even the first.
+    EXPECT_GE(r_noopt.stats.get("tx.abort.capacity"), 18u);
+    EXPECT_LE(r_dyn.stats.get("tx.abort.capacity"), 4u);
+    EXPECT_EQ(r_prof.stats.get("tx.abort.capacity"), 0u);
+    EXPECT_GT(r_dyn.stats.get("txrace.loop_cuts"), 0u);
+    EXPECT_LE(r_prof.totalCost, r_noopt.totalCost);
+}
+
+TEST(TxRace, SingleThreadedExecutionIsElided)
+{
+    ProgramBuilder b;
+    Addr data = b.alloc("data", 4096);
+    b.beginFunction("main");
+    b.loop(50, [&] {
+        pad(b, data);
+        b.syscall(1);
+    });
+    b.endFunction();
+    Program p = b.build();
+
+    core::RunResult r = core::runProgram(p, txraceConfig());
+    EXPECT_GE(r.stats.get("txrace.elided"), 50u);
+    EXPECT_EQ(r.stats.get("tx.begins"), 0u);
+    EXPECT_EQ(r.stats.get("tx.committed"), 0u);
+
+    core::RunConfig native = txraceConfig();
+    native.mode = core::RunMode::Native;
+    core::RunResult n = core::runProgram(p, native);
+    // Elision makes TxRace nearly free here.
+    EXPECT_LT(r.overheadVs(n), 1.05);
+}
+
+TEST(TxRace, SmallRegionRunsOnSlowPath)
+{
+    ProgramBuilder b;
+    Addr racy = b.alloc("racy", 8);
+    FuncId worker = b.beginFunction("worker");
+    b.loop(10, [&] {
+        b.store(AddrExpr::absolute(racy), "tiny region store");
+        b.syscall(1);
+    });
+    b.endFunction();
+    b.beginFunction("main");
+    b.spawn(worker, 2);
+    b.joinAll();
+    b.endFunction();
+    Program p = b.build();
+
+    core::RunResult r = core::runProgram(p, txraceConfig());
+    EXPECT_GE(r.stats.get("txrace.small_slow_regions"), 20u);
+    EXPECT_EQ(r.stats.get("tx.begins"), 0u);
+    // Slow-forced regions are software-checked every time, so the
+    // race is found without needing transactional overlap.
+    EXPECT_EQ(r.races.count(), 1u);
+}
+
+TEST(TxRace, HardwareThreadLimitFallsBackToSlowPath)
+{
+    ProgramBuilder b;
+    Addr data = b.alloc("data", 4096);
+    FuncId worker = b.beginFunction("worker");
+    b.loop(10, [&] {
+        pad(b, data);
+        b.syscall(1);
+    });
+    b.endFunction();
+    b.beginFunction("main");
+    b.spawn(worker, 4);
+    b.joinAll();
+    b.endFunction();
+    Program p = b.build();
+
+    core::RunConfig cfg = txraceConfig();
+    cfg.machine.hwThreads = 2;  // only two concurrent transactions
+    core::RunResult r = core::runProgram(p, cfg);
+    EXPECT_GE(r.stats.get("txrace.hwlimit_aborts"), 1u);
+    EXPECT_GT(r.stats.get("tx.committed"), 0u);
+}
+
+TEST(TxRace, Figure6NoFalseWarningAcrossPathAlternation)
+{
+    // T1 writes X in a checked (slow-forced) region, then signals;
+    // T2 waits — an edge established while both are otherwise on the
+    // fast path — and then writes X in a checked region. TxRace must
+    // not warn.
+    ProgramBuilder b;
+    Addr x = b.alloc("x", 8);
+    FuncId t1 = b.beginFunction("t1");
+    b.store(AddrExpr::absolute(x), "x=1");
+    b.syscall(1);
+    b.signal(0);
+    b.compute(50);
+    b.endFunction();
+    FuncId t2 = b.beginFunction("t2");
+    b.wait(0);
+    b.store(AddrExpr::absolute(x), "x=2");
+    b.syscall(1);
+    b.compute(50);
+    b.endFunction();
+    b.beginFunction("main");
+    b.spawn(t1, 1);
+    b.spawn(t2, 1);
+    b.joinAll();
+    b.endFunction();
+    Program p = b.build();
+
+    for (uint64_t seed = 1; seed <= 10; ++seed) {
+        core::RunResult r = core::runProgram(p, txraceConfig(seed));
+        EXPECT_EQ(r.races.count(), 0u) << "seed " << seed;
+    }
+}
+
+TEST(TxRace, NonOverlappingRaceIsMissed)
+{
+    // §6 false-negative source one: the racing accesses sit in fast
+    // transactions that never overlap in time (one at the very start,
+    // one at the very end of long-running workers).
+    ProgramBuilder b;
+    Addr data = b.alloc("data", 4096);
+    Addr early_late = b.alloc("el", 8);
+    FuncId t1 = b.beginFunction("t1");
+    pad(b, data);
+    b.store(AddrExpr::absolute(early_late), "early write");
+    b.syscall(1);
+    b.loop(60, [&] {
+        pad(b, data);
+        b.syscall(1);
+    });
+    b.endFunction();
+    FuncId t2 = b.beginFunction("t2");
+    b.loop(60, [&] {
+        pad(b, data);
+        b.syscall(1);
+    });
+    pad(b, data);
+    b.load(AddrExpr::absolute(early_late), "late read");
+    b.syscall(1);
+    b.endFunction();
+    b.beginFunction("main");
+    b.spawn(t1, 1);
+    b.spawn(t2, 1);
+    b.joinAll();
+    b.endFunction();
+    Program p = b.build();
+
+    // TxRace misses it on every seed (accesses are ~60 regions apart)…
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+        core::RunResult r = core::runProgram(p, txraceConfig(seed));
+        EXPECT_EQ(r.races.count(), 0u) << "seed " << seed;
+    }
+    // …while the happens-before baseline reports it.
+    core::RunConfig tsan = txraceConfig();
+    tsan.mode = core::RunMode::TSan;
+    core::RunResult r_tsan = core::runProgram(p, tsan);
+    EXPECT_EQ(r_tsan.races.count(), 1u);
+}
+
+TEST(TxRace, FastSlowConcurrencyDetectsOneDirection)
+{
+    // §4.2 / Fig. 5: a capacity-stuck thread on the slow path races a
+    // fast-path thread. When the slow access comes first and the fast
+    // transaction touches the line afterwards, strong isolation does
+    // not fire (nothing is in any write set at fast-access time) —
+    // unless the slow write lands while the fast transaction is live.
+    // Across seeds, detection happens in some runs but not reliably:
+    // the key assertion is that it is *possible* (the paper's Fig. 5)
+    // and that nothing false is ever reported.
+    ProgramBuilder b;
+    Addr data = b.alloc("data", 4096);
+    Addr wide = b.alloc("wide", 16 * 4096 + 1024, 64);
+    Addr x = b.alloc("x", 8);
+    FuncId slow = b.beginFunction("slowpoke");
+    b.loop(12, [&] {
+        pad(b, data);
+        // Capacity overflow forces this whole region slow; the region
+        // also writes the contested variable.
+        b.loop(12, [&] {
+            AddrExpr e = AddrExpr::perThread(wide, 64);
+            e.loopStride = 4096;
+            b.store(e, "stream");
+        });
+        b.store(AddrExpr::absolute(x), "slow write");
+        b.syscall(1);
+    });
+    b.endFunction();
+    FuncId fast = b.beginFunction("fastpath");
+    b.loop(40, [&] {
+        pad(b, data);
+        b.load(AddrExpr::absolute(x), "fast read");
+        b.syscall(1);
+    });
+    b.endFunction();
+    b.beginFunction("main");
+    b.spawn(slow, 1);
+    b.spawn(fast, 1);
+    b.joinAll();
+    b.endFunction();
+    Program p = b.build();
+
+    core::RunConfig cfg = txraceConfig();
+    cfg.mode = core::RunMode::TxRaceNoOpt;
+    size_t found = 0;
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+        cfg.machine.seed = seed;
+        core::RunResult r = core::runProgram(p, cfg);
+        EXPECT_LE(r.races.count(), 1u);
+        found += r.races.count();
+    }
+    EXPECT_GE(found, 1u);
+}
+
+TEST(TxRace, DeterministicGivenSeed)
+{
+    ProgramBuilder b;
+    Addr data = b.alloc("data", 4096);
+    Addr racy = b.alloc("racy", 8);
+    FuncId worker = b.beginFunction("worker");
+    b.loop(15, [&] {
+        pad(b, data);
+        b.store(AddrExpr::absolute(racy));
+        b.syscall(1);
+    });
+    b.endFunction();
+    b.beginFunction("main");
+    b.spawn(worker, 4);
+    b.joinAll();
+    b.endFunction();
+    Program p = b.build();
+
+    core::RunResult a = core::runProgram(p, txraceConfig(123));
+    core::RunResult b2 = core::runProgram(p, txraceConfig(123));
+    EXPECT_EQ(a.totalCost, b2.totalCost);
+    EXPECT_EQ(a.stats.all(), b2.stats.all());
+    EXPECT_EQ(a.races.keys(), b2.races.keys());
+}
+
+TEST(TxRace, BucketsSumToTotalCost)
+{
+    ProgramBuilder b;
+    Addr data = b.alloc("data", 4096);
+    Addr racy = b.alloc("racy", 8);
+    FuncId worker = b.beginFunction("worker");
+    b.loop(15, [&] {
+        pad(b, data);
+        b.store(AddrExpr::absolute(racy));
+        b.syscall(1);
+    });
+    b.endFunction();
+    b.beginFunction("main");
+    b.spawn(worker, 4);
+    b.joinAll();
+    b.endFunction();
+    Program p = b.build();
+
+    core::RunConfig cfg = txraceConfig();
+    cfg.machine.interruptPerStep = 1e-3;  // some unknown aborts too
+    core::RunResult r = core::runProgram(p, cfg);
+    uint64_t sum = 0;
+    for (uint64_t v : r.buckets)
+        sum += v;
+    EXPECT_EQ(sum, r.totalCost);
+}
+
+TEST(TxRace, UnknownAbortsFallBackAndStayComplete)
+{
+    ProgramBuilder b;
+    Addr data = b.alloc("data", 4096);
+    FuncId worker = b.beginFunction("worker");
+    b.loop(30, [&] {
+        pad(b, data);
+        b.syscall(1);
+    });
+    b.endFunction();
+    b.beginFunction("main");
+    b.spawn(worker, 3);
+    b.joinAll();
+    b.endFunction();
+    Program p = b.build();
+
+    core::RunConfig cfg = txraceConfig();
+    cfg.machine.interruptPerStep = 0.05;
+    core::RunResult r = core::runProgram(p, cfg);
+    EXPECT_GE(r.stats.get("tx.abort.unknown"), 5u);
+    EXPECT_EQ(r.races.count(), 0u);  // race-free program stays clean
+}
+
+TEST(TxRace, RetryAbortsAreRetriedInPlace)
+{
+    ProgramBuilder b;
+    Addr data = b.alloc("data", 4096);
+    FuncId worker = b.beginFunction("worker");
+    b.loop(25, [&] {
+        pad(b, data);
+        b.syscall(1);
+    });
+    b.endFunction();
+    b.beginFunction("main");
+    b.spawn(worker, 3);
+    b.joinAll();
+    b.endFunction();
+    Program p = b.build();
+
+    core::RunConfig cfg = txraceConfig();
+    cfg.machine.retryAbortPerStep = 0.02;
+    core::RunResult r = core::runProgram(p, cfg);
+    EXPECT_GE(r.stats.get("tx.abort.retry"), 5u);
+    EXPECT_GE(r.stats.get("txrace.retries"), 5u);
+    // Retried regions still commit; the program completes cleanly
+    // with no detection noise.
+    EXPECT_GT(r.stats.get("tx.committed"), 0u);
+    EXPECT_EQ(r.races.count(), 0u);
+
+    // Retrying is invisible to correctness: a racy variant still
+    // finds its race under heavy retry pressure.
+    ProgramBuilder b2;
+    Addr data2 = b2.alloc("data", 4096);
+    Addr racy = b2.alloc("racy", 8);
+    FuncId worker2 = b2.beginFunction("worker");
+    b2.loop(25, [&] {
+        pad(b2, data2);
+        b2.store(AddrExpr::absolute(racy), "retry racy store");
+        b2.syscall(1);
+    });
+    b2.endFunction();
+    b2.beginFunction("main");
+    b2.spawn(worker2, 3);
+    b2.joinAll();
+    b2.endFunction();
+    Program p2 = b2.build();
+    core::RunResult r2 = core::runProgram(p2, cfg);
+    EXPECT_EQ(r2.races.count(), 1u);
+}
+
+TEST(TxRace, RetryBudgetExhaustionFallsBackToSlowPath)
+{
+    ProgramBuilder b;
+    Addr data = b.alloc("data", 4096);
+    FuncId worker = b.beginFunction("worker");
+    b.loop(10, [&] {
+        pad(b, data);
+        b.syscall(1);
+    });
+    b.endFunction();
+    b.beginFunction("main");
+    b.spawn(worker, 2);
+    b.joinAll();
+    b.endFunction();
+    Program p = b.build();
+
+    core::RunConfig cfg = txraceConfig();
+    cfg.machine.retryAbortPerStep = 0.6;  // hopeless glitch storm
+    core::RunResult r = core::runProgram(p, cfg);
+    EXPECT_GE(r.stats.get("txrace.retry_exhausted"), 1u);
+    // The run still terminates and reports nothing false.
+    EXPECT_EQ(r.races.count(), 0u);
+}
+
+TEST(TxRace, ConflictAddressHintsKeepTheTriggeringRace)
+{
+    // §9 extension: with address hints the slow path only re-checks
+    // the conflicting line. The race that caused the episode is on
+    // that line, so it must still be found — while the bulk of the
+    // region's accesses are only filter-checked.
+    ProgramBuilder b;
+    Addr data = b.alloc("data", 4096);
+    Addr racy = b.alloc("racy", 8);
+    FuncId worker = b.beginFunction("worker");
+    b.loop(20, [&] {
+        pad(b, data);
+        b.store(AddrExpr::absolute(racy), "hinted racy store");
+        b.syscall(1);
+    });
+    b.endFunction();
+    b.beginFunction("main");
+    b.spawn(worker, 3);
+    b.joinAll();
+    b.endFunction();
+    Program p = b.build();
+
+    core::RunConfig plain = txraceConfig();
+    core::RunResult r_plain = core::runProgram(p, plain);
+
+    core::RunConfig hinted = txraceConfig();
+    hinted.conflictAddressHints = true;
+    core::RunResult r_hint = core::runProgram(p, hinted);
+
+    EXPECT_EQ(r_plain.races.count(), 1u);
+    EXPECT_EQ(r_hint.races.count(), 1u);
+    EXPECT_GT(r_hint.stats.get("txrace.hint_filtered"), 0u);
+    EXPECT_LE(r_hint.totalCost, r_plain.totalCost);
+}
+
+TEST(TxRace, HintsDoNotLeakIntoCapacityEpisodes)
+{
+    // Capacity/unknown fallbacks carry no conflict address, so they
+    // must keep checking the whole region even with hints enabled.
+    ProgramBuilder b;
+    Addr data = b.alloc("data", 4096);
+    Addr wide = b.alloc("wide", 16 * 4096 + 1024, 64);
+    Addr racy = b.alloc("racy", 8);
+    FuncId worker = b.beginFunction("worker");
+    b.loop(8, [&] {
+        pad(b, data);
+        b.loop(12, [&] {
+            AddrExpr e = AddrExpr::perThread(wide, 64);
+            e.loopStride = 4096;
+            b.store(e, "stream");
+        });
+        // The racy store lives in the overflowing region; only the
+        // capacity fallback's full re-check can record it.
+        b.store(AddrExpr::absolute(racy), "capacity racy store");
+        b.syscall(1);
+    });
+    b.endFunction();
+    b.beginFunction("main");
+    b.spawn(worker, 2);
+    b.joinAll();
+    b.endFunction();
+    Program p = b.build();
+
+    core::RunConfig cfg = txraceConfig();
+    cfg.mode = core::RunMode::TxRaceNoOpt;  // capacity abort each time
+    cfg.conflictAddressHints = true;
+    core::RunResult r = core::runProgram(p, cfg);
+    EXPECT_GE(r.stats.get("tx.abort.capacity"), 8u);
+    EXPECT_EQ(r.races.count(), 1u);
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for RaceSet: normalization, dedup, merge, recall math.
+ */
+
+#include <gtest/gtest.h>
+
+#include "detector/report.hh"
+
+using namespace txrace;
+using namespace txrace::detector;
+
+TEST(RaceSet, StartsEmpty)
+{
+    RaceSet s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_TRUE(s.all().empty());
+}
+
+TEST(RaceSet, RecordsAndNormalizesPair)
+{
+    RaceSet s;
+    s.record(9, 3, RaceKind::WriteWrite, 0x40);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_TRUE(s.contains(3, 9));
+    EXPECT_TRUE(s.contains(9, 3));
+    Race r = s.all()[0];
+    EXPECT_EQ(r.first, 3u);
+    EXPECT_EQ(r.second, 9u);
+    EXPECT_EQ(r.addr, 0x40u);
+    EXPECT_EQ(r.hits, 1u);
+}
+
+TEST(RaceSet, DuplicatesFoldIntoHits)
+{
+    RaceSet s;
+    s.record(1, 2, RaceKind::WriteRead, 0x40);
+    s.record(2, 1, RaceKind::ReadWrite, 0x80);
+    s.record(1, 2, RaceKind::WriteWrite, 0xc0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_EQ(s.all()[0].hits, 3u);
+    // First-seen kind and address stick.
+    EXPECT_EQ(s.all()[0].kind, RaceKind::WriteRead);
+    EXPECT_EQ(s.all()[0].addr, 0x40u);
+}
+
+TEST(RaceSet, SelfPairAllowed)
+{
+    // The same static instruction racing with itself across threads
+    // (e.g., canneal's swap store) is a single static race.
+    RaceSet s;
+    s.record(5, 5, RaceKind::WriteWrite, 0x40);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_TRUE(s.contains(5, 5));
+}
+
+TEST(RaceSet, DistinctPairsCounted)
+{
+    RaceSet s;
+    s.record(1, 2, RaceKind::WriteWrite, 0);
+    s.record(1, 3, RaceKind::WriteWrite, 0);
+    s.record(2, 3, RaceKind::WriteWrite, 0);
+    EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(RaceSet, MergeAccumulates)
+{
+    RaceSet a, b;
+    a.record(1, 2, RaceKind::WriteWrite, 0);
+    b.record(1, 2, RaceKind::WriteWrite, 0);
+    b.record(3, 4, RaceKind::WriteRead, 0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(a.all()[0].hits, 2u);
+}
+
+TEST(RaceSet, IntersectCount)
+{
+    RaceSet tool, reference;
+    reference.record(1, 2, RaceKind::WriteWrite, 0);
+    reference.record(3, 4, RaceKind::WriteWrite, 0);
+    reference.record(5, 6, RaceKind::WriteWrite, 0);
+    tool.record(2, 1, RaceKind::WriteWrite, 0);   // hit (normalized)
+    tool.record(5, 6, RaceKind::ReadWrite, 0);    // hit
+    tool.record(7, 8, RaceKind::WriteWrite, 0);   // not in reference
+    EXPECT_EQ(tool.intersectCount(reference), 2u);
+    EXPECT_EQ(reference.intersectCount(tool), 2u);
+}
+
+TEST(RaceSet, KeysAreSortedPairs)
+{
+    RaceSet s;
+    s.record(9, 3, RaceKind::WriteWrite, 0);
+    s.record(1, 2, RaceKind::WriteWrite, 0);
+    auto keys = s.keys();
+    ASSERT_EQ(keys.size(), 2u);
+    EXPECT_TRUE(keys.count({1, 2}));
+    EXPECT_TRUE(keys.count({3, 9}));
+}
+
+TEST(RaceSet, ClearEmpties)
+{
+    RaceSet s;
+    s.record(1, 2, RaceKind::WriteWrite, 0);
+    s.clear();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_FALSE(s.contains(1, 2));
+}

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Unit and property tests for vector clocks: the join operation must
+ * form a lattice (commutative, associative, idempotent), covers()
+ * must agree with the component order, and leq must be a partial
+ * order. The property tests sweep randomized clocks via TEST_P.
+ */
+
+#include <gtest/gtest.h>
+
+#include "detector/vectorclock.hh"
+#include "support/rng.hh"
+
+using namespace txrace;
+using namespace txrace::detector;
+
+TEST(VectorClock, DefaultIsZero)
+{
+    VectorClock vc;
+    EXPECT_EQ(vc.get(0), 0u);
+    EXPECT_EQ(vc.get(100), 0u);
+}
+
+TEST(VectorClock, SetGetRoundTrip)
+{
+    VectorClock vc;
+    vc.set(3, 17);
+    EXPECT_EQ(vc.get(3), 17u);
+    EXPECT_EQ(vc.get(2), 0u);
+    EXPECT_EQ(vc.get(4), 0u);
+}
+
+TEST(VectorClock, TickIncrements)
+{
+    VectorClock vc;
+    vc.tick(2);
+    vc.tick(2);
+    EXPECT_EQ(vc.get(2), 2u);
+}
+
+TEST(VectorClock, JoinTakesPointwiseMax)
+{
+    VectorClock a, b;
+    a.set(0, 5);
+    a.set(1, 1);
+    b.set(1, 7);
+    b.set(2, 2);
+    a.join(b);
+    EXPECT_EQ(a.get(0), 5u);
+    EXPECT_EQ(a.get(1), 7u);
+    EXPECT_EQ(a.get(2), 2u);
+}
+
+TEST(VectorClock, CoversEpoch)
+{
+    VectorClock vc;
+    vc.set(1, 10);
+    EXPECT_TRUE(vc.covers(Epoch{1, 10}));
+    EXPECT_TRUE(vc.covers(Epoch{1, 9}));
+    EXPECT_FALSE(vc.covers(Epoch{1, 11}));
+    EXPECT_FALSE(vc.covers(Epoch{2, 1}));
+    // The empty epoch (clock 0) is covered by everything.
+    EXPECT_TRUE(vc.covers(Epoch{5, 0}));
+}
+
+TEST(VectorClock, LeqBasic)
+{
+    VectorClock a, b;
+    a.set(0, 1);
+    b.set(0, 2);
+    b.set(1, 1);
+    EXPECT_TRUE(a.leq(b));
+    EXPECT_FALSE(b.leq(a));
+}
+
+TEST(VectorClock, ConcurrentClocksNeitherLeq)
+{
+    VectorClock a, b;
+    a.set(0, 2);
+    b.set(1, 2);
+    EXPECT_FALSE(a.leq(b));
+    EXPECT_FALSE(b.leq(a));
+}
+
+TEST(VectorClock, EqualityIgnoresTrailingZeros)
+{
+    VectorClock a, b;
+    a.set(0, 1);
+    b.set(0, 1);
+    b.set(5, 0);
+    EXPECT_TRUE(a == b);
+}
+
+TEST(VectorClock, EpochOf)
+{
+    VectorClock vc;
+    vc.set(2, 9);
+    Epoch e = vc.epochOf(2);
+    EXPECT_EQ(e.tid, 2u);
+    EXPECT_EQ(e.clock, 9u);
+    EXPECT_TRUE(vc.epochOf(7).empty());
+}
+
+// --------- randomized lattice-law properties ------------------------
+
+class VectorClockLaws : public ::testing::TestWithParam<uint64_t>
+{
+  protected:
+    VectorClock
+    randomClock(Rng &rng)
+    {
+        VectorClock vc;
+        Tid width = static_cast<Tid>(rng.range(1, 6));
+        for (Tid t = 0; t < width; ++t)
+            vc.set(t, rng.below(20));
+        return vc;
+    }
+};
+
+TEST_P(VectorClockLaws, JoinCommutative)
+{
+    Rng rng(GetParam());
+    for (int i = 0; i < 50; ++i) {
+        VectorClock a = randomClock(rng);
+        VectorClock b = randomClock(rng);
+        VectorClock ab = a;
+        ab.join(b);
+        VectorClock ba = b;
+        ba.join(a);
+        EXPECT_TRUE(ab == ba);
+    }
+}
+
+TEST_P(VectorClockLaws, JoinAssociative)
+{
+    Rng rng(GetParam() ^ 0x1111);
+    for (int i = 0; i < 50; ++i) {
+        VectorClock a = randomClock(rng);
+        VectorClock b = randomClock(rng);
+        VectorClock c = randomClock(rng);
+        VectorClock left = a;
+        left.join(b);
+        left.join(c);
+        VectorClock bc = b;
+        bc.join(c);
+        VectorClock right = a;
+        right.join(bc);
+        EXPECT_TRUE(left == right);
+    }
+}
+
+TEST_P(VectorClockLaws, JoinIdempotent)
+{
+    Rng rng(GetParam() ^ 0x2222);
+    for (int i = 0; i < 50; ++i) {
+        VectorClock a = randomClock(rng);
+        VectorClock aa = a;
+        aa.join(a);
+        EXPECT_TRUE(aa == a);
+    }
+}
+
+TEST_P(VectorClockLaws, JoinIsUpperBound)
+{
+    Rng rng(GetParam() ^ 0x3333);
+    for (int i = 0; i < 50; ++i) {
+        VectorClock a = randomClock(rng);
+        VectorClock b = randomClock(rng);
+        VectorClock j = a;
+        j.join(b);
+        EXPECT_TRUE(a.leq(j));
+        EXPECT_TRUE(b.leq(j));
+    }
+}
+
+TEST_P(VectorClockLaws, LeqAntisymmetricAndTransitive)
+{
+    Rng rng(GetParam() ^ 0x4444);
+    for (int i = 0; i < 50; ++i) {
+        VectorClock a = randomClock(rng);
+        VectorClock b = randomClock(rng);
+        VectorClock c = randomClock(rng);
+        if (a.leq(b) && b.leq(a)) {
+            EXPECT_TRUE(a == b);
+        }
+        if (a.leq(b) && b.leq(c)) {
+            EXPECT_TRUE(a.leq(c));
+        }
+        EXPECT_TRUE(a.leq(a));
+    }
+}
+
+TEST_P(VectorClockLaws, CoversMatchesComponent)
+{
+    Rng rng(GetParam() ^ 0x5555);
+    for (int i = 0; i < 50; ++i) {
+        VectorClock a = randomClock(rng);
+        Tid t = static_cast<Tid>(rng.below(6));
+        uint64_t clk = rng.below(25);
+        EXPECT_EQ(a.covers(Epoch{t, clk}), clk <= a.get(t));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VectorClockLaws,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * End-to-end integration properties across the full pipeline
+ * (builder -> passes -> machine -> policies -> reports), including
+ * the completeness property on randomized racy programs and the
+ * base-cost identity that underpins every overhead number in the
+ * benchmark harnesses.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/driver.hh"
+#include "ir/builder.hh"
+#include "support/rng.hh"
+
+using namespace txrace;
+using namespace txrace::ir;
+
+namespace {
+
+core::RunConfig
+config(core::RunMode mode, uint64_t seed = 1)
+{
+    core::RunConfig cfg;
+    cfg.mode = mode;
+    cfg.machine.seed = seed;
+    cfg.machine.interruptPerStep = 0.0;
+    return cfg;
+}
+
+/**
+ * Random multithreaded program with a controlled set of potentially
+ * racy variables: every cross-thread shared write goes to a
+ * dedicated "racy" pool; all other traffic is per-thread or
+ * read-only. The TSan race set is therefore the ground truth and
+ * TxRace's reports must be a subset of it.
+ */
+Program
+randomProgram(uint64_t seed)
+{
+    Rng rng(seed);
+    ProgramBuilder b;
+    Addr ro = b.alloc("readonly", 2048);
+    Addr own = b.alloc("own", 16 * 512);
+    Addr racy = b.alloc("racy", 8 * 64, 64);
+    uint32_t workers = 2 + static_cast<uint32_t>(rng.below(3));
+
+    FuncId worker = b.beginFunction("worker");
+    size_t blocks = 4 + rng.below(6);
+    for (size_t i = 0; i < blocks; ++i) {
+        b.loop(2 + rng.below(8), [&] {
+            for (int k = 0; k < 4; ++k)
+                b.load(AddrExpr::randomIn(ro, 256, 8));
+            b.store(AddrExpr::perThread(own, 512));
+            if (rng.chance(0.3))
+                b.compute(rng.below(5) + 1);
+        });
+        if (rng.chance(0.5))
+            b.store(AddrExpr::absolute(racy + 64 * rng.below(8)),
+                    "racy#" + std::to_string(i));
+        if (rng.chance(0.5))
+            b.syscall(1);
+        if (rng.chance(0.3))
+            b.barrier(0, workers);
+    }
+    b.endFunction();
+    b.beginFunction("main");
+    b.spawn(worker, workers);
+    b.joinAll();
+    b.endFunction();
+    return b.build();
+}
+
+} // namespace
+
+class EndToEnd : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(EndToEnd, TxRaceNeverReportsFalsePositives)
+{
+    // Ground truth by construction: the only accesses that can race
+    // are the stores into the dedicated racy pool (everything else is
+    // thread-private or read-only). Every report from every tool must
+    // involve exactly those instructions. (An exact set comparison
+    // against one TSan run would be too strong: FastTrack-style
+    // shadow summarization legitimately reports different — equally
+    // true — pairs under different schedules.)
+    Program p = randomProgram(GetParam());
+    auto all_racy_tagged = [&](const core::RunResult &r) {
+        for (const auto &race : r.races.all()) {
+            if (p.instr(race.first).tag.rfind("racy#", 0) != 0)
+                return false;
+            if (p.instr(race.second).tag.rfind("racy#", 0) != 0)
+                return false;
+        }
+        return true;
+    };
+    core::RunResult tsan =
+        core::runProgram(p, config(core::RunMode::TSan));
+    EXPECT_TRUE(all_racy_tagged(tsan));
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+        core::RunResult txr = core::runProgram(
+            p, config(core::RunMode::TxRaceDynLoopcut, seed));
+        EXPECT_TRUE(all_racy_tagged(txr))
+            << "program " << GetParam() << " seed " << seed;
+    }
+}
+
+TEST_P(EndToEnd, BaseCostMatchesNativeRun)
+{
+    // The Base bucket of any instrumented run must equal the native
+    // run's total: tools add work, they never change the application.
+    Program p = randomProgram(GetParam());
+    core::RunResult native =
+        core::runProgram(p, config(core::RunMode::Native));
+    for (core::RunMode mode :
+         {core::RunMode::TSan, core::RunMode::TxRaceDynLoopcut}) {
+        core::RunResult r = core::runProgram(p, config(mode));
+        EXPECT_EQ(r.buckets[static_cast<size_t>(sim::Bucket::Base)],
+                  native.totalCost)
+            << core::runModeName(mode) << " on program " << GetParam();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, EndToEnd,
+                         ::testing::Range<uint64_t>(100, 112));
+
+TEST(EndToEnd, QuickstartScenario)
+{
+    // The repository quickstart, as a regression test.
+    ProgramBuilder b;
+    Addr table = b.alloc("shared-table", 1024 * 8);
+    Addr counter = b.alloc("hit-counter", 8);
+    Addr slots = b.alloc("packed-slots", 5 * 8, 8);
+    FuncId worker = b.beginFunction("worker");
+    b.loop(8, [&] {
+        b.loop(5, [&] {
+            b.loop(8, [&] {
+                b.load(AddrExpr::randomIn(table, 1024, 8));
+                b.compute(5);
+            });
+            b.syscall(1);
+        });
+        b.store(AddrExpr::perThread(slots, 8));
+        b.load(AddrExpr::absolute(counter), "counter read");
+        b.store(AddrExpr::absolute(counter), "counter write");
+    });
+    b.endFunction();
+    b.beginFunction("main");
+    b.spawn(worker, 4);
+    b.joinAll();
+    b.endFunction();
+    Program p = b.build();
+
+    core::RunConfig cfg;
+    cfg.machine.seed = 42;
+    cfg.mode = core::RunMode::Native;
+    core::RunResult native = core::runProgram(p, cfg);
+    cfg.mode = core::RunMode::TSan;
+    core::RunResult tsan = core::runProgram(p, cfg);
+    cfg.mode = core::RunMode::TxRaceProfLoopcut;
+    core::RunResult txr = core::runProgram(p, cfg);
+
+    EXPECT_EQ(tsan.races.count(), 2u);
+    EXPECT_EQ(txr.races.count(), 2u);
+    EXPECT_LT(txr.overheadVs(native), tsan.overheadVs(native));
+    EXPECT_GT(txr.stats.get("tx.committed"), 0u);
+    EXPECT_GT(txr.stats.get("tx.abort.conflict"), 0u);
+}
+
+TEST(EndToEnd, RepeatedRunsAccumulateRaceSets)
+{
+    // The Fig. 10 mechanism at integration level: merging RaceSets
+    // across seeds never loses races and is monotone.
+    ProgramBuilder b;
+    Addr data = b.alloc("data", 4096);
+    Addr racy = b.alloc("racy", 4 * 64, 64);
+    FuncId worker = b.beginFunction("worker");
+    b.loop(6, [&] {
+        for (int i = 0; i < 6; ++i)
+            b.load(AddrExpr::randomIn(data, 64, 8));
+        for (int s = 0; s < 4; ++s)
+            b.store(AddrExpr::absolute(racy + 64 * s),
+                    "racy " + std::to_string(s));
+        b.syscall(1);
+    });
+    b.endFunction();
+    b.beginFunction("main");
+    b.spawn(worker, 2);
+    b.joinAll();
+    b.endFunction();
+    Program p = b.build();
+
+    detector::RaceSet cumulative;
+    size_t prev = 0;
+    for (uint64_t seed = 1; seed <= 4; ++seed) {
+        core::RunResult txr = core::runProgram(
+            p, config(core::RunMode::TxRaceDynLoopcut, seed));
+        cumulative.merge(txr.races);
+        EXPECT_GE(cumulative.count(), prev);
+        prev = cumulative.count();
+    }
+    core::RunResult tsan =
+        core::runProgram(p, config(core::RunMode::TSan));
+    EXPECT_LE(prev, tsan.races.count() == 0 ? 4u : tsan.races.count());
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Soak test: every workload at a larger scale and worker counts, in
+ * every detection mode, must complete without panics/deadlocks and
+ * keep the core invariants (no false positives, buckets sum to
+ * total). Coarser than the unit tests and the last line of defense
+ * against latent interactions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/driver.hh"
+#include "workloads/workloads.hh"
+
+using namespace txrace;
+
+TEST(Soak, AllAppsAllModesAtScaleTwo)
+{
+    for (const std::string &name : workloads::appNames()) {
+        workloads::WorkloadParams params;
+        params.nWorkers = 8;
+        params.scale = 2;
+        params.calibrate = false;
+        workloads::AppModel app = workloads::makeApp(name, params);
+
+        core::RunConfig cfg;
+        cfg.machine = app.machine;
+        cfg.machine.seed = 99;
+
+        cfg.mode = core::RunMode::TSan;
+        core::RunResult tsan = core::runProgram(app.program, cfg);
+
+        for (core::RunMode mode :
+             {core::RunMode::Native, core::RunMode::Eraser,
+              core::RunMode::RaceTM, core::RunMode::TxRaceNoOpt,
+              core::RunMode::TxRaceDynLoopcut,
+              core::RunMode::TxRaceProfLoopcut}) {
+            cfg.mode = mode;
+            core::RunResult r = core::runProgram(app.program, cfg);
+            uint64_t sum = 0;
+            for (uint64_t v : r.buckets)
+                sum += v;
+            EXPECT_EQ(sum, r.totalCost)
+                << name << " " << core::runModeName(mode);
+            if (core::isTxRaceMode(mode)) {
+                EXPECT_EQ(r.races.intersectCount(tsan.races),
+                          r.races.count())
+                    << name << " " << core::runModeName(mode)
+                    << ": reported a race TSan refutes";
+            }
+        }
+    }
+}

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Unit tests for ProgramBuilder: allocation, emission, structure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "mem/layout.hh"
+
+using namespace txrace;
+using namespace txrace::ir;
+
+TEST(Builder, AllocRespectsAlignment)
+{
+    ProgramBuilder b;
+    Addr a = b.alloc("a", 10, 64);
+    Addr c = b.alloc("c", 4, 64);
+    EXPECT_EQ(a % 64, 0u);
+    EXPECT_EQ(c % 64, 0u);
+    EXPECT_GE(c, a + 10);
+}
+
+TEST(Builder, AllocAvoidsAddressZero)
+{
+    ProgramBuilder b;
+    Addr a = b.alloc("first", 8, 8);
+    EXPECT_GE(a, 64u);  // low line reserved (TxFail flag lives there)
+}
+
+TEST(Builder, AllocGrowsAddressSpace)
+{
+    ProgramBuilder b;
+    b.alloc("x", 100);
+    b.beginFunction("main");
+    b.compute(1);
+    b.endFunction();
+    Program p = b.build();
+    EXPECT_GE(p.addrSpaceSize(), 164u);
+}
+
+TEST(Builder, AllocPrivateRecordsRange)
+{
+    ProgramBuilder b;
+    Addr a = b.allocPrivate("priv", 128);
+    b.beginFunction("main");
+    b.compute(1);
+    b.endFunction();
+    Program p = b.build();
+    ASSERT_EQ(p.privateRanges().size(), 1u);
+    EXPECT_EQ(p.privateRanges()[0].lo, a);
+    EXPECT_EQ(p.privateRanges()[0].hi, a + 128);
+    EXPECT_TRUE(p.privateRanges()[0].contains(a + 64));
+    EXPECT_FALSE(p.privateRanges()[0].contains(a + 128));
+}
+
+TEST(Builder, EmitsExpectedOpcodes)
+{
+    ProgramBuilder b;
+    b.beginFunction("f");
+    b.load(AddrExpr::absolute(64));
+    b.store(AddrExpr::absolute(72), "tagged");
+    b.compute(5);
+    b.lock(1);
+    b.unlock(1);
+    b.signal(2);
+    b.wait(2);
+    b.barrier(3, 4);
+    b.syscall(9);
+    b.endFunction();
+    Program p = b.build();
+    const auto &body = p.function(0).body;
+    ASSERT_EQ(body.size(), 9u);
+    EXPECT_EQ(body[0].op, OpCode::Load);
+    EXPECT_EQ(body[1].op, OpCode::Store);
+    EXPECT_EQ(body[1].tag, "tagged");
+    EXPECT_EQ(body[2].op, OpCode::Compute);
+    EXPECT_EQ(body[2].arg0, 5u);
+    EXPECT_EQ(body[3].op, OpCode::LockAcquire);
+    EXPECT_EQ(body[4].op, OpCode::LockRelease);
+    EXPECT_EQ(body[5].op, OpCode::CondSignal);
+    EXPECT_EQ(body[6].op, OpCode::CondWait);
+    EXPECT_EQ(body[7].op, OpCode::Barrier);
+    EXPECT_EQ(body[7].arg1, 4u);
+    EXPECT_EQ(body[8].op, OpCode::Syscall);
+}
+
+TEST(Builder, PrivateAccessesNotInstrumented)
+{
+    ProgramBuilder b;
+    b.beginFunction("f");
+    b.loadPrivate(AddrExpr::absolute(64));
+    b.storePrivate(AddrExpr::absolute(72));
+    b.load(AddrExpr::absolute(80));
+    b.endFunction();
+    Program p = b.build();
+    const auto &body = p.function(0).body;
+    EXPECT_FALSE(body[0].instrumented);
+    EXPECT_FALSE(body[1].instrumented);
+    EXPECT_TRUE(body[2].instrumented);
+}
+
+TEST(Builder, StructuredLoop)
+{
+    ProgramBuilder b;
+    b.beginFunction("f");
+    b.loop(10, [&] { b.compute(1); });
+    b.endFunction();
+    Program p = b.build();
+    const auto &body = p.function(0).body;
+    ASSERT_EQ(body.size(), 3u);
+    EXPECT_EQ(body[0].op, OpCode::LoopBegin);
+    EXPECT_EQ(body[0].arg0, 10u);
+    EXPECT_EQ(body[2].op, OpCode::LoopEnd);
+    EXPECT_EQ(body[0].match, 2);
+    EXPECT_EQ(body[2].match, 0);
+}
+
+TEST(Builder, SpawnEmitsOnePerCount)
+{
+    ProgramBuilder b;
+    b.beginFunction("w");
+    b.compute(1);
+    b.endFunction();
+    b.beginFunction("main");
+    b.spawn(0, 3);
+    b.joinAll();
+    b.endFunction();
+    Program p = b.build();
+    const auto &body = p.function(1).body;
+    ASSERT_EQ(body.size(), 4u);
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(body[static_cast<size_t>(i)].op,
+                  OpCode::ThreadCreate);
+        EXPECT_EQ(body[static_cast<size_t>(i)].arg0, 0u);
+    }
+    EXPECT_EQ(body[3].op, OpCode::ThreadJoin);
+    EXPECT_EQ(body[3].arg0, ~0ull);
+}
+
+TEST(Builder, EntryDefaultsToLastFunction)
+{
+    ProgramBuilder b;
+    b.beginFunction("w");
+    b.compute(1);
+    b.endFunction();
+    b.beginFunction("main");
+    b.compute(1);
+    b.endFunction();
+    Program p = b.build();
+    EXPECT_EQ(p.entry(), 1u);
+}
+
+TEST(Builder, SetEntryOverrides)
+{
+    ProgramBuilder b;
+    FuncId first = b.beginFunction("first");
+    b.compute(1);
+    b.endFunction();
+    b.beginFunction("second");
+    b.compute(1);
+    b.endFunction();
+    b.setEntry(first);
+    Program p = b.build();
+    EXPECT_EQ(p.entry(), first);
+}
+
+TEST(Builder, ReusableAfterBuild)
+{
+    ProgramBuilder b;
+    b.beginFunction("main");
+    b.compute(1);
+    b.endFunction();
+    Program p1 = b.build();
+    b.beginFunction("main2");
+    b.compute(2);
+    b.endFunction();
+    Program p2 = b.build();
+    EXPECT_EQ(p1.function(0).name, "main");
+    EXPECT_EQ(p2.function(0).name, "main2");
+}
+
+TEST(BuilderDeathTest, UnbalancedLoopPanics)
+{
+    ProgramBuilder b;
+    b.beginFunction("f");
+    b.loopBegin(3);
+    EXPECT_DEATH(b.endFunction(), "open loops");
+}
+
+TEST(BuilderDeathTest, LoopEndWithoutBeginPanics)
+{
+    ProgramBuilder b;
+    b.beginFunction("f");
+    EXPECT_DEATH(b.loopEnd(), "without loopBegin");
+}
+
+TEST(BuilderDeathTest, EmitOutsideFunctionPanics)
+{
+    ProgramBuilder b;
+    EXPECT_DEATH(b.compute(1), "outside a function");
+}
+
+TEST(BuilderDeathTest, NestedBeginFunctionPanics)
+{
+    ProgramBuilder b;
+    b.beginFunction("f");
+    EXPECT_DEATH(b.beginFunction("g"), "still open");
+}
+
+TEST(BuilderDeathTest, BuildWithOpenFunctionPanics)
+{
+    ProgramBuilder b;
+    b.beginFunction("f");
+    b.compute(1);
+    EXPECT_DEATH(b.build(), "still open");
+}
+
+TEST(BuilderDeathTest, EmptyProgramFatals)
+{
+    ProgramBuilder b;
+    EXPECT_EXIT(b.build(), testing::ExitedWithCode(1), "empty program");
+}
+
+TEST(BuilderDeathTest, ZeroTripLoopFatals)
+{
+    ProgramBuilder b;
+    b.beginFunction("f");
+    EXPECT_EXIT(b.loopBegin(0), testing::ExitedWithCode(1),
+                "zero-trip");
+}
+
+TEST(BuilderDeathTest, BadAlignmentFatals)
+{
+    ProgramBuilder b;
+    EXPECT_EXIT(b.alloc("x", 8, 3), testing::ExitedWithCode(1),
+                "power of two");
+}

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Unit tests for Program: finalize, id assignment, loop matching,
+ * refinalize stability, and the transactional-form checker.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "ir/program.hh"
+
+using namespace txrace;
+using namespace txrace::ir;
+
+namespace {
+
+Instruction
+op(OpCode code, uint64_t arg0 = 0, uint64_t arg1 = 0)
+{
+    Instruction i;
+    i.op = code;
+    i.arg0 = arg0;
+    i.arg1 = arg1;
+    return i;
+}
+
+Program
+fromOps(std::vector<Instruction> body)
+{
+    Program p;
+    Function fn;
+    fn.name = "f";
+    fn.body = std::move(body);
+    p.addFunction(std::move(fn));
+    p.finalize();
+    return p;
+}
+
+} // namespace
+
+TEST(Program, FinalizeAssignsSequentialIds)
+{
+    Program p = fromOps({op(OpCode::Compute, 1), op(OpCode::Nop),
+                         op(OpCode::Compute, 2)});
+    const auto &body = p.function(0).body;
+    EXPECT_EQ(body[0].id, 0u);
+    EXPECT_EQ(body[1].id, 1u);
+    EXPECT_EQ(body[2].id, 2u);
+    EXPECT_EQ(p.numInstructions(), 3u);
+}
+
+TEST(Program, InstrLookupById)
+{
+    Program p = fromOps({op(OpCode::Compute, 7), op(OpCode::Syscall, 3)});
+    EXPECT_EQ(p.instr(0).arg0, 7u);
+    EXPECT_EQ(p.instr(1).op, OpCode::Syscall);
+    EXPECT_EQ(p.funcOf(1), 0u);
+}
+
+TEST(Program, NestedLoopMatching)
+{
+    Program p = fromOps({op(OpCode::LoopBegin, 2),
+                         op(OpCode::LoopBegin, 3),
+                         op(OpCode::Compute, 1), op(OpCode::LoopEnd),
+                         op(OpCode::LoopEnd)});
+    const auto &body = p.function(0).body;
+    EXPECT_EQ(body[0].match, 4);
+    EXPECT_EQ(body[1].match, 3);
+    EXPECT_EQ(body[3].match, 1);
+    EXPECT_EQ(body[4].match, 0);
+}
+
+TEST(Program, RefinalizeKeepsExistingIds)
+{
+    Program p = fromOps({op(OpCode::Compute, 1), op(OpCode::Compute, 2)});
+    // Insert an instruction in front, as a pass would.
+    auto &body = p.function(0).body;
+    body.insert(body.begin(), op(OpCode::TxBegin));
+    body.push_back(op(OpCode::TxEnd));
+    p.refinalize();
+    // Original instructions keep ids 0 and 1; new ones get fresh ids.
+    EXPECT_EQ(body[1].id, 0u);
+    EXPECT_EQ(body[2].id, 1u);
+    EXPECT_GE(body[0].id, 2u);
+    EXPECT_GE(body[3].id, 2u);
+    EXPECT_NE(body[0].id, body[3].id);
+    // Lookup still works for everyone.
+    EXPECT_EQ(p.instr(body[0].id).op, OpCode::TxBegin);
+}
+
+TEST(ProgramDeathTest, FinalizeTwicePanics)
+{
+    Program p = fromOps({op(OpCode::Nop)});
+    EXPECT_DEATH(p.finalize(), "twice");
+}
+
+TEST(ProgramDeathTest, UnknownInstrIdPanics)
+{
+    Program p = fromOps({op(OpCode::Nop)});
+    EXPECT_DEATH(p.instr(55), "unknown id");
+}
+
+TEST(ProgramDeathTest, UnmatchedLoopEndFatals)
+{
+    Program p;
+    Function fn;
+    fn.name = "f";
+    fn.body = {op(OpCode::LoopEnd)};
+    p.addFunction(std::move(fn));
+    EXPECT_EXIT(p.finalize(), testing::ExitedWithCode(1),
+                "unmatched LoopEnd");
+}
+
+TEST(ProgramDeathTest, UnmatchedLoopBeginFatals)
+{
+    Program p;
+    Function fn;
+    fn.name = "f";
+    fn.body = {op(OpCode::LoopBegin, 2)};
+    p.addFunction(std::move(fn));
+    EXPECT_EXIT(p.finalize(), testing::ExitedWithCode(1),
+                "unmatched LoopBegin");
+}
+
+TEST(ProgramDeathTest, CreateOfUnknownFunctionFatals)
+{
+    Program p;
+    Function fn;
+    fn.name = "f";
+    fn.body = {op(OpCode::ThreadCreate, 9)};
+    p.addFunction(std::move(fn));
+    EXPECT_EXIT(p.finalize(), testing::ExitedWithCode(1),
+                "unknown function");
+}
+
+TEST(ProgramDeathTest, BarrierWithoutParticipantsFatals)
+{
+    Program p;
+    Function fn;
+    fn.name = "f";
+    fn.body = {op(OpCode::Barrier, 0, 0)};
+    p.addFunction(std::move(fn));
+    EXPECT_EXIT(p.finalize(), testing::ExitedWithCode(1),
+                "participants");
+}
+
+// ---- checkTransactionalForm ----------------------------------------
+
+TEST(TxForm, AcceptsWellFormed)
+{
+    Program p = fromOps({op(OpCode::TxBegin), op(OpCode::Compute, 1),
+                         op(OpCode::TxEnd), op(OpCode::Syscall, 1),
+                         op(OpCode::TxBegin), op(OpCode::Compute, 1),
+                         op(OpCode::TxEnd)});
+    EXPECT_EQ(p.checkTransactionalForm(), "");
+}
+
+TEST(TxForm, AcceptsLoopInvariantCut)
+{
+    // loop { tx.end; sync; tx.begin } with the state equal at both
+    // loop boundaries.
+    Program p = fromOps({op(OpCode::TxBegin), op(OpCode::LoopBegin, 2),
+                         op(OpCode::TxEnd), op(OpCode::Syscall, 1),
+                         op(OpCode::TxBegin), op(OpCode::LoopEnd),
+                         op(OpCode::TxEnd)});
+    EXPECT_EQ(p.checkTransactionalForm(), "");
+}
+
+TEST(TxForm, RejectsNestedTxBegin)
+{
+    Program p = fromOps({op(OpCode::TxBegin), op(OpCode::TxBegin)});
+    EXPECT_NE(p.checkTransactionalForm().find("nested"),
+              std::string::npos);
+}
+
+TEST(TxForm, RejectsStrayTxEnd)
+{
+    Program p = fromOps({op(OpCode::TxEnd)});
+    EXPECT_NE(p.checkTransactionalForm().find("outside"),
+              std::string::npos);
+}
+
+TEST(TxForm, RejectsSyscallInsideTx)
+{
+    Program p = fromOps({op(OpCode::TxBegin), op(OpCode::Syscall, 1),
+                         op(OpCode::TxEnd)});
+    EXPECT_NE(p.checkTransactionalForm().find("system call"),
+              std::string::npos);
+}
+
+TEST(TxForm, RejectsSyncInsideTx)
+{
+    Program p = fromOps({op(OpCode::TxBegin),
+                         op(OpCode::LockAcquire, 0),
+                         op(OpCode::TxEnd)});
+    EXPECT_NE(p.checkTransactionalForm().find("inside transaction"),
+              std::string::npos);
+}
+
+TEST(TxForm, RejectsLoopVariantState)
+{
+    // Transaction opens inside the loop but was closed at entry.
+    Program p = fromOps({op(OpCode::LoopBegin, 2),
+                         op(OpCode::TxBegin), op(OpCode::LoopEnd),
+                         op(OpCode::TxEnd)});
+    EXPECT_NE(p.checkTransactionalForm().find("loop-invariant"),
+              std::string::npos);
+}
+
+TEST(TxForm, RejectsOpenAtFunctionEnd)
+{
+    Program p = fromOps({op(OpCode::TxBegin), op(OpCode::Compute, 1)});
+    EXPECT_NE(p.checkTransactionalForm().find("falls off"),
+              std::string::npos);
+}
+
+TEST(TxForm, RejectsLoopCutOutsideLoop)
+{
+    Program p = fromOps({op(OpCode::TxBegin), op(OpCode::LoopCut),
+                         op(OpCode::TxEnd)});
+    EXPECT_NE(p.checkTransactionalForm().find("outside loop"),
+              std::string::npos);
+}
+
+TEST(TxForm, UninstrumentedProgramIsTriviallyValid)
+{
+    Program p = fromOps({op(OpCode::Compute, 1), op(OpCode::Syscall, 1)});
+    EXPECT_EQ(p.checkTransactionalForm(), "");
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit tests for address geometry and VirtualMemory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/layout.hh"
+#include "mem/memory.hh"
+
+using namespace txrace;
+using namespace txrace::mem;
+
+TEST(Layout, LineMath)
+{
+    EXPECT_EQ(lineOf(0), 0u);
+    EXPECT_EQ(lineOf(63), 0u);
+    EXPECT_EQ(lineOf(64), 1u);
+    EXPECT_EQ(lineOf(128), 2u);
+    EXPECT_EQ(lineBase(2), 128u);
+    EXPECT_EQ(kLineSize, 64u);
+}
+
+TEST(Layout, GranuleMath)
+{
+    EXPECT_EQ(granuleOf(0), 0u);
+    EXPECT_EQ(granuleOf(7), 0u);
+    EXPECT_EQ(granuleOf(8), 1u);
+    EXPECT_EQ(kGranuleSize, 8u);
+}
+
+TEST(Layout, GranulesPerLine)
+{
+    EXPECT_EQ(kLineSize / kGranuleSize, 8u);
+    // All eight granules of line 1 map back to line 1.
+    for (Addr a = 64; a < 128; a += 8)
+        EXPECT_EQ(lineOf(a), 1u);
+}
+
+TEST(Layout, FalseSharingPredicate)
+{
+    // Same line, different granules: false sharing.
+    EXPECT_TRUE(falseSharing(64, 72));
+    // Same granule: true sharing.
+    EXPECT_FALSE(falseSharing(64, 67));
+    // Different lines: no sharing at all.
+    EXPECT_FALSE(falseSharing(64, 128));
+}
+
+TEST(VirtualMemory, UntouchedReadsZero)
+{
+    VirtualMemory m;
+    EXPECT_EQ(m.load(0x1234), 0u);
+    EXPECT_EQ(m.footprint(), 0u);
+}
+
+TEST(VirtualMemory, StoreLoadRoundTrip)
+{
+    VirtualMemory m;
+    m.store(0x100, 42);
+    EXPECT_EQ(m.load(0x100), 42u);
+    EXPECT_EQ(m.footprint(), 1u);
+}
+
+TEST(VirtualMemory, GranuleAliasing)
+{
+    VirtualMemory m;
+    m.store(0x100, 1);
+    // Same 8-byte granule: overwrites.
+    m.store(0x104, 2);
+    EXPECT_EQ(m.load(0x100), 2u);
+    // Different granule: independent.
+    m.store(0x108, 3);
+    EXPECT_EQ(m.load(0x100), 2u);
+    EXPECT_EQ(m.load(0x108), 3u);
+    EXPECT_EQ(m.footprint(), 2u);
+}
+
+TEST(VirtualMemory, ClearEmpties)
+{
+    VirtualMemory m;
+    m.store(8, 9);
+    m.clear();
+    EXPECT_EQ(m.load(8), 0u);
+    EXPECT_EQ(m.footprint(), 0u);
+}

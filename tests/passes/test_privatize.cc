@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests for the privatization pass (TSan static-elision stand-in).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "passes/passes.hh"
+
+using namespace txrace;
+using namespace txrace::ir;
+
+TEST(Privatize, ClearsAccessesInsidePrivateRanges)
+{
+    ProgramBuilder b;
+    Addr priv = b.allocPrivate("priv", 256);
+    Addr shared = b.alloc("shared", 256);
+    b.beginFunction("main");
+    b.load(AddrExpr::absolute(priv));
+    b.load(AddrExpr::absolute(priv + 248));
+    b.load(AddrExpr::absolute(shared));
+    b.store(AddrExpr::perThread(priv, 8));
+    b.endFunction();
+    Program p = b.build();
+
+    passes::privatize(p);
+    const auto &body = p.function(0).body;
+    EXPECT_FALSE(body[0].instrumented);
+    EXPECT_FALSE(body[1].instrumented);
+    EXPECT_TRUE(body[2].instrumented);
+    EXPECT_FALSE(body[3].instrumented);
+}
+
+TEST(Privatize, NoRangesIsANoOp)
+{
+    ProgramBuilder b;
+    Addr shared = b.alloc("shared", 64);
+    b.beginFunction("main");
+    b.load(AddrExpr::absolute(shared));
+    b.endFunction();
+    Program p = b.build();
+    passes::privatize(p);
+    EXPECT_TRUE(p.function(0).body[0].instrumented);
+}
+
+TEST(Privatize, DoesNotTouchNonMemoryOps)
+{
+    ProgramBuilder b;
+    b.allocPrivate("priv", 64);
+    b.beginFunction("main");
+    b.compute(3);
+    b.syscall(1);
+    b.endFunction();
+    Program p = b.build();
+    passes::privatize(p);  // must not crash or alter anything
+    EXPECT_EQ(p.function(0).body.size(), 2u);
+}
+
+TEST(Privatize, AlreadyUninstrumentedStaysCleared)
+{
+    ProgramBuilder b;
+    Addr shared = b.alloc("shared", 64);
+    b.beginFunction("main");
+    b.loadPrivate(AddrExpr::absolute(shared));
+    b.endFunction();
+    Program p = b.build();
+    passes::privatize(p);
+    EXPECT_FALSE(p.function(0).body[0].instrumented);
+}
+
+TEST(PrivatizeDeathTest, RequiresFinalizedProgram)
+{
+    Program p;
+    Function fn;
+    fn.name = "f";
+    p.addFunction(std::move(fn));
+    EXPECT_EXIT(passes::privatize(p), testing::ExitedWithCode(1),
+                "not finalized");
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests of the structured event log: disabled by default, ordered
+ * stamps, the TxFail protocol sequence of paper Figure 3, and the
+ * truncation guard.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/driver.hh"
+#include "ir/builder.hh"
+#include "sim/eventlog.hh"
+
+using namespace txrace;
+using namespace txrace::ir;
+
+namespace {
+
+Program
+conflictingProgram()
+{
+    ProgramBuilder b;
+    Addr data = b.alloc("data", 4096);
+    Addr racy = b.alloc("racy", 8);
+    FuncId worker = b.beginFunction("worker");
+    b.loop(10, [&] {
+        for (int i = 0; i < 6; ++i)
+            b.load(AddrExpr::absolute(data + 8 * i), "pad");
+        b.store(AddrExpr::absolute(racy), "unlocked");
+        b.syscall(1);
+    });
+    b.endFunction();
+    b.beginFunction("main");
+    b.spawn(worker, 3);
+    b.joinAll();
+    b.endFunction();
+    return b.build();
+}
+
+} // namespace
+
+TEST(EventLog, DisabledByDefault)
+{
+    Program p = conflictingProgram();
+    core::RunConfig cfg;
+    cfg.mode = core::RunMode::TxRaceDynLoopcut;
+    cfg.machine.interruptPerStep = 0.0;
+    core::RunResult r = core::runProgram(p, cfg);
+    EXPECT_TRUE(r.events.events().empty());
+}
+
+TEST(EventLog, RecordsTheTxFailProtocolSequence)
+{
+    Program p = conflictingProgram();
+    core::RunConfig cfg;
+    cfg.mode = core::RunMode::TxRaceDynLoopcut;
+    cfg.machine.interruptPerStep = 0.0;
+    cfg.machine.recordEvents = true;
+    core::RunResult r = core::runProgram(p, cfg);
+
+    const auto &events = r.events.events();
+    ASSERT_FALSE(events.empty());
+
+    // Steps are monotone.
+    for (size_t i = 1; i < events.size(); ++i)
+        EXPECT_LE(events[i - 1].step, events[i].step);
+
+    // The Figure-3 sequence appears in order for some conflict:
+    // conflict-abort -> txfail-write (same thread) -> slow-enter of
+    // another thread -> its slow-exit.
+    auto find_after = [&](size_t from, const std::string &kind) {
+        for (size_t i = from; i < events.size(); ++i)
+            if (events[i].kind == kind)
+                return i;
+        return events.size();
+    };
+    size_t abort_at = find_after(0, "conflict-abort");
+    ASSERT_LT(abort_at, events.size());
+    size_t txfail_at = find_after(abort_at, "txfail-write");
+    ASSERT_LT(txfail_at, events.size());
+    EXPECT_EQ(events[abort_at].tid, events[txfail_at].tid);
+    size_t enter_at = find_after(txfail_at, "slow-enter");
+    ASSERT_LT(enter_at, events.size());
+    EXPECT_NE(events[enter_at].tid, events[txfail_at].tid);
+    size_t exit_at = find_after(enter_at, "slow-exit");
+    EXPECT_LT(exit_at, events.size());
+
+    // Commits were recorded too.
+    EXPECT_LT(find_after(0, "xbegin"), events.size());
+    EXPECT_LT(find_after(0, "commit"), events.size());
+}
+
+TEST(EventLog, PrintLimitsAndCounts)
+{
+    sim::EventLog log;
+    log.enable();
+    for (uint64_t i = 0; i < 10; ++i)
+        log.record(i, 1, "tick", "detail");
+    std::ostringstream os;
+    log.print(os, 3);
+    EXPECT_NE(os.str().find("[0] t1 tick: detail"), std::string::npos);
+    EXPECT_NE(os.str().find("(7 more)"), std::string::npos);
+}
+
+TEST(EventLog, RecordIsNoOpWhenDisabled)
+{
+    sim::EventLog log;
+    log.record(1, 1, "tick");
+    EXPECT_TRUE(log.events().empty());
+}

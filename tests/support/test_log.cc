@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Unit tests for logging helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/log.hh"
+
+using namespace txrace;
+
+TEST(Log, Strprintf)
+{
+    EXPECT_EQ(strprintf("x=%d y=%s", 3, "abc"), "x=3 y=abc");
+    EXPECT_EQ(strprintf("plain"), "plain");
+    EXPECT_EQ(strprintf("%llu", 18446744073709551615ull),
+              "18446744073709551615");
+}
+
+TEST(Log, LevelRoundTrip)
+{
+    LogLevel old = logLevel();
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_EQ(logLevel(), LogLevel::Quiet);
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(old);
+}
+
+TEST(Log, WarnAndInformDoNotCrash)
+{
+    warn("test warning %d", 1);
+    inform("test info %s", "ok");
+    debugLog("debug %d", 2);
+}
+
+TEST(LogDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 9), "boom 9");
+}
+
+TEST(LogDeathTest, FatalExits)
+{
+    EXPECT_EXIT(fatal("bad config %s", "x"),
+                testing::ExitedWithCode(1), "bad config x");
+}

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit and property tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "support/rng.hh"
+
+using namespace txrace;
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++equal;
+    EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, ReseedRestartsStream)
+{
+    Rng a(7);
+    std::vector<uint64_t> first;
+    for (int i = 0; i < 10; ++i)
+        first.push_back(a.next());
+    a.reseed(7);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(a.next(), first[static_cast<size_t>(i)]);
+}
+
+TEST(Rng, CopyDivergesIndependently)
+{
+    // Snapshot/rollback relies on copies replaying identically.
+    Rng a(5);
+    a.next();
+    Rng copy = a;
+    uint64_t from_a = a.next();
+    uint64_t from_copy = copy.next();
+    EXPECT_EQ(from_a, from_copy);
+}
+
+TEST(Rng, BelowInBounds)
+{
+    Rng r(3);
+    for (uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1ull << 40}) {
+        for (int i = 0; i < 200; ++i)
+            ASSERT_LT(r.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero)
+{
+    Rng r(9);
+    for (int i = 0; i < 50; ++i)
+        ASSERT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(11);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        uint64_t v = r.range(3, 5);
+        ASSERT_GE(v, 3u);
+        ASSERT_LE(v, 5u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 3u);  // all three values appear
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(13);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(17);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+        EXPECT_FALSE(r.chance(-0.5));
+        EXPECT_TRUE(r.chance(1.5));
+    }
+}
+
+TEST(Rng, ChanceFrequency)
+{
+    Rng r(19);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += r.chance(0.25);
+    EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng a(23);
+    Rng child = a.split();
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == child.next())
+            ++equal;
+    EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Rng r(29);
+    constexpr uint64_t kBuckets = 8;
+    int counts[kBuckets] = {};
+    constexpr int kDraws = 80000;
+    for (int i = 0; i < kDraws; ++i)
+        ++counts[r.below(kBuckets)];
+    for (uint64_t b = 0; b < kBuckets; ++b)
+        EXPECT_NEAR(counts[b], kDraws / kBuckets,
+                    kDraws / kBuckets * 0.1);
+}
+
+TEST(Splitmix, DeterministicAndMixing)
+{
+    uint64_t s1 = 1, s2 = 1;
+    EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+    EXPECT_EQ(s1, s2);
+    uint64_t s3 = 2;
+    EXPECT_NE(splitmix64(s3), splitmix64(s1));
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unit tests for StatSet and geoMean.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/stats.hh"
+
+using namespace txrace;
+
+TEST(StatSet, StartsEmpty)
+{
+    StatSet s;
+    EXPECT_EQ(s.get("anything"), 0u);
+    EXPECT_TRUE(s.all().empty());
+}
+
+TEST(StatSet, AddAccumulates)
+{
+    StatSet s;
+    s.add("x");
+    s.add("x", 4);
+    EXPECT_EQ(s.get("x"), 5u);
+}
+
+TEST(StatSet, SetOverwrites)
+{
+    StatSet s;
+    s.add("x", 10);
+    s.set("x", 3);
+    EXPECT_EQ(s.get("x"), 3u);
+}
+
+TEST(StatSet, MergeSumsSharedNames)
+{
+    StatSet a, b;
+    a.add("shared", 2);
+    a.add("only-a", 1);
+    b.add("shared", 3);
+    b.add("only-b", 7);
+    a.merge(b);
+    EXPECT_EQ(a.get("shared"), 5u);
+    EXPECT_EQ(a.get("only-a"), 1u);
+    EXPECT_EQ(a.get("only-b"), 7u);
+}
+
+TEST(StatSet, ClearRemovesEverything)
+{
+    StatSet s;
+    s.add("x", 2);
+    s.clear();
+    EXPECT_EQ(s.get("x"), 0u);
+    EXPECT_TRUE(s.all().empty());
+}
+
+TEST(StatSet, IterationIsSorted)
+{
+    StatSet s;
+    s.add("zebra");
+    s.add("alpha");
+    s.add("mid");
+    std::vector<std::string> names;
+    for (const auto &[name, value] : s.all())
+        names.push_back(name);
+    EXPECT_EQ(names, (std::vector<std::string>{"alpha", "mid", "zebra"}));
+}
+
+TEST(GeoMean, EmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(geoMean({}), 0.0);
+}
+
+TEST(GeoMean, SingleValue)
+{
+    EXPECT_NEAR(geoMean({4.2}), 4.2, 1e-12);
+}
+
+TEST(GeoMean, KnownValue)
+{
+    EXPECT_NEAR(geoMean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geoMean({1.0, 10.0, 100.0}), 10.0, 1e-9);
+}
+
+TEST(GeoMean, InvariantUnderPermutation)
+{
+    EXPECT_NEAR(geoMean({3.0, 5.0, 7.0}), geoMean({7.0, 3.0, 5.0}),
+                1e-12);
+}
+
+TEST(GeoMeanDeathTest, PanicsOnNonPositive)
+{
+    EXPECT_DEATH(geoMean({1.0, 0.0}), "non-positive");
+    EXPECT_DEATH(geoMean({-2.0}), "non-positive");
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Unit tests for the table/CSV writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/table.hh"
+
+using namespace txrace;
+
+namespace {
+
+Table
+sampleTable()
+{
+    Table t({"name", "count", "factor"});
+    t.newRow();
+    t.cell(std::string("alpha"));
+    t.cell(uint64_t{42});
+    t.cellFactor(1.5);
+    t.newRow();
+    t.cell(std::string("b"));
+    t.cell(uint64_t{7});
+    t.cellFactor(10.25);
+    return t;
+}
+
+} // namespace
+
+TEST(Table, RowCount)
+{
+    Table t = sampleTable();
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Table, PrintAlignsColumns)
+{
+    std::ostringstream os;
+    sampleTable().print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("1.50x"), std::string::npos);
+    EXPECT_NE(out.find("10.25x"), std::string::npos);
+    // The separator line exists.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvOutput)
+{
+    std::ostringstream os;
+    sampleTable().printCsv(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("name,count,factor\n"), std::string::npos);
+    EXPECT_NE(out.find("alpha,42,1.50x\n"), std::string::npos);
+}
+
+TEST(Table, DoubleCellPrecision)
+{
+    Table t({"v"});
+    t.newRow();
+    t.cell(3.14159, 3);
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_NE(os.str().find("3.142"), std::string::npos);
+}
+
+TEST(Table, EmptyTablePrintsHeaderOnly)
+{
+    Table t({"a", "b"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("a"), std::string::npos);
+}
+
+TEST(TableDeathTest, CellBeforeRowPanics)
+{
+    Table t({"a"});
+    EXPECT_DEATH(t.cell(std::string("x")), "before newRow");
+}
+
+TEST(TableDeathTest, TooManyCellsPanics)
+{
+    Table t({"a"});
+    t.newRow();
+    t.cell(std::string("x"));
+    EXPECT_DEATH(t.cell(std::string("y")), "too many");
+}
+
+TEST(TableDeathTest, ShortRowDetectedAtNextRow)
+{
+    Table t({"a", "b"});
+    t.newRow();
+    t.cell(std::string("only-one"));
+    EXPECT_DEATH(t.newRow(), "expected");
+}
+
+TEST(TableDeathTest, NoColumnsPanics)
+{
+    EXPECT_DEATH(Table{std::vector<std::string>{}}, "at least one");
+}

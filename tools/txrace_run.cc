@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Command-line front end: run any bundled workload under any
+ * detection mode and print statistics plus the full race report.
+ *
+ *   txrace_run --app vips --mode txrace --seed 3
+ *   txrace_run --app bodytrack --mode tsan --workers 8 --stats
+ *   txrace_run --list
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "core/report_format.hh"
+#include "ir/text.hh"
+#include "support/log.hh"
+#include "workloads/patterns.hh"
+#include "workloads/workloads.hh"
+
+using namespace txrace;
+
+namespace {
+
+core::RunMode
+parseMode(const std::string &name)
+{
+    if (name == "native")
+        return core::RunMode::Native;
+    if (name == "tsan")
+        return core::RunMode::TSan;
+    if (name == "sampling")
+        return core::RunMode::TSanSampling;
+    if (name == "eraser")
+        return core::RunMode::Eraser;
+    if (name == "racetm")
+        return core::RunMode::RaceTM;
+    if (name == "txrace" || name == "txrace-prof")
+        return core::RunMode::TxRaceProfLoopcut;
+    if (name == "txrace-dyn")
+        return core::RunMode::TxRaceDynLoopcut;
+    if (name == "txrace-noopt")
+        return core::RunMode::TxRaceNoOpt;
+    fatal("unknown mode '%s' (native, tsan, sampling, eraser, racetm, "
+          "txrace, txrace-dyn, txrace-noopt)", name.c_str());
+}
+
+[[noreturn]] void
+usage()
+{
+    std::cout <<
+        "usage: txrace_run --app NAME [options]\n"
+        "       txrace_run --program FILE.txr [options]\n"
+        "       txrace_run --pattern NAME [options]\n"
+        "       txrace_run --list\n\n"
+        "options:\n"
+        "  --mode M       native | tsan | sampling | eraser |\n"
+        "                 racetm |\n"
+        "                 txrace | txrace-dyn | txrace-noopt\n"
+        "                 (default: txrace)\n"
+        "  --workers N    worker threads (default 4)\n"
+        "  --scale N      work multiplier (default 1)\n"
+        "  --seed N       schedule seed (default 1)\n"
+        "  --rate R       sampling rate for --mode sampling\n"
+        "  --trace N      record and print the first N events\n"
+        "  --stats        dump every counter\n"
+        "  --no-overhead  skip the native reference run\n";
+    std::exit(0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string app_name;
+    std::string program_path;
+    std::string pattern_name;
+    std::string mode_name = "txrace";
+    workloads::WorkloadParams params;
+    uint64_t seed = 1;
+    double rate = 0.5;
+    bool dump_stats = false;
+    bool with_overhead = true;
+    size_t trace = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        auto value = [&](const char *flag) -> const char * {
+            if (std::strcmp(argv[i], flag) != 0)
+                return nullptr;
+            if (i + 1 >= argc)
+                fatal("%s needs a value", flag);
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--list") == 0) {
+            std::cout << "applications:\n";
+            for (const std::string &name : workloads::appNames())
+                std::cout << "  " << name << "\n";
+            std::cout << "patterns (--pattern):\n";
+            for (const std::string &name : workloads::patternNames())
+                std::cout << "  " << name << "\n";
+            return 0;
+        } else if (std::strcmp(argv[i], "--help") == 0) {
+            usage();
+        } else if (const char *v = value("--app")) {
+            app_name = v;
+        } else if (const char *vp = value("--program")) {
+            program_path = vp;
+        } else if (const char *vn = value("--pattern")) {
+            pattern_name = vn;
+        } else if (const char *v2 = value("--mode")) {
+            mode_name = v2;
+        } else if (const char *v3 = value("--workers")) {
+            params.nWorkers =
+                static_cast<uint32_t>(std::strtoul(v3, nullptr, 10));
+        } else if (const char *v4 = value("--scale")) {
+            params.scale = std::strtoull(v4, nullptr, 10);
+        } else if (const char *v5 = value("--seed")) {
+            seed = std::strtoull(v5, nullptr, 10);
+        } else if (const char *v6 = value("--rate")) {
+            rate = std::strtod(v6, nullptr);
+        } else if (const char *v7 = value("--trace")) {
+            trace = std::strtoull(v7, nullptr, 10);
+        } else if (std::strcmp(argv[i], "--stats") == 0) {
+            dump_stats = true;
+        } else if (std::strcmp(argv[i], "--no-overhead") == 0) {
+            with_overhead = false;
+        } else {
+            fatal("unknown option '%s' (try --help)", argv[i]);
+        }
+    }
+    if (app_name.empty() && program_path.empty() &&
+        pattern_name.empty())
+        usage();
+    if (!app_name.empty() + !program_path.empty() +
+            !pattern_name.empty() >
+        1)
+        fatal("--app, --program and --pattern are mutually exclusive");
+
+    core::RunConfig cfg;
+    cfg.mode = parseMode(mode_name);
+    cfg.sampleRate = rate;
+    ir::Program prog = [&] {
+        if (!program_path.empty())
+            return ir::loadProgramFile(program_path);
+        if (!pattern_name.empty()) {
+            workloads::Pattern pattern =
+                workloads::makePattern(pattern_name);
+            std::cout << pattern.name << ": " << pattern.description
+                      << "\n\n";
+            return std::move(pattern.program);
+        }
+        workloads::AppModel app = workloads::makeApp(app_name, params);
+        cfg.machine = app.machine;  // calibrated costs + abort rates
+        return std::move(app.program);
+    }();
+    cfg.machine.seed = seed;
+    cfg.machine.recordEvents = trace > 0;
+
+    core::RunResult result = core::runProgram(prog, cfg);
+    core::printRaceReport(prog, result, std::cout);
+
+    if (with_overhead && cfg.mode != core::RunMode::Native) {
+        core::RunConfig ncfg = cfg;
+        ncfg.mode = core::RunMode::Native;
+        core::RunResult native = core::runProgram(prog, ncfg);
+        std::cout << "runtime overhead vs native: ";
+        std::cout.precision(2);
+        std::cout << std::fixed << result.overheadVs(native) << "x\n";
+    }
+    std::cout << "transactions: " << result.stats.get("tx.committed")
+              << " committed, "
+              << result.stats.get("tx.abort.conflict") << " conflict / "
+              << result.stats.get("tx.abort.capacity") << " capacity / "
+              << result.stats.get("tx.abort.unknown")
+              << " unknown aborts\n";
+
+    if (trace > 0) {
+        std::cout << "\nevent timeline (first " << trace << "):\n";
+        result.events.print(std::cout, trace);
+    }
+
+    if (dump_stats) {
+        std::cout << "\ncounters:\n";
+        for (const auto &[name, v] : result.stats.all())
+            std::cout << "  " << name << " = " << v << "\n";
+    }
+    return 0;
+}
