@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Robustness harness: overhead and recall of the TxRace runtime,
+ * calm versus under an injected HTM pathology storm, with the
+ * adaptive fallback governor off and on.
+ *
+ * For every racy pattern in the concurrency-bug catalog, a fault-free
+ * TSan run defines the reference race set; TxRace-DynLoopcut is then
+ * run calm and under the "interrupt-storm" and "chaos" scenarios,
+ * each with the governor disabled (the paper's unconditional-fallback
+ * runtime) and enabled. The headline numbers are the storm totals:
+ * the governor must cut total cost without giving up recall.
+ *
+ *   bench_robustness [--seed N] [--runs N] [--csv]
+ */
+
+#include <iostream>
+
+#include "fault/fault.hh"
+#include "harness.hh"
+#include "support/table.hh"
+#include "workloads/patterns.hh"
+
+using namespace txrace;
+
+namespace {
+
+struct Cell
+{
+    uint64_t cost = 0;
+    uint64_t hits = 0;  ///< reference races found
+    uint64_t demotions = 0;
+};
+
+core::RunResult
+runPattern(const ir::Program &prog, uint64_t seed,
+           const std::string &scenario, uint64_t horizon, bool governor)
+{
+    core::RunConfig cfg;
+    cfg.mode = core::RunMode::TxRaceDynLoopcut;
+    cfg.machine.seed = seed;
+    if (scenario != "none")
+        cfg.machine.faults = fault::makeScenario(scenario, horizon);
+    cfg.governor.enabled = governor;
+    return core::runProgram(prog, cfg);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Options opt = bench::parseOptions(argc, argv);
+    const std::string scenarios[] = {"none", "interrupt-storm",
+                                     "chaos"};
+
+    Table table({"pattern", "scenario", "cost gov-off", "cost gov-on",
+                 "saved", "recall off", "recall on", "demotions"});
+
+    // Aggregates per scenario: [scenario][gov].
+    Cell total[3][2];
+    uint64_t reference_total = 0;
+
+    for (workloads::Pattern &pat : workloads::buildPatternCatalog()) {
+        if (pat.trueRaces == 0)
+            continue;
+
+        for (size_t s = 0; s < 3; ++s) {
+            uint64_t ref_count = 0;
+            Cell agg[2];
+            for (uint32_t r = 0; r < opt.runs; ++r) {
+                uint64_t seed = opt.seed + r;
+
+                // Fault-free TSan defines ground truth at this seed.
+                core::RunConfig tsan_cfg;
+                tsan_cfg.mode = core::RunMode::TSan;
+                tsan_cfg.machine.seed = seed;
+                core::RunResult tsan =
+                    core::runProgram(pat.program, tsan_cfg);
+                ref_count += tsan.races.count();
+
+                // Size the episode windows from the run itself: a
+                // calm run's step count is the natural horizon.
+                core::RunResult calm = runPattern(
+                    pat.program, seed, "none", 1, false);
+                uint64_t horizon =
+                    std::max<uint64_t>(calm.stats.get("machine.steps"),
+                                       100);
+
+                for (int g = 0; g < 2; ++g) {
+                    core::RunResult res =
+                        runPattern(pat.program, seed, scenarios[s],
+                                   horizon, g == 1);
+                    agg[g].cost += res.totalCost;
+                    agg[g].hits +=
+                        res.races.intersectCount(tsan.races);
+                    agg[g].demotions +=
+                        res.stats.get("txrace.gov.demotions");
+                }
+            }
+            for (int g = 0; g < 2; ++g) {
+                total[s][g].cost += agg[g].cost;
+                total[s][g].hits += agg[g].hits;
+                total[s][g].demotions += agg[g].demotions;
+            }
+            if (s == 0)
+                reference_total += ref_count;
+
+            auto recall = [&](const Cell &c) {
+                return ref_count == 0
+                    ? 1.0
+                    : static_cast<double>(c.hits) /
+                          static_cast<double>(ref_count);
+            };
+            table.newRow();
+            table.cell(pat.name);
+            table.cell(scenarios[s]);
+            table.cell(agg[0].cost);
+            table.cell(agg[1].cost);
+            table.cellFactor(agg[1].cost == 0
+                                 ? 0.0
+                                 : static_cast<double>(agg[0].cost) /
+                                       static_cast<double>(agg[1].cost));
+            table.cell(recall(agg[0]), 2);
+            table.cell(recall(agg[1]), 2);
+            table.cell(agg[1].demotions);
+        }
+    }
+
+    if (opt.csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+
+    std::cout << "\nsuite totals (" << opt.runs << " run(s), seed "
+              << opt.seed << "):\n";
+    for (size_t s = 0; s < 3; ++s) {
+        const Cell &off = total[s][0];
+        const Cell &on = total[s][1];
+        double saved = on.cost == 0
+            ? 0.0
+            : static_cast<double>(off.cost) /
+                  static_cast<double>(on.cost);
+        std::cout.precision(2);
+        std::cout << std::fixed << "  " << scenarios[s]
+                  << ": cost gov-off " << off.cost << ", gov-on "
+                  << on.cost << " (" << saved << "x), races gov-off "
+                  << off.hits << "/" << reference_total
+                  << ", gov-on " << on.hits << "/" << reference_total
+                  << ", demotions " << on.demotions << "\n";
+    }
+
+    const Cell &storm_off = total[1][0];
+    const Cell &storm_on = total[1][1];
+    bool cheaper = storm_on.cost < storm_off.cost;
+    bool no_recall_loss = storm_on.hits >= storm_off.hits;
+    std::cout << "\nverdict under interrupt-storm: governor is "
+              << (cheaper ? "cheaper" : "NOT cheaper") << " and "
+              << (no_recall_loss ? "loses no recall"
+                                 : "LOSES recall") << "\n";
+    return cheaper && no_recall_loss ? 0 : 1;
+}

@@ -18,7 +18,7 @@ runProgram(const ir::Program &prog, const RunConfig &cfg)
       case RunMode::Native: {
         NativePolicy policy;
         sim::Machine machine(prog, cfg.machine, policy);
-        machine.run();
+        result.error = machine.run();
         result.totalCost = machine.totalCost();
         result.buckets = machine.buckets();
         result.stats.merge(machine.stats());
@@ -29,7 +29,7 @@ runProgram(const ir::Program &prog, const RunConfig &cfg)
         ir::Program prepared = passes::preparedForTSan(prog);
         EraserPolicy policy;
         sim::Machine machine(prepared, cfg.machine, policy);
-        machine.run();
+        result.error = machine.run();
         result.totalCost = machine.totalCost();
         result.buckets = machine.buckets();
         result.stats.merge(machine.stats());
@@ -47,7 +47,7 @@ runProgram(const ir::Program &prog, const RunConfig &cfg)
         mcfg.htm.trackInstructions = true;
         RaceTmPolicy policy;
         sim::Machine machine(prepared, mcfg, policy);
-        machine.run();
+        result.error = machine.run();
         result.totalCost = machine.totalCost();
         result.buckets = machine.buckets();
         result.stats.merge(machine.stats());
@@ -64,7 +64,7 @@ runProgram(const ir::Program &prog, const RunConfig &cfg)
         ir::Program prepared = passes::preparedForTSan(prog);
         TsanPolicy policy(rate, cfg.machine.seed ^ 0x7a57eULL);
         sim::Machine machine(prepared, cfg.machine, policy);
-        machine.run();
+        result.error = machine.run();
         result.totalCost = machine.totalCost();
         result.buckets = machine.buckets();
         result.stats.merge(machine.stats());
@@ -107,9 +107,10 @@ runProgram(const ir::Program &prog, const RunConfig &cfg)
                                 ? &profiled
                                 : nullptr,
                             cfg.dynLoopcutInitial, 4,
-                            cfg.conflictAddressHints);
+                            cfg.conflictAddressHints, cfg.governor,
+                            cfg.machine.seed ^ 0x9075ea1ULL);
         sim::Machine machine(prepared, cfg.machine, policy);
-        machine.run();
+        result.error = machine.run();
         result.totalCost = machine.totalCost();
         result.buckets = machine.buckets();
         result.stats.merge(machine.stats());

@@ -10,6 +10,7 @@
 
 #include <array>
 
+#include "core/governor.hh"
 #include "core/runmode.hh"
 #include "detector/report.hh"
 #include "ir/program.hh"
@@ -39,6 +40,11 @@ struct RunConfig
     /** Seed perturbation for the ProfLoopcut profiling pre-run
      *  ("representative input" differs from the measured input). */
     uint64_t profileSeedDelta = 0x50f11eULL;
+    /** Adaptive fallback governor (TxRace modes only). Disabled by
+     *  default: the paper's runtime answers every non-retry abort
+     *  with an unconditional slow-path episode. Fault scenarios are
+     *  configured separately via machine.faults. */
+    GovernorConfig governor;
 };
 
 /** Results of one run. */
@@ -56,6 +62,9 @@ struct RunResult
     /** Structured event timeline (only populated when
      *  machine.recordEvents was set). */
     sim::EventLog events;
+    /** Abnormal-end report: deadlock or maxSteps truncation, with
+     *  per-thread blocked-on state. error.ok() on a clean run. */
+    sim::RunError error;
 
     /** Runtime overhead factor relative to a native run. */
     double

@@ -10,6 +10,7 @@
 
 #include <set>
 
+#include "core/governor.hh"
 #include "core/loopcut.hh"
 #include "detector/lockset.hh"
 #include "core/runmode.hh"
@@ -147,12 +148,18 @@ class TxRacePolicy : public sim::ExecutionPolicy
      *        conflicting cache line is reported to the runtime, and
      *        conflict-triggered slow episodes only software-check
      *        accesses to that line instead of the whole region.
+     * @param gov adaptive fallback governor configuration; disabled
+     *        by default (the paper's unconditional-fallback runtime).
+     * @param gov_seed seed for the governor's sampling stream (set
+     *        from the machine seed by the driver).
      */
     explicit TxRacePolicy(Scheme scheme,
                           const LoopCutTable *preloaded = nullptr,
                           uint64_t dyn_initial = 2,
                           uint32_t max_retries = 4,
-                          bool addr_hints = false);
+                          bool addr_hints = false,
+                          const GovernorConfig &gov = {},
+                          uint64_t gov_seed = 1);
 
     void onRunStart(sim::Machine &m) override;
     void onThreadExit(sim::Machine &m, Tid t) override;
@@ -180,6 +187,9 @@ class TxRacePolicy : public sim::ExecutionPolicy
     /** Final thresholds (exported by profiling runs). */
     const LoopCutTable &loopcuts() const { return loopcuts_; }
 
+    /** The adaptive fallback governor (read-only inspection). */
+    const FallbackGovernor &governor() const { return governor_; }
+
   private:
     /** Begin a fast-path transaction at the current point. */
     void enterFastTx(sim::Machine &m, Tid t, uint64_t segment_loop);
@@ -203,6 +213,7 @@ class TxRacePolicy : public sim::ExecutionPolicy
     LoopCutTable loopcuts_;
     uint32_t maxRetries_;
     bool addrHints_;
+    FallbackGovernor governor_;
     /** Static loop ids that carry LoopCut instrumentation. */
     std::set<uint64_t> cutLoops_;
 };

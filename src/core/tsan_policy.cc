@@ -67,8 +67,14 @@ TsanPolicy::onMemAccess(Machine &m, Tid t, const ir::Instruction &ins,
     if (!ins.instrumented)
         return true;
     if (sampleRate_ >= 1.0 || rng_.chance(sampleRate_)) {
-        m.addCost(t, m.config().cost.effectiveCheckCost(),
-                  Bucket::Check);
+        // Slow-path stall fault episodes inflate the check cost for
+        // the software detector no matter which policy runs it.
+        uint64_t check = m.config().cost.effectiveCheckCost();
+        double stall = m.faults().slowPathCostMult();
+        if (stall > 1.0)
+            check = static_cast<uint64_t>(
+                static_cast<double>(check) * stall);
+        m.addCost(t, check, Bucket::Check);
         if (is_write)
             m.det().write(t, addr, ins.id);
         else

@@ -1,5 +1,7 @@
 #include "core/policies.hh"
 
+#include <algorithm>
+
 #include "support/log.hh"
 
 namespace txrace::core {
@@ -17,9 +19,11 @@ constexpr uint64_t kNoCutLoop = ~0ull;
 
 TxRacePolicy::TxRacePolicy(Scheme scheme, const LoopCutTable *preloaded,
                            uint64_t dyn_initial, uint32_t max_retries,
-                           bool addr_hints)
+                           bool addr_hints, const GovernorConfig &gov,
+                           uint64_t gov_seed)
     : scheme_(scheme), loopcuts_(dyn_initial),
-      maxRetries_(max_retries), addrHints_(addr_hints)
+      maxRetries_(max_retries), addrHints_(addr_hints),
+      governor_(gov, gov_seed)
 {
     if (preloaded) {
         for (const auto &[loop, entry] : preloaded->all())
@@ -35,6 +39,7 @@ TxRacePolicy::onRunStart(Machine &m)
         for (const auto &ins : prog.function(f).body)
             if (ins.op == ir::OpCode::LoopCut)
                 cutLoops_.insert(ins.arg0);
+    governor_.setShortTxUseful(!cutLoops_.empty());
 }
 
 void
@@ -72,6 +77,27 @@ TxRacePolicy::onTxBegin(Machine &m, Tid t, const ir::Instruction &ins)
         m.stats().add("txrace.elided");
         return;
     }
+    if (governor_.enabled()) {
+        uint32_t level = governor_.levelForRegion(m, t);
+        if (level >= FallbackGovernor::kSlowStart) {
+            // Degraded: the region starts directly on the slow path
+            // (full detection, none of the xbegin/abort/rollback
+            // churn the storm would turn into wasted work). Level 3
+            // additionally samples the checks to bound their cost.
+            ctx.path = PathMode::Slow;
+            ctx.slowReason = governor_.demoteReasonFor(t);
+            ctx.sampleMode = level >= FallbackGovernor::kSampling;
+            m.stats().add(ctx.sampleMode
+                              ? "txrace.gov.sampled_regions"
+                              : "txrace.gov.forced_slow_regions");
+            if (m.events().enabled())
+                m.events().record(m.currentStep(), t, "slow-enter",
+                                  ctx.sampleMode
+                                      ? "governor: sampling mode"
+                                      : "governor: region demoted");
+            return;
+        }
+    }
     const auto &cost = m.config().cost;
     if (!m.htm().canBegin()) {
         // More live transactions than hardware threads: the xbegin
@@ -101,6 +127,7 @@ TxRacePolicy::onTxEnd(Machine &m, Tid t, const ir::Instruction &)
         m.commitTx(t);
         m.addCost(t, m.config().cost.txEndCost, Bucket::Txn);
         m.stats().add("tx.committed");
+        governor_.onCommit(t);
         if (m.events().enabled())
             m.events().record(m.currentStep(), t, "commit");
         if (scheme_ != Scheme::NoOpt &&
@@ -113,6 +140,7 @@ TxRacePolicy::onTxEnd(Machine &m, Tid t, const ir::Instruction &)
         // The slow-path episode covered the whole region; resume the
         // fast path for the next region.
         ctx.path = PathMode::Fast;
+        ctx.sampleMode = false;
         ctx.slowHintLine = htm::HtmEngine::kNoLine;
         m.stats().add("txrace.slow_regions");
         if (m.events().enabled())
@@ -134,6 +162,15 @@ TxRacePolicy::onLoopCut(Machine &m, Tid t, const ir::Instruction &ins)
     ++frame.itersInTx;
 
     uint64_t thr = loopcuts_.threshold(ins.arg0);
+    if (thr > 1 && governor_.enabled()) {
+        // ShortTx degradation: tighter cuts mean less work lost per
+        // abort while a storm lasts.
+        uint64_t div = governor_.loopcutDivisorFor(t);
+        if (div > 1) {
+            thr = std::max<uint64_t>(1, thr / div);
+            m.stats().add("txrace.gov.tightened_cuts");
+        }
+    }
     if (thr == 0 || frame.itersInTx < thr)
         return;
 
@@ -193,14 +230,20 @@ TxRacePolicy::handleConflictVictim(Machine &m, Tid v)
     uint64_t hint = addrHints_ ? m.htm().lastConflictLine(v)
                                : htm::HtmEngine::kNoLine;
     m.rollback(v, Bucket::Conflict);
+    // Feed the governor's abort window and livelock detector; the
+    // TxFail protocol always runs regardless (the other side of the
+    // race must be re-checked).
+    governor_.onAbort(m, v, Bucket::Conflict, /*primary=*/true);
     auto &vctx = m.context(v);
     vctx.slowHintLine = hint;
     vctx.snap.valid = false;
     vctx.lastLoopCutId = ir::kNoInstr;
     // The victim publishes TxFail at its next step (§3 step 3); the
     // delay is what lets concurrent winners commit first and escape
-    // re-execution — false-negative source two (§6).
+    // re-execution — false-negative source two (§6). Fault injection
+    // can stretch that delay further (TxFailDelay episodes).
     vctx.mustWriteTxFail = true;
+    vctx.txFailDelay = m.faults().txFailDelaySteps();
 }
 
 bool
@@ -209,6 +252,14 @@ TxRacePolicy::beforeStep(Machine &m, Tid t)
     auto &ctx = m.context(t);
     if (!ctx.mustWriteTxFail)
         return false;
+    if (ctx.txFailDelay > 0) {
+        // Injected publication delay: the flag write has not become
+        // visible yet; the victim stalls while concurrent winners get
+        // more room to commit and escape re-execution.
+        --ctx.txFailDelay;
+        m.stats().add("txrace.txfail_delay_steps");
+        return true;
+    }
     ctx.mustWriteTxFail = false;
     m.stats().add("txrace.txfail_writes");
     if (m.events().enabled())
@@ -224,6 +275,9 @@ TxRacePolicy::beforeStep(Machine &m, Tid t)
         m.stats().add("tx.abort.conflict");
         m.stats().add("txrace.artificial_aborts");
         m.rollback(v, Bucket::Conflict);
+        // Collateral casualties of the broadcast: they feed the abort
+        // window but not the livelock detector.
+        governor_.onAbort(m, v, Bucket::Conflict, /*primary=*/false);
         auto &vctx = m.context(v);
         vctx.snap.valid = false;
         vctx.lastLoopCutId = ir::kNoInstr;
@@ -261,6 +315,10 @@ TxRacePolicy::handleSelfCapacity(Machine &m, Tid t)
                  (unsigned long long)loopcuts_.threshold(loop));
     }
     m.rollback(t, Bucket::Capacity);
+    // Capacity aborts never retry in place (the region would hit the
+    // same wall), but they count toward the governor's abort rate —
+    // a capacity cliff should demote just like an interrupt storm.
+    governor_.onAbort(m, t, Bucket::Capacity);
     auto &ctx = m.context(t);
     ctx.snap.valid = false;
     ctx.lastLoopCutId = ir::kNoInstr;
@@ -280,6 +338,22 @@ TxRacePolicy::onInterruptAbort(Machine &m, Tid t)
     m.stats().add("tx.abort.unknown");
     m.rollback(t, Bucket::Unknown);
     auto &ctx = m.context(t);
+    if (governor_.enabled() && m.htm().canBegin() &&
+        governor_.onAbort(m, t, Bucket::Unknown) ==
+            GovernorAction::RetryBackoff) {
+        // Ride the storm out in place: re-enter the transaction at
+        // the restored resume point after the backoff stall the
+        // governor charged, instead of surrendering the whole region
+        // to an expensive slow-path episode.
+        m.addCost(t, m.config().cost.txBeginCost, Bucket::Txn);
+        m.htm().begin(t);
+        m.htm().access(t, Machine::kTxFailAddr, false);
+        ctx.baseSinceTxBegin = 0;
+        if (m.events().enabled())
+            m.events().record(m.currentStep(), t, "gov-backoff",
+                              "retrying after unknown abort");
+        return;
+    }
     ctx.snap.valid = false;
     ctx.lastLoopCutId = ir::kNoInstr;
     ctx.slowHintLine = htm::HtmEngine::kNoLine;
@@ -296,6 +370,10 @@ TxRacePolicy::onRetryAbort(Machine &m, Tid t)
     m.stats().add("tx.abort.retry");
     auto &ctx = m.context(t);
     m.rollback(t, Bucket::Txn);
+    // Retry-bit glitches feed the abort-rate window: a sticky glitch
+    // (fault injection) exhausts the bounded retries below over and
+    // over, and the governor is what keeps that from thrashing.
+    governor_.onAbort(m, t, Bucket::Txn);
     if (ctx.retryCount < maxRetries_ && m.htm().canBegin()) {
         ++ctx.retryCount;
         m.stats().add("txrace.retries");
@@ -342,7 +420,24 @@ TxRacePolicy::onMemAccess(Machine &m, Tid t, const ir::Instruction &ins,
             m.stats().add("txrace.hint_filtered");
             return true;
         }
-        m.addCost(t, cost.effectiveCheckCost(), ctx.slowReason);
+        if (ctx.sampleMode && !governor_.sampleThisAccess(t)) {
+            // Level-3 degradation: unsampled accesses only pay the
+            // sampling branch.
+            m.addCost(t, 1, ctx.slowReason);
+            m.stats().add("txrace.gov.sample_skipped");
+            return true;
+        }
+        // Slow-path stall episodes inflate the software check cost.
+        uint64_t check = cost.effectiveCheckCost();
+        double stall = m.faults().slowPathCostMult();
+        if (stall > 1.0)
+            check = static_cast<uint64_t>(
+                static_cast<double>(check) * stall);
+        m.addCost(t, check, ctx.slowReason);
+        if (ctx.sampleMode)
+            m.stats().add("txrace.gov.sampled_checks");
+        else
+            governor_.onSlowCheckCost(m, t, check);
         if (is_write)
             m.det().write(t, addr, ins.id);
         else
@@ -420,6 +515,7 @@ TxRacePolicy::onThreadExit(Machine &m, Tid t)
     }
     if (ctx.path == PathMode::Slow)
         ctx.path = PathMode::Fast;
+    ctx.sampleMode = false;
 }
 
 } // namespace txrace::core

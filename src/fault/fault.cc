@@ -1,0 +1,119 @@
+#include "fault/fault.hh"
+
+#include "support/log.hh"
+
+namespace txrace::fault {
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::InterruptStorm:
+        return "interrupt-storm";
+      case FaultKind::CapacityCliff:
+        return "capacity-cliff";
+      case FaultKind::RetryGlitch:
+        return "retry-glitch";
+      case FaultKind::TxFailDelay:
+        return "txfail-delay";
+      case FaultKind::SlowPathStall:
+        return "slowpath-stall";
+    }
+    return "?";
+}
+
+namespace {
+
+FaultEpisode
+episode(FaultKind kind, uint64_t start, uint64_t duration,
+        double magnitude, double add_prob, uint64_t param)
+{
+    FaultEpisode ep;
+    ep.kind = kind;
+    ep.start = start;
+    ep.duration = duration;
+    ep.magnitude = magnitude;
+    ep.addProb = add_prob;
+    ep.param = param;
+    return ep;
+}
+
+} // namespace
+
+FaultPlan
+makeScenario(const std::string &name, uint64_t horizon)
+{
+    if (horizon == 0)
+        fatal("makeScenario: horizon must be nonzero");
+    FaultPlan plan;
+    plan.name = name;
+    // Window helpers, proportional to the expected run length.
+    auto at = [&](double f) {
+        return static_cast<uint64_t>(f * static_cast<double>(horizon));
+    };
+
+    if (name == "none")
+        return plan;
+
+    if (name == "interrupt-storm") {
+        // One sustained storm covering the middle half of the run:
+        // severe enough that a fast-path-only runtime degenerates
+        // into an abort-rollback-slow-path treadmill.
+        plan.add(episode(FaultKind::InterruptStorm, at(0.2), at(0.5),
+                         50.0, 0.08, 0));
+        return plan;
+    }
+    if (name == "capacity-cliff") {
+        // Most of the write-set associativity disappears mid-run.
+        plan.add(episode(FaultKind::CapacityCliff, at(0.25), at(0.4),
+                         1.0, 0.0, 6));
+        return plan;
+    }
+    if (name == "retry-glitch") {
+        plan.add(episode(FaultKind::RetryGlitch, at(0.3), at(0.3),
+                         1.0, 0.05, 0));
+        return plan;
+    }
+    if (name == "txfail-delay") {
+        // Active for the whole run: every conflict victim publishes
+        // TxFail late, widening the escape window for winners.
+        plan.add(episode(FaultKind::TxFailDelay, 0, horizon * 2,
+                         1.0, 0.0, 24));
+        return plan;
+    }
+    if (name == "slowpath-stall") {
+        plan.add(episode(FaultKind::SlowPathStall, at(0.2), at(0.5),
+                         8.0, 0.0, 0));
+        return plan;
+    }
+    if (name == "chaos") {
+        // Everything, staggered with overlaps: the soak-test diet.
+        plan.add(episode(FaultKind::InterruptStorm, at(0.05), at(0.3),
+                         30.0, 0.05, 0));
+        plan.add(episode(FaultKind::CapacityCliff, at(0.2), at(0.35),
+                         1.0, 0.0, 5));
+        plan.add(episode(FaultKind::RetryGlitch, at(0.4), at(0.25),
+                         1.0, 0.03, 0));
+        plan.add(episode(FaultKind::TxFailDelay, at(0.1), at(0.6),
+                         1.0, 0.0, 16));
+        plan.add(episode(FaultKind::SlowPathStall, at(0.5), at(0.35),
+                         6.0, 0.0, 0));
+        return plan;
+    }
+    fatal("makeScenario: unknown scenario '%s' (none, interrupt-storm, "
+          "capacity-cliff, retry-glitch, txfail-delay, slowpath-stall, "
+          "chaos)", name.c_str());
+}
+
+const std::vector<std::string> &
+scenarioNames()
+{
+    static const std::vector<std::string> names = {
+        "none",          "interrupt-storm", "capacity-cliff",
+        "retry-glitch",  "txfail-delay",    "slowpath-stall",
+        "chaos",
+    };
+    return names;
+}
+
+} // namespace txrace::fault

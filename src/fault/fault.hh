@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Fault-injection plans: deterministic, seeded schedules of HTM
+ * pathology episodes over virtual time.
+ *
+ * The paper's evaluation (§8, Figures 8-9) shows that TxRace's
+ * overhead is dominated by how the runtime copes with the HTM
+ * misbehaving: interrupt-driven unknown-abort spikes at 8 threads,
+ * capacity cliffs on irregular data, and conflict ping-pong. The
+ * MachineConfig knobs can only express a *stationary* noise level; a
+ * FaultPlan expresses the transient storms — each episode multiplies
+ * or adds to a machine/HTM parameter for a window of scheduler steps
+ * and then lets it recover, which is exactly the shape the adaptive
+ * fallback governor must ride out (see core/governor.hh).
+ *
+ * Plans are plain data: a run remains a pure function of
+ * (program, config incl. FaultPlan, seed).
+ */
+
+#ifndef TXRACE_FAULT_FAULT_HH
+#define TXRACE_FAULT_FAULT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace txrace::fault {
+
+/** The injectable pathology classes. */
+enum class FaultKind : uint8_t {
+    /**
+     * Interrupt storm: timer/IPI pressure. Multiplies the machine's
+     * interruptPerStep by `magnitude` and adds `addProb` on top (the
+     * additive term lets storms bite even in configs whose baseline
+     * interrupt rate is zero). Models the Figure-8 unknown-abort
+     * spike when threads exceed physical cores.
+     */
+    InterruptStorm,
+    /**
+     * Capacity cliff: `param` L1d ways are transiently unavailable to
+     * transactional write sets (victim lines, hyperthread twin,
+     * prefetcher pressure), shrinking the capacity boundary mid-run.
+     * Models the Figure-9 capacity tail on irregular data structures.
+     */
+    CapacityCliff,
+    /**
+     * Retry glitch: the RETRY bit is set spuriously (TLB shootdowns
+     * and similar transient conditions). Adds `addProb` per-step
+     * retry-abort probability while transactional; during the episode
+     * the bit is effectively sticky — immediate re-execution hits the
+     * same glitch, so bounded retry loops are expected to exhaust.
+     */
+    RetryGlitch,
+    /**
+     * TxFail publication delay: the conflict victim's non-transactional
+     * write of the TxFail flag is delayed by `param` scheduler steps,
+     * widening the window in which concurrent winners commit and
+     * escape slow-path re-execution (false-negative source two, §6).
+     */
+    TxFailDelay,
+    /**
+     * Slow-path stall: software-check cost inflated by `magnitude`
+     * (shadow-memory contention, paging, a perf pathology in the
+     * detector). Stresses the governor's last rung: even "fall back
+     * to TSan" can be pathologically expensive.
+     */
+    SlowPathStall,
+};
+
+/** Display name of a fault kind. */
+const char *faultKindName(FaultKind kind);
+
+/** One pathology window over virtual time. */
+struct FaultEpisode
+{
+    FaultKind kind = FaultKind::InterruptStorm;
+    /** First scheduler step at which the episode is active. */
+    uint64_t start = 0;
+    /** Steps the episode lasts (active in [start, start+duration)). */
+    uint64_t duration = 0;
+    /** Multiplicative severity (kind-specific; 1.0 = neutral). */
+    double magnitude = 1.0;
+    /** Additive per-step probability (kind-specific; 0 = none). */
+    double addProb = 0.0;
+    /** Integer parameter (ways removed, delay steps; kind-specific). */
+    uint64_t param = 0;
+
+    uint64_t end() const { return start + duration; }
+
+    bool
+    activeAt(uint64_t step) const
+    {
+        return step >= start && step < end();
+    }
+};
+
+/** A named, ordered schedule of episodes. Empty = no injection. */
+struct FaultPlan
+{
+    std::string name = "none";
+    std::vector<FaultEpisode> episodes;
+
+    bool empty() const { return episodes.empty(); }
+
+    /** Append one episode (keeps construction code terse). */
+    FaultPlan &
+    add(const FaultEpisode &ep)
+    {
+        episodes.push_back(ep);
+        return *this;
+    }
+};
+
+/**
+ * Build a named scenario. Episode windows are laid out proportionally
+ * to @p horizon (the expected run length in scheduler steps), so the
+ * same scenario name stresses both a short pattern run and a long
+ * application run. fatal()s on unknown names.
+ *
+ * Scenarios:
+ *  - "none":            no injection;
+ *  - "interrupt-storm": one long interrupt storm mid-run (Fig. 8);
+ *  - "capacity-cliff":  L1 ways shrink for a window (Fig. 9 tail);
+ *  - "retry-glitch":    sticky retry-bit window;
+ *  - "txfail-delay":    delayed TxFail publication all run;
+ *  - "slowpath-stall":  inflated software-check cost window;
+ *  - "chaos":           all of the above, staggered and overlapping.
+ */
+FaultPlan makeScenario(const std::string &name,
+                       uint64_t horizon = 200'000);
+
+/** All scenario names accepted by makeScenario (CLI listings). */
+const std::vector<std::string> &scenarioNames();
+
+} // namespace txrace::fault
+
+#endif // TXRACE_FAULT_FAULT_HH

@@ -132,7 +132,11 @@ HtmEngine::access(Tid t, Addr addr, bool is_write)
         if (is_write && !self->writeLines.count(line)) {
             uint32_t set = static_cast<uint32_t>(line) &
                            (cfg_.l1Sets - 1);
-            uint32_t ways = cfg_.l1Ways;
+            // Fault injection (capacity cliff) removes ways first;
+            // jitter then nibbles at whatever remains.
+            uint32_t ways = waysPenalty_ < cfg_.l1Ways
+                ? cfg_.l1Ways - waysPenalty_
+                : 1;
             if (cfg_.capacityJitter > 0.0 && ways > 2 &&
                 rng_.chance(cfg_.capacityJitter)) {
                 // One or two ways transiently occupied by others

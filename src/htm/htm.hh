@@ -151,6 +151,15 @@ class HtmEngine
      *  by the access path's caller, which knows the instruction). */
     void noteAccessInstr(Tid t, Addr addr, ir::InstrId instr);
 
+    /**
+     * Make @p penalty L1d ways transiently unavailable to
+     * transactional write sets (fault injection: a capacity cliff).
+     * Effective associativity is clamped to at least one way; applies
+     * to capacity checks from now on, including open transactions.
+     */
+    void setWaysPenalty(uint32_t penalty) { waysPenalty_ = penalty; }
+    uint32_t waysPenalty() const { return waysPenalty_; }
+
     /** Number of currently open transactions. */
     size_t inFlightCount() const { return inFlight_; }
 
@@ -189,6 +198,7 @@ class HtmEngine
     Rng rng_;
     std::vector<TxState> tx_;
     size_t inFlight_ = 0;
+    uint32_t waysPenalty_ = 0;
     StatSet stats_;
 };
 

@@ -76,6 +76,12 @@ struct ThreadContext
     Bucket slowReason = Bucket::Base;
     /** The thread was conflict-aborted and must publish TxFail. */
     bool mustWriteTxFail = false;
+    /** Steps the pending TxFail publication is still delayed (fault
+     *  injection: TxFail-flag publication delay). */
+    uint64_t txFailDelay = 0;
+    /** Governor level-3 degradation: regions run untransacted with
+     *  sampled software checks instead of full slow-path checking. */
+    bool sampleMode = false;
     /** Consecutive retry-aborts of the current region. */
     uint32_t retryCount = 0;
     /** This thread's accumulated virtual cost. */

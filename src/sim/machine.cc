@@ -17,6 +17,20 @@ threadSeed(uint64_t master, Tid t)
 
 } // namespace
 
+const char *
+runErrorKindName(RunError::Kind kind)
+{
+    switch (kind) {
+      case RunError::Kind::None:
+        return "none";
+      case RunError::Kind::Deadlock:
+        return "deadlock";
+      case RunError::Kind::Truncated:
+        return "truncated";
+    }
+    return "?";
+}
+
 Machine::Machine(const ir::Program &prog, const MachineConfig &cfg,
                  ExecutionPolicy &policy)
     : prog_(prog), cfg_(cfg), policy_(policy),
@@ -31,7 +45,8 @@ Machine::Machine(const ir::Program &prog, const MachineConfig &cfg,
           d.seed = cfg.seed ^ 0xdecafbadULL;
           return d;
       }()),
-      schedRng_(cfg.seed), intrRng_(cfg.seed ^ 0x5ca1ab1eULL)
+      faults_(cfg.faults), schedRng_(cfg.seed),
+      intrRng_(cfg.seed ^ 0x5ca1ab1eULL)
 {
     if (!prog_.finalized())
         fatal("Machine: program not finalized");
@@ -138,72 +153,135 @@ Machine::pickRunnable()
 }
 
 void
-Machine::reportDeadlock()
+Machine::captureUnfinishedThreads()
 {
-    warn("deadlock: no runnable threads (%u live)", live_);
     for (const auto &ctx : contexts_) {
+        if (ctx.state == ThreadState::Finished)
+            continue;
         const auto &fn = prog_.function(ctx.func);
         std::string where = ctx.pc < fn.body.size()
-            ? ir::formatInstr(fn.body[ctx.pc])
-            : "<end>";
-        warn("  thread %u state=%d at %s:%u %s", ctx.tid,
-             static_cast<int>(ctx.state), fn.name.c_str(), ctx.pc,
-             where.c_str());
+            ? fn.name + ":" + std::to_string(ctx.pc) + " " +
+                  ir::formatInstr(fn.body[ctx.pc])
+            : fn.name + ":<end>";
+        error_.threads.push_back({ctx.tid, ctx.state, where});
     }
-    fatal("Machine: deadlock");
 }
 
 void
+Machine::reportDeadlock()
+{
+    warn("deadlock: no runnable threads (%u live)", live_);
+    error_.kind = RunError::Kind::Deadlock;
+    captureUnfinishedThreads();
+    for (const auto &info : error_.threads)
+        warn("  thread %u state=%d at %s", info.tid,
+             static_cast<int>(info.state), info.where.c_str());
+    stats_.add("machine.deadlocks");
+    events_.record(steps_, 0, "deadlock",
+                   strprintf("%u live threads blocked", live_));
+}
+
+const RunError &
 Machine::run()
 {
+    error_ = RunError{};
     policy_.onRunStart(*this);
     det_.rootThread(0);
     policy_.onThreadStart(*this, 0);
     while (live_ > 0) {
-        if (++steps_ > cfg_.maxSteps)
-            fatal("Machine: exceeded %llu steps (livelock?)",
-                  static_cast<unsigned long long>(cfg_.maxSteps));
-        step();
+        if (steps_ >= cfg_.maxSteps) {
+            // Runaway guard: hand back a truncated result instead of
+            // killing the process, so harnesses can inspect it.
+            warn("Machine: exceeded %llu steps (livelock?); "
+                 "truncating run",
+                 static_cast<unsigned long long>(cfg_.maxSteps));
+            error_.kind = RunError::Kind::Truncated;
+            captureUnfinishedThreads();
+            stats_.set("machine.truncated", 1);
+            events_.record(steps_, 0, "truncated",
+                           "maxSteps runaway guard tripped");
+            break;
+        }
+        ++steps_;
+        if (!step())
+            break;
     }
+    error_.stepsExecuted = steps_;
     policy_.onRunEnd(*this);
     stats_.set("machine.steps", steps_);
+    return error_;
 }
 
 void
+Machine::advanceFaults()
+{
+    const auto &transitions = faults_.advance(steps_);
+    if (transitions.empty())
+        return;
+    bool ways_changed = false;
+    for (const fault::FaultTransition &tr : transitions) {
+        const fault::FaultEpisode &ep = *tr.episode;
+        stats_.add(tr.begin ? "fault.episodes_begun"
+                            : "fault.episodes_ended");
+        stats_.add(std::string("fault.") + fault::faultKindName(ep.kind)
+                   + (tr.begin ? ".begin" : ".end"));
+        events_.record(steps_, 0,
+                       tr.begin ? "fault-begin" : "fault-end",
+                       strprintf("%s x%.2g +%.2g param=%llu",
+                                 fault::faultKindName(ep.kind),
+                                 ep.magnitude, ep.addProb,
+                                 static_cast<unsigned long long>(
+                                     ep.param)));
+        if (ep.kind == fault::FaultKind::CapacityCliff)
+            ways_changed = true;
+    }
+    if (ways_changed)
+        htm_.setWaysPenalty(faults_.capacityWaysPenalty());
+}
+
+bool
 Machine::step()
 {
+    if (!faults_.empty())
+        advanceFaults();
+
     Tid t = pickRunnable();
-    if (t == kNoTid)
+    if (t == kNoTid) {
         reportDeadlock();
+        return false;
+    }
 
     // Timer-interrupt injection: OS preemption aborts an in-flight
     // transaction with an all-zero (unknown) status, more often when
-    // the machine is oversubscribed (paper §8.2, Figure 8).
+    // the machine is oversubscribed (paper §8.2, Figure 8). Fault
+    // episodes (interrupt storms, retry glitches) modulate the rates.
     if (htm_.inTx(t)) {
         double p = cfg_.interruptPerStep;
         if (runnableThreads() > cfg_.nCores)
             p *= cfg_.oversubInterruptFactor;
+        p = p * faults_.interruptMult() + faults_.interruptAdd();
         if (intrRng_.chance(p)) {
             htm_.abortTx(t, 0);
             stats_.add("machine.interrupt_aborts");
             events_.record(steps_, t, "interrupt",
                            "unknown abort (preemption)");
             policy_.onInterruptAbort(*this, t);
-            return;
+            return true;
         }
-        if (cfg_.retryAbortPerStep > 0.0 &&
-            intrRng_.chance(cfg_.retryAbortPerStep)) {
+        double pr = cfg_.retryAbortPerStep + faults_.retryAdd();
+        if (pr > 0.0 && intrRng_.chance(pr)) {
             htm_.abortTx(t, htm::kAbortRetry);
             stats_.add("machine.retry_aborts");
             policy_.onRetryAbort(*this, t);
-            return;
+            return true;
         }
     }
 
     if (policy_.beforeStep(*this, t))
-        return;
+        return true;
 
     execInstr(t);
+    return true;
 }
 
 ir::Addr

@@ -16,10 +16,13 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "detector/fasttrack.hh"
+#include "fault/fault.hh"
+#include "fault/injector.hh"
 #include "mem/memory.hh"
 #include "htm/htm.hh"
 #include "ir/program.hh"
@@ -58,13 +61,53 @@ struct MachineConfig
     double retryAbortPerStep = 0.0;
     /** Record a structured event timeline (txrace_run --trace). */
     bool recordEvents = false;
-    /** Hard cap on scheduler steps (runaway guard). */
+    /** Hard cap on scheduler steps (runaway guard). Exceeding it ends
+     *  the run with RunError::Kind::Truncated, not process death. */
     uint64_t maxSteps = 500'000'000;
+    /** Scheduled pathology episodes injected from the scheduler loop
+     *  (empty = no injection). Part of the run's identity: identical
+     *  (program, config incl. plan, seed) runs are byte-identical. */
+    fault::FaultPlan faults;
 
     CostModel cost;
     htm::HtmConfig htm;
     detector::DetectorConfig det;
 };
+
+/** One unfinished thread's state at an abnormal run end. */
+struct BlockedThreadInfo
+{
+    Tid tid = 0;
+    ThreadState state = ThreadState::Runnable;
+    /** Function name and pc of the instruction it is parked on. */
+    std::string where;
+};
+
+/**
+ * Structured outcome of a run that could not finish normally, carried
+ * in the result instead of killing the process — harnesses, the chaos
+ * soak test, and production supervisors assert on it.
+ */
+struct RunError
+{
+    enum class Kind : uint8_t {
+        None,       ///< run completed normally
+        Deadlock,   ///< no runnable thread but live_ > 0
+        Truncated,  ///< maxSteps runaway guard tripped
+    };
+
+    Kind kind = Kind::None;
+    /** Scheduler steps actually executed. */
+    uint64_t stepsExecuted = 0;
+    /** Unfinished threads and what they were blocked on. */
+    std::vector<BlockedThreadInfo> threads;
+
+    bool ok() const { return kind == Kind::None; }
+    bool truncated() const { return kind == Kind::Truncated; }
+};
+
+/** Display name of a run-error kind. */
+const char *runErrorKindName(RunError::Kind kind);
 
 /**
  * The machine. Policies receive a reference and use the service
@@ -81,8 +124,16 @@ class Machine
     Machine(const ir::Program &prog, const MachineConfig &cfg,
             ExecutionPolicy &policy);
 
-    /** Execute until every thread finished. fatal()s on deadlock. */
-    void run();
+    /**
+     * Execute until every thread finished, a deadlock is detected, or
+     * the maxSteps guard trips. Abnormal ends are reported in the
+     * returned RunError (also available via error()) — the process
+     * survives so harnesses can inspect the partial result.
+     */
+    const RunError &run();
+
+    /** Outcome of the last run() (None before/after a clean run). */
+    const RunError &error() const { return error_; }
 
     /** @name Services for policies */
     /** @{ */
@@ -142,16 +193,25 @@ class Machine
     const EventLog &events() const { return events_; }
     /** Current scheduler step (for event stamping). */
     uint64_t currentStep() const { return steps_; }
+
+    /** Active fault-injection state (policies consult the modifiers
+     *  that apply to them: TxFail delay, slow-path stall). */
+    const fault::FaultInjector &faults() const { return faults_; }
     /** @} */
 
   private:
-    void step();
+    /** Execute one scheduler step; false = deadlock (error_ filled). */
+    bool step();
     void execInstr(Tid t);
     ir::Addr evalAddr(const ir::AddrExpr &expr, ThreadContext &ctx);
     void finishThread(Tid t);
     void wakeJoinWaiters(Tid finished);
     Tid pickRunnable();
     void reportDeadlock();
+    /** Apply fault-plan transitions due at the current step. */
+    void advanceFaults();
+    /** Fill error_.threads with every unfinished thread's state. */
+    void captureUnfinishedThreads();
 
     /** Resolve a ThreadJoin target list; returns true when all
      *  targets are finished (join completes). */
@@ -166,6 +226,7 @@ class Machine
     detector::HbDetector det_;
     sync::SyncTables sync_;
     mem::VirtualMemory mem_;
+    fault::FaultInjector faults_;
 
     /** deque: reference stability across ThreadCreate growth. */
     std::deque<ThreadContext> contexts_;
@@ -180,6 +241,7 @@ class Machine
     std::array<uint64_t, kNumBuckets> buckets_{};
     StatSet stats_;
     EventLog events_;
+    RunError error_;
 };
 
 } // namespace txrace::sim

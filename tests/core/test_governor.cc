@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Unit tests for the adaptive fallback governor: the degradation
+ * ladder, livelock escalation, bounded backoff retries, and the
+ * re-probation machinery — exercised directly against a machine that
+ * is never run, by driving the per-thread virtual clock by hand.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/governor.hh"
+#include "core/policies.hh"
+#include "ir/builder.hh"
+
+using namespace txrace;
+using core::FallbackGovernor;
+using core::GovernorAction;
+using core::GovernorConfig;
+using sim::Bucket;
+using sim::Machine;
+
+namespace {
+
+ir::Program
+tinyProgram()
+{
+    ir::ProgramBuilder b;
+    b.beginFunction("main");
+    b.compute(1);
+    b.endFunction();
+    return b.build();
+}
+
+GovernorConfig
+enabledConfig()
+{
+    GovernorConfig cfg;
+    cfg.enabled = true;
+    return cfg;
+}
+
+/** A machine we only use as a clock + stats + event sink. */
+struct GovHarness
+{
+    ir::Program prog = tinyProgram();
+    core::NativePolicy policy;
+    sim::MachineConfig mcfg;
+    Machine m;
+
+    GovHarness() : m(prog, mcfg, policy) {}
+
+    void tick(uint64_t cost) { m.context(0).myCost += cost; }
+};
+
+} // namespace
+
+TEST(Governor, DisabledIsInert)
+{
+    GovHarness h;
+    FallbackGovernor gov(GovernorConfig{}, 1);
+    EXPECT_FALSE(gov.enabled());
+    EXPECT_EQ(gov.levelForRegion(h.m, 0), FallbackGovernor::kFast);
+    EXPECT_EQ(gov.onAbort(h.m, 0, Bucket::Unknown),
+              GovernorAction::FallBack);
+    EXPECT_EQ(gov.onAbort(h.m, 0, Bucket::Conflict),
+              GovernorAction::FallBack);
+    EXPECT_EQ(h.m.stats().get("txrace.gov.demotions"), 0u);
+}
+
+TEST(Governor, CapacityAbortRateDemotesToShortTx)
+{
+    GovHarness h;
+    GovernorConfig cfg = enabledConfig();
+    cfg.maxBackoffRetries = 0;  // isolate the window logic
+    FallbackGovernor gov(cfg, 1);
+
+    // demoteAbortsPerWindow aborts inside one window: demote. The
+    // first rung for capacity pressure is shorter transactions.
+    for (uint32_t i = 0; i < cfg.demoteAbortsPerWindow; ++i)
+        gov.onAbort(h.m, 0, Bucket::Capacity);
+    EXPECT_EQ(gov.level(0), FallbackGovernor::kShortTx);
+    EXPECT_EQ(h.m.stats().get("txrace.gov.demotions"), 1u);
+    EXPECT_EQ(gov.demoteReasonFor(0), Bucket::Capacity);
+    EXPECT_EQ(gov.loopcutDivisorFor(0), 2u);
+}
+
+TEST(Governor, UnknownAbortRateSkipsStraightToSlowStart)
+{
+    // Interrupts strike per step no matter how short the transaction
+    // is, so the ShortTx rung is skipped for unknown-dominated storms.
+    GovHarness h;
+    GovernorConfig cfg = enabledConfig();
+    cfg.maxBackoffRetries = 0;
+    FallbackGovernor gov(cfg, 1);
+
+    for (uint32_t i = 0; i < cfg.demoteAbortsPerWindow; ++i)
+        gov.onAbort(h.m, 0, Bucket::Unknown);
+    EXPECT_EQ(gov.level(0), FallbackGovernor::kSlowStart);
+    EXPECT_EQ(gov.demoteReasonFor(0), Bucket::Unknown);
+}
+
+TEST(Governor, ShortTxRungSkippedWithoutLoopCuts)
+{
+    // When the program carries no loop-cut instrumentation there is
+    // nothing to shorten, so even capacity pressure lands on
+    // slow-start directly.
+    GovHarness h;
+    GovernorConfig cfg = enabledConfig();
+    cfg.maxBackoffRetries = 0;
+    FallbackGovernor gov(cfg, 1);
+    gov.setShortTxUseful(false);
+
+    for (uint32_t i = 0; i < cfg.demoteAbortsPerWindow; ++i)
+        gov.onAbort(h.m, 0, Bucket::Capacity);
+    EXPECT_EQ(gov.level(0), FallbackGovernor::kSlowStart);
+}
+
+TEST(Governor, SparseAbortsNeverDemote)
+{
+    GovHarness h;
+    GovernorConfig cfg = enabledConfig();
+    cfg.maxBackoffRetries = 0;
+    FallbackGovernor gov(cfg, 1);
+
+    // One abort per window, forever: the window keeps rolling over.
+    for (int i = 0; i < 50; ++i) {
+        gov.onAbort(h.m, 0, Bucket::Capacity);
+        h.tick(cfg.windowCost + 1);
+    }
+    EXPECT_EQ(gov.level(0), FallbackGovernor::kFast);
+    EXPECT_EQ(h.m.stats().get("txrace.gov.demotions"), 0u);
+}
+
+TEST(Governor, LivelockEscalatesStraightToSlowStart)
+{
+    GovHarness h;
+    GovernorConfig cfg = enabledConfig();
+    FallbackGovernor gov(cfg, 1);
+
+    for (uint32_t i = 0; i < cfg.livelockK; ++i) {
+        gov.onAbort(h.m, 0, Bucket::Conflict, /*primary=*/true);
+        h.tick(cfg.windowCost + 1);  // keep the rate window quiet
+    }
+    EXPECT_EQ(gov.level(0), FallbackGovernor::kSlowStart);
+    EXPECT_EQ(h.m.stats().get("txrace.gov.livelock_escalations"), 1u);
+    EXPECT_EQ(gov.demoteReasonFor(0), Bucket::Conflict);
+}
+
+TEST(Governor, CommitResetsTheLivelockCounter)
+{
+    GovHarness h;
+    GovernorConfig cfg = enabledConfig();
+    FallbackGovernor gov(cfg, 1);
+
+    for (int round = 0; round < 5; ++round) {
+        for (uint32_t i = 0; i + 1 < cfg.livelockK; ++i) {
+            gov.onAbort(h.m, 0, Bucket::Conflict, true);
+            h.tick(cfg.windowCost + 1);
+        }
+        gov.onCommit(0);  // a commit interrupts the streak
+    }
+    EXPECT_EQ(gov.level(0), FallbackGovernor::kFast);
+    EXPECT_EQ(h.m.stats().get("txrace.gov.livelock_escalations"), 0u);
+}
+
+TEST(Governor, CollateralConflictsDoNotCountTowardLivelock)
+{
+    GovHarness h;
+    GovernorConfig cfg = enabledConfig();
+    FallbackGovernor gov(cfg, 1);
+
+    // TxFail-broadcast victims (primary=false), spaced so the abort
+    // window never trips either.
+    for (int i = 0; i < 20; ++i) {
+        gov.onAbort(h.m, 0, Bucket::Conflict, /*primary=*/false);
+        h.tick(cfg.windowCost + 1);
+    }
+    EXPECT_EQ(gov.level(0), FallbackGovernor::kFast);
+    EXPECT_EQ(h.m.stats().get("txrace.gov.livelock_escalations"), 0u);
+}
+
+TEST(Governor, UnknownAbortsGetBoundedBackoffRetries)
+{
+    GovHarness h;
+    GovernorConfig cfg = enabledConfig();
+    cfg.maxBackoffRetries = 2;
+    FallbackGovernor gov(cfg, 1);
+
+    uint64_t before = h.m.context(0).myCost;
+    EXPECT_EQ(gov.onAbort(h.m, 0, Bucket::Unknown),
+              GovernorAction::RetryBackoff);
+    EXPECT_EQ(h.m.context(0).myCost - before, cfg.backoffBaseCost);
+
+    // A second abort in the SAME window is a storm, not a transient:
+    // the in-place retry is refused even with budget left.
+    EXPECT_EQ(gov.onAbort(h.m, 0, Bucket::Unknown),
+              GovernorAction::FallBack);
+
+    // Quiet window again: the second retry goes through, with the
+    // stall doubled.
+    h.tick(cfg.windowCost + 1);
+    before = h.m.context(0).myCost;
+    EXPECT_EQ(gov.onAbort(h.m, 0, Bucket::Unknown),
+              GovernorAction::RetryBackoff);
+    EXPECT_EQ(h.m.context(0).myCost - before, 2 * cfg.backoffBaseCost);
+
+    // Budget exhausted: surrender to the slow path.
+    h.tick(cfg.windowCost + 1);
+    EXPECT_EQ(gov.onAbort(h.m, 0, Bucket::Unknown),
+              GovernorAction::FallBack);
+    EXPECT_EQ(h.m.stats().get("txrace.gov.backoff_retries"), 2u);
+
+    // A commit refills the per-region budget.
+    gov.onCommit(0);
+    h.tick(cfg.windowCost + 1);
+    EXPECT_EQ(gov.onAbort(h.m, 0, Bucket::Unknown),
+              GovernorAction::RetryBackoff);
+}
+
+TEST(Governor, ConflictAbortsNeverRetryInPlace)
+{
+    GovHarness h;
+    FallbackGovernor gov(enabledConfig(), 1);
+    // The TxFail protocol must run: both sides get re-checked.
+    EXPECT_EQ(gov.onAbort(h.m, 0, Bucket::Conflict),
+              GovernorAction::FallBack);
+    EXPECT_EQ(gov.onAbort(h.m, 0, Bucket::Capacity),
+              GovernorAction::FallBack);
+}
+
+TEST(Governor, ReprobationClimbsAndBacksOffExponentially)
+{
+    GovHarness h;
+    GovernorConfig cfg = enabledConfig();
+    cfg.maxBackoffRetries = 0;
+    FallbackGovernor gov(cfg, 1);
+
+    auto demoteOnce = [&] {
+        for (uint32_t i = 0; i < cfg.demoteAbortsPerWindow; ++i)
+            gov.onAbort(h.m, 0, Bucket::Capacity);
+    };
+    demoteOnce();
+    ASSERT_EQ(gov.level(0), FallbackGovernor::kShortTx);
+
+    // Not yet cooled down: stays put.
+    h.tick(cfg.reprobateAfterCost - 1);
+    EXPECT_EQ(gov.levelForRegion(h.m, 0), FallbackGovernor::kShortTx);
+
+    // Cooldown elapsed: probes one level up.
+    h.tick(2);
+    EXPECT_EQ(gov.levelForRegion(h.m, 0), FallbackGovernor::kFast);
+    EXPECT_EQ(h.m.stats().get("txrace.gov.reprobations"), 1u);
+
+    // The storm is still raging: the probe fails...
+    demoteOnce();
+    EXPECT_EQ(gov.level(0), FallbackGovernor::kShortTx);
+    EXPECT_EQ(h.m.stats().get("txrace.gov.failed_probes"), 1u);
+
+    // ...so the next probe needs twice the cooldown.
+    h.tick(cfg.reprobateAfterCost + 1);
+    EXPECT_EQ(gov.levelForRegion(h.m, 0), FallbackGovernor::kShortTx);
+    h.tick(cfg.reprobateAfterCost);
+    EXPECT_EQ(gov.levelForRegion(h.m, 0), FallbackGovernor::kFast);
+    EXPECT_EQ(h.m.stats().get("txrace.gov.reprobations"), 2u);
+
+    // This time the storm has passed: two calm windows clear the
+    // backoff entirely.
+    h.tick(2 * cfg.windowCost);
+    EXPECT_EQ(gov.levelForRegion(h.m, 0), FallbackGovernor::kFast);
+    EXPECT_EQ(h.m.stats().get("txrace.gov.probe_successes"), 1u);
+}
+
+TEST(Governor, SlowCostBudgetDemotesToSampling)
+{
+    GovHarness h;
+    GovernorConfig cfg = enabledConfig();
+    FallbackGovernor gov(cfg, 1);
+
+    // Reach slow-start via livelock.
+    for (uint32_t i = 0; i < cfg.livelockK; ++i) {
+        gov.onAbort(h.m, 0, Bucket::Conflict, true);
+        h.tick(cfg.windowCost + 1);
+    }
+    ASSERT_EQ(gov.level(0), FallbackGovernor::kSlowStart);
+
+    // The hardware is still aborting under us in this window...
+    gov.onAbort(h.m, 0, Bucket::Capacity);
+    // ...and the slow path is stalling too (per-check cost far above
+    // the configured baseline): cornered, so sampled checking is the
+    // only bounded option left.
+    gov.onSlowCheckCost(h.m, 0, cfg.demoteSlowCostPerWindow - 1);
+    EXPECT_EQ(gov.level(0), FallbackGovernor::kSlowStart);
+    gov.onSlowCheckCost(h.m, 0, 1);
+    EXPECT_EQ(gov.level(0), FallbackGovernor::kSampling);
+    // The sampling rung keeps the original demotion attribution.
+    EXPECT_EQ(gov.demoteReasonFor(0), Bucket::Conflict);
+}
+
+TEST(Governor, QuietStalledSlowPathProbesBackUp)
+{
+    GovHarness h;
+    GovernorConfig cfg = enabledConfig();
+    FallbackGovernor gov(cfg, 1);
+
+    // Reach slow-start via livelock.
+    for (uint32_t i = 0; i < cfg.livelockK; ++i) {
+        gov.onAbort(h.m, 0, Bucket::Conflict, true);
+        h.tick(cfg.windowCost + 1);
+    }
+    ASSERT_EQ(gov.level(0), FallbackGovernor::kSlowStart);
+
+    // A stalled check with the hardware silent all window: the
+    // expensive part is the fallback itself, so the governor climbs
+    // back up rather than sinking to sampling.
+    h.tick(cfg.windowCost + 1);
+    gov.onSlowCheckCost(h.m, 0, cfg.demoteSlowCostPerWindow);
+    EXPECT_EQ(gov.level(0), FallbackGovernor::kShortTx);
+    EXPECT_EQ(h.m.stats().get("txrace.gov.stall_promotions"), 1u);
+    EXPECT_EQ(h.m.stats().get("txrace.gov.demotions"), 1u);  // livelock only
+}
+
+TEST(Governor, SamplingDrawsAreDeterministicPerSeed)
+{
+    GovHarness h;
+    GovernorConfig cfg = enabledConfig();
+    FallbackGovernor a(cfg, 42), b(cfg, 42), c(cfg, 43);
+    int same = 0, diffMatches = 0;
+    for (int i = 0; i < 256; ++i) {
+        bool da = a.sampleThisAccess(0);
+        bool db = b.sampleThisAccess(0);
+        bool dc = c.sampleThisAccess(0);
+        same += da == db;
+        diffMatches += da == dc;
+    }
+    EXPECT_EQ(same, 256);
+    EXPECT_LT(diffMatches, 256);  // different seed, different stream
+}
+
+TEST(Governor, ThreadsAreIndependent)
+{
+    GovHarness h;
+    GovernorConfig cfg = enabledConfig();
+    cfg.maxBackoffRetries = 0;
+    FallbackGovernor gov(cfg, 1);
+    for (uint32_t i = 0; i < cfg.demoteAbortsPerWindow; ++i)
+        gov.onAbort(h.m, 0, Bucket::Capacity);
+    EXPECT_EQ(gov.level(0), FallbackGovernor::kShortTx);
+    EXPECT_EQ(gov.level(1), FallbackGovernor::kFast);
+    EXPECT_EQ(gov.loopcutDivisorFor(1), 1u);
+}

@@ -615,3 +615,43 @@ TEST(TxRace, HintsDoNotLeakIntoCapacityEpisodes)
     EXPECT_GE(r.stats.get("tx.abort.capacity"), 8u);
     EXPECT_EQ(r.races.count(), 1u);
 }
+
+TEST(TxRace, RetryAbortsAreRetriedInPlaceThenFallBack)
+{
+    // retryAbortPerStep = 1.0: every transactional step raises a
+    // RETRY-only abort, so each non-elided region burns its full
+    // in-place retry budget (maxRetries = 4) and then falls back to
+    // the slow path like an unknown abort (§4.2).
+    ProgramBuilder b;
+    Addr data = b.alloc("data", 4096);
+    FuncId worker = b.beginFunction("worker");
+    pad(b, data);
+    b.store(AddrExpr::perThread(data + 1024, 64), "own cell");
+    b.endFunction();
+    b.beginFunction("main");
+    b.spawn(worker, 2);
+    b.joinAll();
+    b.endFunction();
+    Program p = b.build();
+
+    core::RunConfig cfg = txraceConfig();
+    cfg.machine.retryAbortPerStep = 1.0;
+    core::RunResult r = core::runProgram(p, cfg);
+
+    uint64_t exhausted = r.stats.get("txrace.retry_exhausted");
+    EXPECT_GE(exhausted, 1u);
+    // Every retry abort the machine injected reached the handler.
+    EXPECT_EQ(r.stats.get("tx.abort.retry"),
+              r.stats.get("machine.retry_aborts"));
+    // Each exhausted region made exactly maxRetries (4) in-place
+    // retries and aborted maxRetries + 1 times in total.
+    EXPECT_EQ(r.stats.get("txrace.retries"), 4 * exhausted);
+    EXPECT_EQ(r.stats.get("tx.abort.retry"), 5 * exhausted);
+    // RETRY-only aborts are not conflicts, capacity, or interrupts.
+    EXPECT_EQ(r.stats.get("tx.abort.conflict"), 0u);
+    EXPECT_EQ(r.stats.get("tx.abort.capacity"), 0u);
+    EXPECT_EQ(r.stats.get("tx.abort.unknown"), 0u);
+    // Disjoint per-thread data: the slow-path re-checks stay quiet.
+    EXPECT_EQ(r.races.count(), 0u);
+    EXPECT_TRUE(r.error.ok());
+}

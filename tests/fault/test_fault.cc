@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Unit tests for the fault-injection library: plans, named scenarios,
+ * and the incremental injector (transitions + modifier stacking).
+ */
+
+#include <gtest/gtest.h>
+
+#include "fault/fault.hh"
+#include "fault/injector.hh"
+
+using namespace txrace::fault;
+
+TEST(FaultPlan, EmptyByDefault)
+{
+    FaultPlan plan;
+    EXPECT_TRUE(plan.empty());
+    EXPECT_EQ(plan.name, "none");
+    FaultInjector inj(plan);
+    EXPECT_TRUE(inj.empty());
+    EXPECT_FALSE(inj.anyActive());
+}
+
+TEST(FaultPlan, EpisodeWindowIsHalfOpen)
+{
+    FaultEpisode ep;
+    ep.start = 10;
+    ep.duration = 5;
+    EXPECT_EQ(ep.end(), 15u);
+    EXPECT_FALSE(ep.activeAt(9));
+    EXPECT_TRUE(ep.activeAt(10));
+    EXPECT_TRUE(ep.activeAt(14));
+    EXPECT_FALSE(ep.activeAt(15));
+}
+
+TEST(FaultScenario, AllNamedScenariosBuild)
+{
+    for (const std::string &name : scenarioNames()) {
+        FaultPlan plan = makeScenario(name, 50'000);
+        EXPECT_EQ(plan.name, name);
+        if (name == "none") {
+            EXPECT_TRUE(plan.empty());
+            continue;
+        }
+        EXPECT_FALSE(plan.empty()) << name;
+        for (const FaultEpisode &ep : plan.episodes) {
+            EXPECT_GT(ep.duration, 0u) << name;
+            EXPECT_LE(ep.end(), 2 * 50'000u) << name;
+        }
+    }
+}
+
+TEST(FaultScenario, WindowsScaleWithHorizon)
+{
+    FaultPlan small = makeScenario("interrupt-storm", 10'000);
+    FaultPlan large = makeScenario("interrupt-storm", 100'000);
+    ASSERT_EQ(small.episodes.size(), large.episodes.size());
+    EXPECT_EQ(small.episodes[0].start * 10, large.episodes[0].start);
+    EXPECT_EQ(small.episodes[0].duration * 10,
+              large.episodes[0].duration);
+    // Severity does not scale with horizon.
+    EXPECT_EQ(small.episodes[0].magnitude, large.episodes[0].magnitude);
+}
+
+TEST(FaultScenario, ChaosCoversEveryKind)
+{
+    FaultPlan plan = makeScenario("chaos", 100'000);
+    bool seen[5] = {};
+    for (const FaultEpisode &ep : plan.episodes)
+        seen[static_cast<size_t>(ep.kind)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(FaultScenario, UnknownNameDies)
+{
+    EXPECT_EXIT(makeScenario("no-such-scenario"),
+                testing::ExitedWithCode(1), "scenario");
+}
+
+TEST(FaultInjector, ReportsBeginAndEndTransitions)
+{
+    FaultPlan plan;
+    FaultEpisode ep;
+    ep.kind = FaultKind::InterruptStorm;
+    ep.start = 100;
+    ep.duration = 50;
+    ep.magnitude = 10.0;
+    ep.addProb = 0.01;
+    plan.add(ep);
+
+    FaultInjector inj(plan);
+    EXPECT_TRUE(inj.advance(0).empty());
+    EXPECT_TRUE(inj.advance(99).empty());
+    EXPECT_DOUBLE_EQ(inj.interruptMult(), 1.0);
+
+    const auto &begun = inj.advance(100);
+    ASSERT_EQ(begun.size(), 1u);
+    EXPECT_TRUE(begun[0].begin);
+    EXPECT_EQ(begun[0].episode->kind, FaultKind::InterruptStorm);
+    EXPECT_TRUE(inj.anyActive());
+    EXPECT_DOUBLE_EQ(inj.interruptMult(), 10.0);
+    EXPECT_DOUBLE_EQ(inj.interruptAdd(), 0.01);
+
+    EXPECT_TRUE(inj.advance(149).empty());
+    const auto &ended = inj.advance(150);
+    ASSERT_EQ(ended.size(), 1u);
+    EXPECT_FALSE(ended[0].begin);
+    EXPECT_FALSE(inj.anyActive());
+    EXPECT_DOUBLE_EQ(inj.interruptMult(), 1.0);
+    EXPECT_DOUBLE_EQ(inj.interruptAdd(), 0.0);
+}
+
+TEST(FaultInjector, SkippingOverAWholeEpisodeStillNeutralizes)
+{
+    // The machine advances once per step, but a sparse caller that
+    // jumps past an entire window must still land on neutral state.
+    FaultPlan plan;
+    FaultEpisode ep;
+    ep.kind = FaultKind::SlowPathStall;
+    ep.start = 10;
+    ep.duration = 5;
+    ep.magnitude = 8.0;
+    plan.add(ep);
+
+    FaultInjector inj(plan);
+    inj.advance(12);
+    EXPECT_DOUBLE_EQ(inj.slowPathCostMult(), 8.0);
+    inj.advance(1000);
+    EXPECT_FALSE(inj.anyActive());
+    EXPECT_DOUBLE_EQ(inj.slowPathCostMult(), 1.0);
+}
+
+TEST(FaultInjector, OverlappingModifiersStack)
+{
+    FaultPlan plan;
+    FaultEpisode storm1;
+    storm1.kind = FaultKind::InterruptStorm;
+    storm1.start = 0;
+    storm1.duration = 100;
+    storm1.magnitude = 4.0;
+    storm1.addProb = 0.01;
+    FaultEpisode storm2 = storm1;
+    storm2.magnitude = 3.0;
+    storm2.addProb = 0.02;
+    FaultEpisode cliff1;
+    cliff1.kind = FaultKind::CapacityCliff;
+    cliff1.start = 0;
+    cliff1.duration = 100;
+    cliff1.param = 2;
+    FaultEpisode cliff2 = cliff1;
+    cliff2.param = 3;
+    FaultEpisode delay1;
+    delay1.kind = FaultKind::TxFailDelay;
+    delay1.start = 0;
+    delay1.duration = 100;
+    delay1.param = 7;
+    FaultEpisode delay2 = delay1;
+    delay2.param = 21;
+    plan.add(storm1).add(storm2).add(cliff1).add(cliff2)
+        .add(delay1).add(delay2);
+
+    FaultInjector inj(plan);
+    inj.advance(0);
+    // Storms multiply; cliffs add ways; delays take the max.
+    EXPECT_DOUBLE_EQ(inj.interruptMult(), 12.0);
+    EXPECT_DOUBLE_EQ(inj.interruptAdd(), 0.03);
+    EXPECT_EQ(inj.capacityWaysPenalty(), 5u);
+    EXPECT_EQ(inj.txFailDelaySteps(), 21u);
+}
+
+TEST(FaultInjector, ZeroDurationEpisodesAreIgnored)
+{
+    FaultPlan plan;
+    FaultEpisode ep;
+    ep.kind = FaultKind::RetryGlitch;
+    ep.start = 0;
+    ep.duration = 0;
+    ep.addProb = 0.5;
+    plan.add(ep);
+    FaultInjector inj(plan);
+    inj.advance(0);
+    EXPECT_FALSE(inj.anyActive());
+    EXPECT_DOUBLE_EQ(inj.retryAdd(), 0.0);
+}
+
+TEST(FaultKindNames, AreStableStrings)
+{
+    EXPECT_STREQ(faultKindName(FaultKind::InterruptStorm),
+                 "interrupt-storm");
+    EXPECT_STREQ(faultKindName(FaultKind::CapacityCliff),
+                 "capacity-cliff");
+    EXPECT_STREQ(faultKindName(FaultKind::RetryGlitch),
+                 "retry-glitch");
+    EXPECT_STREQ(faultKindName(FaultKind::TxFailDelay),
+                 "txfail-delay");
+    EXPECT_STREQ(faultKindName(FaultKind::SlowPathStall),
+                 "slowpath-stall");
+}

@@ -298,7 +298,7 @@ TEST(Machine, RunnableThreadsExcludesBlockedMain)
     EXPECT_LE(policy.maxRunnable, 3u);
 }
 
-TEST(MachineDeathTest, DeadlockIsFatal)
+TEST(Machine, DeadlockReturnsStructuredError)
 {
     ProgramBuilder b;
     b.beginFunction("main");
@@ -307,7 +307,17 @@ TEST(MachineDeathTest, DeadlockIsFatal)
     Program p = b.build();
     core::NativePolicy policy;
     Machine m(p, quietConfig(), policy);
-    EXPECT_EXIT(m.run(), testing::ExitedWithCode(1), "deadlock");
+    const RunError &err = m.run();
+    EXPECT_FALSE(err.ok());
+    EXPECT_EQ(err.kind, RunError::Kind::Deadlock);
+    ASSERT_EQ(err.threads.size(), 1u);
+    EXPECT_EQ(err.threads[0].tid, 0u);
+    // Blocked-on state names the function and the offending wait.
+    EXPECT_NE(err.threads[0].where.find("main"), std::string::npos);
+    EXPECT_EQ(err.threads[0].state, ThreadState::Blocked);
+    EXPECT_EQ(m.stats().get("machine.deadlocks"), 1u);
+    // The machine survives; error() returns the same report.
+    EXPECT_EQ(m.error().kind, RunError::Kind::Deadlock);
 }
 
 TEST(MachineDeathTest, OutOfBoundsAccessIsFatal)
@@ -331,7 +341,7 @@ TEST(MachineDeathTest, OutOfBoundsAccessIsFatal)
                 "beyond address space");
 }
 
-TEST(MachineDeathTest, StepLimitGuardsLivelock)
+TEST(Machine, StepLimitTruncatesInsteadOfAborting)
 {
     ProgramBuilder b;
     b.beginFunction("main");
@@ -342,7 +352,21 @@ TEST(MachineDeathTest, StepLimitGuardsLivelock)
     cfg.maxSteps = 100;
     core::NativePolicy policy;
     Machine m(p, cfg, policy);
-    EXPECT_EXIT(m.run(), testing::ExitedWithCode(1), "exceeded");
+    const RunError &err = m.run();
+    EXPECT_TRUE(err.truncated());
+    EXPECT_EQ(err.kind, RunError::Kind::Truncated);
+    EXPECT_EQ(err.stepsExecuted, 100u);
+    // The runaway thread is reported still runnable, mid-loop.
+    ASSERT_EQ(err.threads.size(), 1u);
+    EXPECT_EQ(err.threads[0].state, ThreadState::Runnable);
+    EXPECT_EQ(m.stats().get("machine.truncated"), 1u);
+    EXPECT_EQ(m.stats().get("machine.steps"), 100u);
+    // Partial cost accounting is still coherent.
+    uint64_t sum = 0;
+    for (uint64_t c : m.buckets())
+        sum += c;
+    EXPECT_EQ(sum, m.totalCost());
+    EXPECT_GT(m.totalCost(), 0u);
 }
 
 TEST(MachineDeathTest, UnfinalizedProgramIsFatal)

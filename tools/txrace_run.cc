@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "core/report_format.hh"
+#include "fault/fault.hh"
 #include "ir/text.hh"
 #include "support/log.hh"
 #include "workloads/patterns.hh"
@@ -62,6 +63,9 @@ usage()
         "  --seed N       schedule seed (default 1)\n"
         "  --rate R       sampling rate for --mode sampling\n"
         "  --trace N      record and print the first N events\n"
+        "  --fault NAME   inject a named fault scenario\n"
+        "  --fault-horizon N  scale episode times to N steps\n"
+        "  --governor     enable the adaptive fallback governor\n"
         "  --stats        dump every counter\n"
         "  --no-overhead  skip the native reference run\n";
     std::exit(0);
@@ -82,6 +86,9 @@ main(int argc, char **argv)
     bool dump_stats = false;
     bool with_overhead = true;
     size_t trace = 0;
+    std::string fault_name;
+    uint64_t fault_horizon = 200'000;
+    bool governor = false;
 
     for (int i = 1; i < argc; ++i) {
         auto value = [&](const char *flag) -> const char * {
@@ -97,6 +104,9 @@ main(int argc, char **argv)
                 std::cout << "  " << name << "\n";
             std::cout << "patterns (--pattern):\n";
             for (const std::string &name : workloads::patternNames())
+                std::cout << "  " << name << "\n";
+            std::cout << "fault scenarios (--fault):\n";
+            for (const std::string &name : fault::scenarioNames())
                 std::cout << "  " << name << "\n";
             return 0;
         } else if (std::strcmp(argv[i], "--help") == 0) {
@@ -120,6 +130,12 @@ main(int argc, char **argv)
             rate = std::strtod(v6, nullptr);
         } else if (const char *v7 = value("--trace")) {
             trace = std::strtoull(v7, nullptr, 10);
+        } else if (const char *v8 = value("--fault")) {
+            fault_name = v8;
+        } else if (const char *v9 = value("--fault-horizon")) {
+            fault_horizon = std::strtoull(v9, nullptr, 10);
+        } else if (std::strcmp(argv[i], "--governor") == 0) {
+            governor = true;
         } else if (std::strcmp(argv[i], "--stats") == 0) {
             dump_stats = true;
         } else if (std::strcmp(argv[i], "--no-overhead") == 0) {
@@ -155,9 +171,23 @@ main(int argc, char **argv)
     }();
     cfg.machine.seed = seed;
     cfg.machine.recordEvents = trace > 0;
+    if (!fault_name.empty())
+        cfg.machine.faults =
+            fault::makeScenario(fault_name, fault_horizon);
+    cfg.governor.enabled = governor;
 
     core::RunResult result = core::runProgram(prog, cfg);
     core::printRaceReport(prog, result, std::cout);
+
+    if (!result.error.ok()) {
+        std::cout << "abnormal end: "
+                  << sim::runErrorKindName(result.error.kind)
+                  << " after " << result.error.stepsExecuted
+                  << " steps\n";
+        for (const auto &info : result.error.threads)
+            std::cout << "  thread " << info.tid << " at "
+                      << info.where << "\n";
+    }
 
     if (with_overhead && cfg.mode != core::RunMode::Native) {
         core::RunConfig ncfg = cfg;
@@ -184,5 +214,5 @@ main(int argc, char **argv)
         for (const auto &[name, v] : result.stats.all())
             std::cout << "  " << name << " = " << v << "\n";
     }
-    return 0;
+    return result.error.ok() ? 0 : 2;
 }
