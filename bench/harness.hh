@@ -26,9 +26,11 @@ struct Options
     bool csv = false;
     /** Restrict to one application (empty = all). */
     std::string only;
+    /** Write per-benchmark machine-readable rows to this file. */
+    std::string jsonPath;
 };
 
-/** Parse --workers/--scale/--seed/--csv/--app from argv. */
+/** Parse --workers/--scale/--seed/--csv/--app/--json from argv. */
 Options parseOptions(int argc, char **argv);
 
 /** Applications to run given the options (all, or the one chosen). */
@@ -38,7 +40,9 @@ std::vector<std::string> selectedApps(const Options &opt);
 core::RunConfig configFor(const workloads::AppModel &app,
                           core::RunMode mode, const Options &opt);
 
-/** Run @p app under @p mode. */
+/** Run @p app under @p mode. When --json was given, one result row
+ *  (app, mode, seed, steps, key counters, wall time) is recorded and
+ *  flushed to the file at process exit. */
 core::RunResult runApp(const workloads::AppModel &app,
                        core::RunMode mode, const Options &opt);
 

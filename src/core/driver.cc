@@ -22,6 +22,7 @@ runProgram(const ir::Program &prog, const RunConfig &cfg)
         result.totalCost = machine.totalCost();
         result.buckets = machine.buckets();
         result.stats.merge(machine.stats());
+        result.telemetry = std::move(machine.tel());
         break;
       }
 
@@ -35,6 +36,7 @@ runProgram(const ir::Program &prog, const RunConfig &cfg)
         result.stats.merge(machine.stats());
         result.stats.merge(policy.lockset().stats());
         result.races = policy.lockset().races();
+        result.telemetry = std::move(machine.tel());
         break;
       }
 
@@ -54,6 +56,7 @@ runProgram(const ir::Program &prog, const RunConfig &cfg)
         result.stats.merge(machine.htm().stats());
         result.races = policy.races();
         result.events = std::move(machine.events());
+        result.telemetry = std::move(machine.tel());
         break;
       }
 
@@ -70,6 +73,7 @@ runProgram(const ir::Program &prog, const RunConfig &cfg)
         result.stats.merge(machine.stats());
         result.stats.merge(machine.det().stats());
         result.races = machine.det().races();
+        result.telemetry = std::move(machine.tel());
         break;
       }
 
@@ -118,6 +122,7 @@ runProgram(const ir::Program &prog, const RunConfig &cfg)
         result.stats.merge(machine.det().stats());
         result.races = machine.det().races();
         result.events = std::move(machine.events());
+        result.telemetry = std::move(machine.tel());
         break;
       }
     }

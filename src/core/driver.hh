@@ -62,6 +62,10 @@ struct RunResult
     /** Structured event timeline (only populated when
      *  machine.recordEvents was set). */
     sim::EventLog events;
+    /** Telemetry bundle: metric registry, per-thread phase breakdown,
+     *  conflict attribution, and (when machine.recordTrace was set)
+     *  the Chrome-trace span buffer. */
+    telemetry::Telemetry telemetry;
     /** Abnormal-end report: deadlock or maxSteps truncation, with
      *  per-thread blocked-on state. error.ok() on a clean run. */
     sim::RunError error;

@@ -15,6 +15,30 @@ FallbackGovernor::FallbackGovernor(const GovernorConfig &cfg,
 {
 }
 
+void
+FallbackGovernor::bindMetrics(telemetry::MetricRegistry &reg)
+{
+    reg_ = &reg;
+    met_.failedProbes = reg.counter("txrace.gov.failed_probes");
+    met_.demotions = reg.counter("txrace.gov.demotions");
+    met_.probeSuccesses = reg.counter("txrace.gov.probe_successes");
+    met_.reprobations = reg.counter("txrace.gov.reprobations");
+    met_.livelockEscalations =
+        reg.counter("txrace.gov.livelock_escalations");
+    met_.backoffRetries = reg.counter("txrace.gov.backoff_retries");
+    met_.stallPromotions = reg.counter("txrace.gov.stall_promotions");
+}
+
+void
+FallbackGovernor::count(Machine &m, telemetry::MetricId id,
+                        const char *name)
+{
+    if (reg_)
+        reg_->add(id);
+    else
+        m.stats().add(name);
+}
+
 FallbackGovernor::ThreadGov &
 FallbackGovernor::state(Tid t)
 {
@@ -55,7 +79,7 @@ FallbackGovernor::demote(Machine &m, Tid t, uint32_t to,
         g.probing = false;
         g.probeBackoffExp = std::min(g.probeBackoffExp + 1,
                                      cfg_.maxProbeBackoffExp);
-        m.stats().add("txrace.gov.failed_probes");
+        count(m, met_.failedProbes, "txrace.gov.failed_probes");
     }
     to = std::min(to, static_cast<uint32_t>(kSampling));
     if (to <= g.level)
@@ -67,7 +91,7 @@ FallbackGovernor::demote(Machine &m, Tid t, uint32_t to,
     g.windowAborts = 0;
     g.windowSlowCost = 0;
     g.windowSlowChecks = 0;
-    m.stats().add("txrace.gov.demotions");
+    count(m, met_.demotions, "txrace.gov.demotions");
     if (m.events().enabled())
         m.events().record(m.currentStep(), t, "gov-demote",
                           strprintf("to level %u (%s)", to, why));
@@ -86,7 +110,7 @@ FallbackGovernor::levelForRegion(Machine &m, Tid t)
     if (g.probing && n - g.lastTransition >= 2 * cfg_.windowCost) {
         g.probing = false;
         g.probeBackoffExp = 0;
-        m.stats().add("txrace.gov.probe_successes");
+        count(m, met_.probeSuccesses, "txrace.gov.probe_successes");
     }
 
     // Re-probation: after a cooldown (exponentially longer for every
@@ -103,7 +127,7 @@ FallbackGovernor::levelForRegion(Machine &m, Tid t)
             g.windowSlowCost = 0;
             g.windowSlowChecks = 0;
             g.probing = true;
-            m.stats().add("txrace.gov.reprobations");
+            count(m, met_.reprobations, "txrace.gov.reprobations");
             if (m.events().enabled())
                 m.events().record(m.currentStep(), t, "gov-probe",
                                   strprintf("probing level %u",
@@ -137,7 +161,8 @@ FallbackGovernor::onAbort(Machine &m, Tid t, Bucket reason,
     if (reason == Bucket::Conflict && primary) {
         if (++g.consecConflicts >= cfg_.livelockK) {
             g.consecConflicts = 0;
-            m.stats().add("txrace.gov.livelock_escalations");
+            count(m, met_.livelockEscalations,
+                  "txrace.gov.livelock_escalations");
             if (m.events().enabled())
                 m.events().record(m.currentStep(), t, "gov-livelock",
                                   "K consecutive conflict aborts");
@@ -178,7 +203,7 @@ FallbackGovernor::onAbort(Machine &m, Tid t, Bucket reason,
         uint64_t stall = cfg_.backoffBaseCost << g.backoffsUsed;
         ++g.backoffsUsed;
         m.addCost(t, stall, reason);
-        m.stats().add("txrace.gov.backoff_retries");
+        count(m, met_.backoffRetries, "txrace.gov.backoff_retries");
         return GovernorAction::RetryBackoff;
     }
     return GovernorAction::FallBack;
@@ -230,7 +255,8 @@ FallbackGovernor::onSlowCheckCost(Machine &m, Tid t, uint64_t cost)
             g.windowSlowCost = 0;
             g.windowSlowChecks = 0;
             g.probing = true;
-            m.stats().add("txrace.gov.stall_promotions");
+            count(m, met_.stallPromotions,
+                  "txrace.gov.stall_promotions");
             if (m.events().enabled())
                 m.events().record(m.currentStep(), t, "gov-probe",
                                   "stalled slow path, probing up");

@@ -119,6 +119,12 @@ class FallbackGovernor
      *  of wasting a window on a no-op level. */
     void setShortTxUseful(bool useful) { shortTxUseful_ = useful; }
 
+    /** Intern the governor's counters in @p reg (the owning policy
+     *  calls this at run start). Transition counting then goes through
+     *  interned ids; unbound, it falls back to the machine's
+     *  string-keyed StatSet (standalone unit-test use). */
+    void bindMetrics(telemetry::MetricRegistry &reg);
+
     /**
      * Called at every region entry (TxBegin). Performs due
      * re-probation and returns the level the region should run at.
@@ -187,11 +193,25 @@ class FallbackGovernor
     uint64_t now(sim::Machine &m, Tid t) const;
     void demote(sim::Machine &m, Tid t, uint32_t to, const char *why,
                 sim::Bucket reason);
+    /** Bump a transition counter: interned id when bound, string
+     *  fallback otherwise. */
+    void count(sim::Machine &m, telemetry::MetricId id,
+               const char *name);
 
     GovernorConfig cfg_;
     uint64_t seed_;
     bool shortTxUseful_ = true;
     std::vector<ThreadGov> threads_;
+
+    /** Interned transition-counter ids (valid when reg_ is set). */
+    struct Metrics
+    {
+        telemetry::MetricId failedProbes, demotions, probeSuccesses;
+        telemetry::MetricId reprobations, livelockEscalations;
+        telemetry::MetricId backoffRetries, stallPromotions;
+    };
+    telemetry::MetricRegistry *reg_ = nullptr;
+    Metrics met_{};
 };
 
 } // namespace txrace::core

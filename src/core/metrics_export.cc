@@ -1,0 +1,188 @@
+#include "core/metrics_export.hh"
+
+#include <sstream>
+
+#include "ir/printer.hh"
+#include "sim/costmodel.hh"
+#include "telemetry/json.hh"
+
+namespace txrace::core {
+
+namespace {
+
+using telemetry::JsonWriter;
+using telemetry::LogHistogram;
+using telemetry::MetricKind;
+using telemetry::Phase;
+
+std::string
+siteDescription(const ir::Program *prog, uint32_t site)
+{
+    if (!prog)
+        return "";
+    const ir::Instruction &ins = prog->instr(site);
+    std::ostringstream ss;
+    ss << ir::formatInstr(ins) << " (in @"
+       << prog->function(prog->funcOf(site)).name << ")";
+    return ss.str();
+}
+
+void
+writeHistogram(JsonWriter &w, const LogHistogram &h)
+{
+    w.beginObject();
+    w.field("count", h.count());
+    w.field("sum", h.sum());
+    w.field("max", h.max());
+    w.field("mean", h.mean());
+    w.key("buckets");
+    w.beginArray();
+    for (size_t i = 0; i < LogHistogram::kNumBuckets; ++i) {
+        if (h.bucketCount(i) == 0)
+            continue;
+        w.beginObject();
+        w.field("lo", LogHistogram::bucketLo(i));
+        w.field("hi", LogHistogram::bucketHi(i));
+        w.field("count", h.bucketCount(i));
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+void
+writePhases(JsonWriter &w, const telemetry::PhaseProfiler &phases)
+{
+    w.beginObject();
+    w.field("total_steps", phases.total());
+    for (size_t p = 0; p < telemetry::kNumPhases; ++p)
+        w.field(telemetry::phaseName(static_cast<Phase>(p)),
+                phases.count(static_cast<Phase>(p)));
+    w.key("per_thread");
+    w.beginArray();
+    const auto &per = phases.perThread();
+    for (size_t t = 0; t < per.size(); ++t) {
+        w.beginObject();
+        w.field("tid", static_cast<uint64_t>(t));
+        for (size_t p = 0; p < telemetry::kNumPhases; ++p)
+            w.field(telemetry::phaseName(static_cast<Phase>(p)),
+                    per[t][p]);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+void
+writeConflicts(JsonWriter &w, const ir::Program *prog,
+               const telemetry::ConflictMap &conflicts, size_t top_n)
+{
+    w.beginObject();
+    w.field("total", conflicts.total());
+    w.field("distinct_lines",
+            static_cast<uint64_t>(conflicts.lineCount()));
+    w.key("top_lines");
+    w.beginArray();
+    for (const auto &hot : conflicts.topN(top_n)) {
+        w.beginObject();
+        w.field("line", hot.line);
+        w.field("conflicts", hot.conflicts);
+        w.field("distinct_granules", hot.distinctGranules);
+        w.field("false_sharing_candidate", hot.falseSharingCandidate);
+        w.key("sites");
+        w.beginArray();
+        for (const auto &[site, count] : hot.sites) {
+            w.beginObject();
+            w.field("instr", static_cast<uint64_t>(site));
+            w.field("count", count);
+            if (prog)
+                w.field("desc", siteDescription(prog, site));
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+} // namespace
+
+void
+writeMetricsJson(std::ostream &os, const MetricsMeta &meta,
+                 const ir::Program *prog, const RunResult &result)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", "txrace-metrics-v1");
+
+    w.key("run");
+    w.beginObject();
+    w.field("app", meta.app);
+    w.field("mode", meta.mode);
+    w.field("seed", meta.seed);
+    w.field("workers", static_cast<uint64_t>(meta.workers));
+    w.field("scale", meta.scale);
+    w.field("total_cost", result.totalCost);
+    w.field("error", sim::runErrorKindName(result.error.kind));
+    w.field("steps", result.error.stepsExecuted);
+    w.endObject();
+
+    // Virtual-time cost attribution (the Figure 7 overhead breakdown).
+    w.key("cost_buckets");
+    w.beginObject();
+    for (size_t b = 0; b < sim::kNumBuckets; ++b)
+        w.field(sim::bucketName(static_cast<sim::Bucket>(b)),
+                result.buckets[b]);
+    w.endObject();
+
+    // The merged string-keyed counter set: machine + HTM + detector +
+    // policy, exactly the names `--stats` prints (StatSet iterates its
+    // map in name order — deterministic).
+    w.key("counters");
+    w.beginObject();
+    for (const auto &[name, value] : result.stats.all())
+        w.field(name, value);
+    w.endObject();
+
+    // Histograms live only in the typed registry (not exported into
+    // the StatSet); emitted in registration-id order.
+    w.key("histograms");
+    w.beginObject();
+    const auto &reg = result.telemetry.registry;
+    for (telemetry::MetricId id = 0; id < reg.size(); ++id) {
+        const auto &info = reg.metrics()[id];
+        if (info.kind != MetricKind::Histogram)
+            continue;
+        w.key(info.name);
+        writeHistogram(w, reg.hist(id));
+    }
+    w.endObject();
+
+    w.key("phases");
+    writePhases(w, result.telemetry.phases);
+
+    // Abort causes as a flat object (mirrors the htm.aborts.* and
+    // tx.abort.* counters for consumers that only want this block).
+    w.key("abort_causes");
+    w.beginObject();
+    for (const auto &[name, value] : result.stats.all()) {
+        if (name.rfind("tx.abort.", 0) == 0 ||
+            name.rfind("htm.aborts.", 0) == 0)
+            w.field(name, value);
+    }
+    w.endObject();
+
+    w.key("conflicts");
+    writeConflicts(w, prog, result.telemetry.conflicts, 10);
+
+    w.key("races");
+    w.beginObject();
+    w.field("count", static_cast<uint64_t>(result.races.count()));
+    w.endObject();
+
+    w.endObject();
+    os << "\n";
+}
+
+} // namespace txrace::core

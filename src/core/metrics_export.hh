@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Stable machine-readable exports of a run's telemetry: the
+ * txrace-metrics-v1 JSON document (counters, histograms, per-mode
+ * phase breakdown, conflict heatmap) and the Chrome trace-event
+ * timeline (`txrace_run --metrics-json` / `--trace-json`).
+ */
+
+#ifndef TXRACE_CORE_METRICS_EXPORT_HH
+#define TXRACE_CORE_METRICS_EXPORT_HH
+
+#include <ostream>
+#include <string>
+
+#include "core/driver.hh"
+#include "ir/program.hh"
+
+namespace txrace::core {
+
+/** Run identity recorded in the metrics document header. */
+struct MetricsMeta
+{
+    std::string app;
+    std::string mode;
+    uint64_t seed = 0;
+    uint32_t workers = 0;
+    uint64_t scale = 0;
+};
+
+/**
+ * Write the txrace-metrics-v1 JSON document for @p result to @p os.
+ * @p prog (nullable) names conflict sites by their IR instruction and
+ * enclosing function; without it sites carry only instruction ids.
+ */
+void writeMetricsJson(std::ostream &os, const MetricsMeta &meta,
+                      const ir::Program *prog, const RunResult &result);
+
+} // namespace txrace::core
+
+#endif // TXRACE_CORE_METRICS_EXPORT_HH

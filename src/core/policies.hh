@@ -216,6 +216,25 @@ class TxRacePolicy : public sim::ExecutionPolicy
     FallbackGovernor governor_;
     /** Static loop ids that carry LoopCut instrumentation. */
     std::set<uint64_t> cutLoops_;
+
+    /** Interned ids of the policy's hot-path counters (onRunStart
+     *  registers them in the machine's metric registry; updates are
+     *  then one vector index instead of a string-map lookup). */
+    struct Metrics
+    {
+        telemetry::MetricId txBegins, txCommitted;
+        telemetry::MetricId abortConflict, abortCapacity;
+        telemetry::MetricId abortUnknown, abortRetry;
+        telemetry::MetricId smallSlowRegions, elided, slowRegions;
+        telemetry::MetricId hwlimitAborts, loopCuts;
+        telemetry::MetricId artificialAborts;
+        telemetry::MetricId txfailDelaySteps, txfailWrites;
+        telemetry::MetricId retries, retryExhausted, hintFiltered;
+        telemetry::MetricId govSampledRegions, govForcedSlowRegions;
+        telemetry::MetricId govSampleSkipped, govSampledChecks;
+        telemetry::MetricId govTightenedCuts;
+    };
+    Metrics met_{};
 };
 
 } // namespace txrace::core

@@ -15,6 +15,38 @@ namespace {
 /** Sentinel: the current transaction is not a loop segment. */
 constexpr uint64_t kNoCutLoop = ~0ull;
 
+using SpanKind = telemetry::TraceBuffer::SpanKind;
+
+/** Open the thread's transaction span in the telemetry trace. */
+void
+traceTxBegin(Machine &m, Tid t)
+{
+    m.tel().trace.beginSpan(t, SpanKind::Tx, m.currentStep(), "tx",
+                            "tx");
+}
+
+/** Close the thread's transaction span with an outcome label. */
+void
+traceTxEnd(Machine &m, Tid t, const char *outcome)
+{
+    m.tel().trace.endSpan(t, SpanKind::Tx, m.currentStep(), outcome);
+}
+
+/** Open a slow-path episode span; @p why must be a string literal. */
+void
+traceSlowBegin(Machine &m, Tid t, const char *why)
+{
+    m.tel().trace.beginSpan(t, SpanKind::Slow, m.currentStep(), why,
+                            "slow");
+}
+
+/** Close the thread's slow-path span. */
+void
+traceSlowEnd(Machine &m, Tid t, const char *outcome)
+{
+    m.tel().trace.endSpan(t, SpanKind::Slow, m.currentStep(), outcome);
+}
+
 } // namespace
 
 TxRacePolicy::TxRacePolicy(Scheme scheme, const LoopCutTable *preloaded,
@@ -40,6 +72,36 @@ TxRacePolicy::onRunStart(Machine &m)
             if (ins.op == ir::OpCode::LoopCut)
                 cutLoops_.insert(ins.arg0);
     governor_.setShortTxUseful(!cutLoops_.empty());
+
+    // Intern every hot-path counter once; the per-access and
+    // per-abort paths below then update by integer id. Registration
+    // order is fixed by this code, so ids — and the exported dump —
+    // are deterministic across runs.
+    auto &reg = m.tel().registry;
+    met_.txBegins = reg.counter("tx.begins");
+    met_.txCommitted = reg.counter("tx.committed");
+    met_.abortConflict = reg.counter("tx.abort.conflict");
+    met_.abortCapacity = reg.counter("tx.abort.capacity");
+    met_.abortUnknown = reg.counter("tx.abort.unknown");
+    met_.abortRetry = reg.counter("tx.abort.retry");
+    met_.smallSlowRegions = reg.counter("txrace.small_slow_regions");
+    met_.elided = reg.counter("txrace.elided");
+    met_.slowRegions = reg.counter("txrace.slow_regions");
+    met_.hwlimitAborts = reg.counter("txrace.hwlimit_aborts");
+    met_.loopCuts = reg.counter("txrace.loop_cuts");
+    met_.artificialAborts = reg.counter("txrace.artificial_aborts");
+    met_.txfailDelaySteps = reg.counter("txrace.txfail_delay_steps");
+    met_.txfailWrites = reg.counter("txrace.txfail_writes");
+    met_.retries = reg.counter("txrace.retries");
+    met_.retryExhausted = reg.counter("txrace.retry_exhausted");
+    met_.hintFiltered = reg.counter("txrace.hint_filtered");
+    met_.govSampledRegions = reg.counter("txrace.gov.sampled_regions");
+    met_.govForcedSlowRegions =
+        reg.counter("txrace.gov.forced_slow_regions");
+    met_.govSampleSkipped = reg.counter("txrace.gov.sample_skipped");
+    met_.govSampledChecks = reg.counter("txrace.gov.sampled_checks");
+    met_.govTightenedCuts = reg.counter("txrace.gov.tightened_cuts");
+    governor_.bindMetrics(reg);
 }
 
 void
@@ -55,6 +117,7 @@ TxRacePolicy::enterFastTx(Machine &m, Tid t, uint64_t segment_loop)
     ctx.lastLoopCutId = segment_loop == kNoCutLoop
         ? ir::kNoInstr
         : static_cast<uint32_t>(segment_loop);
+    traceTxBegin(m, t);
 }
 
 void
@@ -69,12 +132,13 @@ TxRacePolicy::onTxBegin(Machine &m, Tid t, const ir::Instruction &ins)
         // cheaper than transaction management (§4.3).
         ctx.path = PathMode::Slow;
         ctx.slowReason = Bucket::Txn;
-        m.stats().add("txrace.small_slow_regions");
+        m.tel().registry.add(met_.smallSlowRegions);
+        traceSlowBegin(m, t, "slow:small-region");
         return;
     }
     if (m.liveThreads() <= 1) {
         // Single-threaded mode: no races are possible; skip HTM.
-        m.stats().add("txrace.elided");
+        m.tel().registry.add(met_.elided);
         return;
     }
     if (governor_.enabled()) {
@@ -87,9 +151,11 @@ TxRacePolicy::onTxBegin(Machine &m, Tid t, const ir::Instruction &ins)
             ctx.path = PathMode::Slow;
             ctx.slowReason = governor_.demoteReasonFor(t);
             ctx.sampleMode = level >= FallbackGovernor::kSampling;
-            m.stats().add(ctx.sampleMode
-                              ? "txrace.gov.sampled_regions"
-                              : "txrace.gov.forced_slow_regions");
+            ctx.govForced = true;
+            m.tel().registry.add(ctx.sampleMode
+                                     ? met_.govSampledRegions
+                                     : met_.govForcedSlowRegions);
+            traceSlowBegin(m, t, "slow:governor");
             if (m.events().enabled())
                 m.events().record(m.currentStep(), t, "slow-enter",
                                   ctx.sampleMode
@@ -104,17 +170,18 @@ TxRacePolicy::onTxBegin(Machine &m, Tid t, const ir::Instruction &ins)
         // aborts immediately with an unspecified status (§6, reason
         // four). Fall back to the slow path for this region.
         m.addCost(t, cost.txBeginCost, Bucket::Txn);
-        m.stats().add("tx.abort.unknown");
-        m.stats().add("txrace.hwlimit_aborts");
+        m.tel().registry.add(met_.abortUnknown);
+        m.tel().registry.add(met_.hwlimitAborts);
         ctx.path = PathMode::Slow;
         ctx.slowReason = Bucket::Unknown;
+        traceSlowBegin(m, t, "slow:hwlimit");
         return;
     }
     m.addCost(t, cost.txBeginCost, Bucket::Txn);
     enterFastTx(m, t, kNoCutLoop);
     ctx.takeSnapshot(ctx.pc + 1);
     ctx.retryCount = 0;
-    m.stats().add("tx.begins");
+    m.tel().registry.add(met_.txBegins);
     if (m.events().enabled())
         m.events().record(m.currentStep(), t, "xbegin");
 }
@@ -126,7 +193,8 @@ TxRacePolicy::onTxEnd(Machine &m, Tid t, const ir::Instruction &)
     if (m.htm().inTx(t)) {
         m.commitTx(t);
         m.addCost(t, m.config().cost.txEndCost, Bucket::Txn);
-        m.stats().add("tx.committed");
+        m.tel().registry.add(met_.txCommitted);
+        traceTxEnd(m, t, "commit");
         governor_.onCommit(t);
         if (m.events().enabled())
             m.events().record(m.currentStep(), t, "commit");
@@ -141,8 +209,10 @@ TxRacePolicy::onTxEnd(Machine &m, Tid t, const ir::Instruction &)
         // fast path for the next region.
         ctx.path = PathMode::Fast;
         ctx.sampleMode = false;
+        ctx.govForced = false;
         ctx.slowHintLine = htm::HtmEngine::kNoLine;
-        m.stats().add("txrace.slow_regions");
+        m.tel().registry.add(met_.slowRegions);
+        traceSlowEnd(m, t, "region-end");
         if (m.events().enabled())
             m.events().record(m.currentStep(), t, "slow-exit",
                               "region finished; back to fast path");
@@ -168,7 +238,7 @@ TxRacePolicy::onLoopCut(Machine &m, Tid t, const ir::Instruction &ins)
         uint64_t div = governor_.loopcutDivisorFor(t);
         if (div > 1) {
             thr = std::max<uint64_t>(1, thr / div);
-            m.stats().add("txrace.gov.tightened_cuts");
+            m.tel().registry.add(met_.govTightenedCuts);
         }
     }
     if (thr == 0 || frame.itersInTx < thr)
@@ -178,8 +248,10 @@ TxRacePolicy::onLoopCut(Machine &m, Tid t, const ir::Instruction &ins)
     // segment, so the write set never reaches the capacity limit.
     const auto &cost = m.config().cost;
     m.commitTx(t);
-    m.stats().add("tx.committed");
-    m.stats().add("txrace.loop_cuts");
+    m.tel().registry.add(met_.txCommitted);
+    m.tel().registry.add(met_.loopCuts);
+    traceTxEnd(m, t, "loop-cut");
+    m.tel().trace.instant(t, m.currentStep(), "loop-cut", "tx");
     debugLog("cut t%u loop=%llu at iters=%llu thr=%llu", t,
              (unsigned long long)ins.arg0,
              (unsigned long long)frame.itersInTx,
@@ -193,10 +265,11 @@ TxRacePolicy::onLoopCut(Machine &m, Tid t, const ir::Instruction &ins)
     // iterations and thrashes.
     frame.itersInTx = 0;
     if (!m.htm().canBegin()) {
-        m.stats().add("tx.abort.unknown");
-        m.stats().add("txrace.hwlimit_aborts");
+        m.tel().registry.add(met_.abortUnknown);
+        m.tel().registry.add(met_.hwlimitAborts);
         ctx.path = PathMode::Slow;
         ctx.slowReason = Bucket::Unknown;
+        traceSlowBegin(m, t, "slow:hwlimit");
         return;
     }
     enterFastTx(m, t, ins.arg0);
@@ -223,7 +296,10 @@ TxRacePolicy::innermostCutLoop(Machine &m, Tid t,
 void
 TxRacePolicy::handleConflictVictim(Machine &m, Tid v)
 {
-    m.stats().add("tx.abort.conflict");
+    m.tel().registry.add(met_.abortConflict);
+    traceTxEnd(m, v, "conflict");
+    m.tel().trace.instant(v, m.currentStep(), "conflict-abort",
+                          "abort");
     if (m.events().enabled())
         m.events().record(m.currentStep(), v, "conflict-abort",
                           "will publish TxFail");
@@ -257,11 +333,12 @@ TxRacePolicy::beforeStep(Machine &m, Tid t)
         // visible yet; the victim stalls while concurrent winners get
         // more room to commit and escape re-execution.
         --ctx.txFailDelay;
-        m.stats().add("txrace.txfail_delay_steps");
+        m.tel().registry.add(met_.txfailDelaySteps);
         return true;
     }
     ctx.mustWriteTxFail = false;
-    m.stats().add("txrace.txfail_writes");
+    m.tel().registry.add(met_.txfailWrites);
+    m.tel().trace.instant(t, m.currentStep(), "txfail-write", "txfail");
     if (m.events().enabled())
         m.events().record(m.currentStep(), t, "txfail-write",
                           "aborting all in-flight transactions");
@@ -272,8 +349,9 @@ TxRacePolicy::beforeStep(Machine &m, Tid t)
     // (their abort handler observes the flag already set).
     auto res = m.htm().access(t, Machine::kTxFailAddr, true);
     for (Tid v : res.victims) {
-        m.stats().add("tx.abort.conflict");
-        m.stats().add("txrace.artificial_aborts");
+        m.tel().registry.add(met_.abortConflict);
+        m.tel().registry.add(met_.artificialAborts);
+        traceTxEnd(m, v, "txfail");
         m.rollback(v, Bucket::Conflict);
         // Collateral casualties of the broadcast: they feed the abort
         // window but not the livelock detector.
@@ -283,6 +361,7 @@ TxRacePolicy::beforeStep(Machine &m, Tid t)
         vctx.lastLoopCutId = ir::kNoInstr;
         vctx.path = PathMode::Slow;
         vctx.slowReason = Bucket::Conflict;
+        traceSlowBegin(m, v, "slow:txfail");
         // The future-HTM protocol shares the conflicting address with
         // everyone forced into the slow path.
         vctx.slowHintLine = ctx.slowHintLine;
@@ -293,13 +372,17 @@ TxRacePolicy::beforeStep(Machine &m, Tid t)
     m.addCost(t, m.config().cost.storeCost, Bucket::Conflict);
     ctx.path = PathMode::Slow;
     ctx.slowReason = Bucket::Conflict;
+    traceSlowBegin(m, t, "slow:conflict");
     return true;
 }
 
 void
 TxRacePolicy::handleSelfCapacity(Machine &m, Tid t)
 {
-    m.stats().add("tx.abort.capacity");
+    m.tel().registry.add(met_.abortCapacity);
+    traceTxEnd(m, t, "capacity");
+    m.tel().trace.instant(t, m.currentStep(), "capacity-abort",
+                          "abort");
     // Attribute the abort to the innermost loop-cut loop *before*
     // rolling back the loop stack (the stand-in for LBR attribution).
     uint64_t iters_in_tx = 0;
@@ -327,6 +410,7 @@ TxRacePolicy::handleSelfCapacity(Machine &m, Tid t)
     // running (no TxFail write) — Fig. 5's concurrent fast+slow.
     ctx.path = PathMode::Slow;
     ctx.slowReason = Bucket::Capacity;
+    traceSlowBegin(m, t, "slow:capacity");
     if (m.events().enabled())
         m.events().record(m.currentStep(), t, "capacity-abort",
                           "falling back to the slow path alone");
@@ -335,7 +419,7 @@ TxRacePolicy::handleSelfCapacity(Machine &m, Tid t)
 void
 TxRacePolicy::onInterruptAbort(Machine &m, Tid t)
 {
-    m.stats().add("tx.abort.unknown");
+    m.tel().registry.add(met_.abortUnknown);
     m.rollback(t, Bucket::Unknown);
     auto &ctx = m.context(t);
     if (governor_.enabled() && m.htm().canBegin() &&
@@ -349,6 +433,7 @@ TxRacePolicy::onInterruptAbort(Machine &m, Tid t)
         m.htm().begin(t);
         m.htm().access(t, Machine::kTxFailAddr, false);
         ctx.baseSinceTxBegin = 0;
+        traceTxBegin(m, t);
         if (m.events().enabled())
             m.events().record(m.currentStep(), t, "gov-backoff",
                               "retrying after unknown abort");
@@ -359,6 +444,7 @@ TxRacePolicy::onInterruptAbort(Machine &m, Tid t)
     ctx.slowHintLine = htm::HtmEngine::kNoLine;
     ctx.path = PathMode::Slow;
     ctx.slowReason = Bucket::Unknown;
+    traceSlowBegin(m, t, "slow:interrupt");
 }
 
 void
@@ -367,7 +453,7 @@ TxRacePolicy::onRetryAbort(Machine &m, Tid t)
     // Retry bit without conflict (§4.2): retry the transaction in
     // place, a bounded number of times per region; then treat it like
     // an unknown abort and fall back to the slow path.
-    m.stats().add("tx.abort.retry");
+    m.tel().registry.add(met_.abortRetry);
     auto &ctx = m.context(t);
     m.rollback(t, Bucket::Txn);
     // Retry-bit glitches feed the abort-rate window: a sticky glitch
@@ -376,20 +462,22 @@ TxRacePolicy::onRetryAbort(Machine &m, Tid t)
     governor_.onAbort(m, t, Bucket::Txn);
     if (ctx.retryCount < maxRetries_ && m.htm().canBegin()) {
         ++ctx.retryCount;
-        m.stats().add("txrace.retries");
+        m.tel().registry.add(met_.retries);
         m.addCost(t, m.config().cost.txBeginCost, Bucket::Txn);
         // Re-enter at the restored resume point; the existing
         // snapshot still describes it.
         m.htm().begin(t);
         m.htm().access(t, Machine::kTxFailAddr, false);
         ctx.baseSinceTxBegin = 0;
+        traceTxBegin(m, t);
         return;
     }
     ctx.snap.valid = false;
     ctx.lastLoopCutId = ir::kNoInstr;
     ctx.path = PathMode::Slow;
     ctx.slowReason = Bucket::Unknown;
-    m.stats().add("txrace.retry_exhausted");
+    m.tel().registry.add(met_.retryExhausted);
+    traceSlowBegin(m, t, "slow:retry-exhausted");
 }
 
 bool
@@ -403,8 +491,14 @@ TxRacePolicy::onMemAccess(Machine &m, Tid t, const ir::Instruction &ins,
     // Route through the HTM: conflict detection for transactional
     // accesses, strong isolation for non-transactional ones.
     auto res = m.htm().access(t, addr, is_write);
-    for (Tid v : res.victims)
+    for (Tid v : res.victims) {
+        // Attribute the conflict to the requester's cache line,
+        // granule, and instruction: the top-N heatmap separates true
+        // sharing from false-sharing candidates (>1 granule per line).
+        m.tel().conflicts.record(mem::lineOf(addr),
+                                 mem::granuleOf(addr), ins.id);
         handleConflictVictim(m, v);
+    }
     if (res.selfCapacity) {
         handleSelfCapacity(m, t);
         return false;  // the access did not complete
@@ -417,14 +511,14 @@ TxRacePolicy::onMemAccess(Machine &m, Tid t, const ir::Instruction &ins,
             // Hinted episode: accesses off the conflicting line only
             // pay a cheap filter.
             m.addCost(t, 1, ctx.slowReason);
-            m.stats().add("txrace.hint_filtered");
+            m.tel().registry.add(met_.hintFiltered);
             return true;
         }
         if (ctx.sampleMode && !governor_.sampleThisAccess(t)) {
             // Level-3 degradation: unsampled accesses only pay the
             // sampling branch.
             m.addCost(t, 1, ctx.slowReason);
-            m.stats().add("txrace.gov.sample_skipped");
+            m.tel().registry.add(met_.govSampleSkipped);
             return true;
         }
         // Slow-path stall episodes inflate the software check cost.
@@ -435,7 +529,7 @@ TxRacePolicy::onMemAccess(Machine &m, Tid t, const ir::Instruction &ins,
                 static_cast<double>(check) * stall);
         m.addCost(t, check, ctx.slowReason);
         if (ctx.sampleMode)
-            m.stats().add("txrace.gov.sampled_checks");
+            m.tel().registry.add(met_.govSampledChecks);
         else
             governor_.onSlowCheckCost(m, t, check);
         if (is_write)
@@ -511,11 +605,15 @@ TxRacePolicy::onThreadExit(Machine &m, Tid t)
         // fires if a workload bypassed the pipeline.
         warn("TxRacePolicy: thread %u exiting inside a transaction", t);
         m.commitTx(t);
-        m.stats().add("tx.committed");
+        m.tel().registry.add(met_.txCommitted);
+        traceTxEnd(m, t, "thread-exit");
     }
-    if (ctx.path == PathMode::Slow)
+    if (ctx.path == PathMode::Slow) {
         ctx.path = PathMode::Fast;
+        traceSlowEnd(m, t, "thread-exit");
+    }
     ctx.sampleMode = false;
+    ctx.govForced = false;
 }
 
 } // namespace txrace::core

@@ -46,7 +46,24 @@ HtmEngine::reset()
 {
     tx_.clear();
     inFlight_ = 0;
-    stats_.clear();
+    counters_ = HtmCounters{};
+}
+
+StatSet
+HtmEngine::stats() const
+{
+    StatSet out;
+    auto put = [&](const char *name, uint64_t v) {
+        if (v)
+            out.set(name, v);
+    };
+    put("htm.begins", counters_.begins);
+    put("htm.commits", counters_.commits);
+    put("htm.aborts.conflict", counters_.abortsConflict);
+    put("htm.aborts.capacity", counters_.abortsCapacity);
+    put("htm.aborts.unknown", counters_.abortsUnknown);
+    put("htm.aborts.other", counters_.abortsOther);
+    return out;
 }
 
 bool
@@ -82,7 +99,7 @@ HtmEngine::begin(Tid t)
     s.writeLines.clear();
     s.setOccupancy.assign(cfg_.l1Sets, 0);
     ++inFlight_;
-    stats_.add("htm.begins");
+    ++counters_.begins;
 }
 
 bool
@@ -184,7 +201,7 @@ HtmEngine::commit(Tid t)
     s.writeLines.clear();
     s.lineInstr.clear();
     --inFlight_;
-    stats_.add("htm.commits");
+    ++counters_.commits;
 }
 
 void
@@ -200,13 +217,13 @@ HtmEngine::abortTx(Tid t, AbortStatus status)
     s.lastAbort = status;
     --inFlight_;
     if (status & kAbortCapacity)
-        stats_.add("htm.aborts.capacity");
+        ++counters_.abortsCapacity;
     else if (status & kAbortConflict)
-        stats_.add("htm.aborts.conflict");
+        ++counters_.abortsConflict;
     else if (isUnknownAbort(status))
-        stats_.add("htm.aborts.unknown");
+        ++counters_.abortsUnknown;
     else
-        stats_.add("htm.aborts.other");
+        ++counters_.abortsOther;
 }
 
 AbortStatus

@@ -76,6 +76,21 @@ struct HtmConfig
     bool trackInstructions = false;
 };
 
+/**
+ * Fixed-layout engine counters. The begin/commit/abort paths are the
+ * hottest code in the model, so they bump plain integers; stats()
+ * materializes the string-keyed compatibility view on demand.
+ */
+struct HtmCounters
+{
+    uint64_t begins = 0;
+    uint64_t commits = 0;
+    uint64_t abortsConflict = 0;
+    uint64_t abortsCapacity = 0;
+    uint64_t abortsUnknown = 0;
+    uint64_t abortsOther = 0;
+};
+
 /** Outcome of routing one memory access through the HTM. */
 struct AccessResult
 {
@@ -170,8 +185,13 @@ class HtmEngine
     size_t readSetLines(Tid t) const;
     size_t writeSetLines(Tid t) const;
 
-    /** Engine counters (begins, commits, aborts by cause). */
-    const StatSet &stats() const { return stats_; }
+    /** Raw engine counters (begins, commits, aborts by cause). */
+    const HtmCounters &counters() const { return counters_; }
+
+    /** String-keyed view of counters() under the htm.* names
+     *  (compatibility surface for dumps and tests; zero-valued
+     *  counters are omitted, matching StatSet's first-touch shape). */
+    StatSet stats() const;
 
   private:
     struct TxState
@@ -199,7 +219,7 @@ class HtmEngine
     std::vector<TxState> tx_;
     size_t inFlight_ = 0;
     uint32_t waysPenalty_ = 0;
-    StatSet stats_;
+    HtmCounters counters_;
 };
 
 } // namespace txrace::htm

@@ -82,6 +82,10 @@ struct ThreadContext
     /** Governor level-3 degradation: regions run untransacted with
      *  sampled software checks instead of full slow-path checking. */
     bool sampleMode = false;
+    /** The current slow episode was forced by the governor's
+     *  degradation ladder rather than by an abort (phase-profiler
+     *  attribution: degraded vs genuine slow-path time). */
+    bool govForced = false;
     /** Consecutive retry-aborts of the current region. */
     uint32_t retryCount = 0;
     /** This thread's accumulated virtual cost. */

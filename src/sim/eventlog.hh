@@ -42,7 +42,21 @@ class EventLog
     /** True if record() will store anything. */
     bool enabled() const { return enabled_; }
 
-    /** Append an event (no-op when disabled or full). */
+    /** True if record() will actually store a new event right now.
+     *  Call sites use this to skip building string arguments when the
+     *  log is disabled or already at capacity. */
+    bool accepting() const
+    {
+        return enabled_ && events_.size() < kMaxEvents;
+    }
+
+    /**
+     * Append an event. When the log is full, the event is counted as
+     * dropped (the final "truncated" marker reports the total) instead
+     * of silently vanishing. Note the string arguments are constructed
+     * by the caller even then — hot call sites guard on enabled() /
+     * accepting() first.
+     */
     void
     record(uint64_t step, Tid tid, std::string kind,
            std::string detail = "")
@@ -52,9 +66,10 @@ class EventLog
         if (events_.size() >= kMaxEvents) {
             if (!truncated_) {
                 truncated_ = true;
-                events_.push_back(
-                    {step, tid, "truncated", "event cap reached"});
+                truncStep_ = step;
+                truncTid_ = tid;
             }
+            ++dropped_;
             return;
         }
         events_.push_back(
@@ -62,6 +77,9 @@ class EventLog
     }
 
     const std::vector<Event> &events() const { return events_; }
+
+    /** Events rejected because the cap was reached. */
+    uint64_t dropped() const { return dropped_; }
 
     /** Pretty-print up to @p limit events (0 = all). */
     void
@@ -78,11 +96,18 @@ class EventLog
         }
         if (n < events_.size())
             os << "... (" << events_.size() - n << " more)\n";
+        if (truncated_)
+            os << "[" << truncStep_ << "] t" << truncTid_
+               << " truncated: event cap reached, " << dropped_
+               << " event(s) dropped\n";
     }
 
   private:
     bool enabled_ = false;
     bool truncated_ = false;
+    uint64_t dropped_ = 0;
+    uint64_t truncStep_ = 0;
+    Tid truncTid_ = 0;
     std::vector<Event> events_;
 };
 

@@ -61,6 +61,22 @@ Machine::Machine(const ir::Program &prog, const MachineConfig &cfg,
     live_ = 1;
     if (cfg_.recordEvents)
         events_.enable();
+    if (cfg_.recordTrace)
+        tel_.trace.enable();
+
+    // Intern the machine's hot-path metrics once; step-loop updates
+    // are then plain vector indexing (no string map lookups).
+    auto &reg = tel_.registry;
+    met_.rollbacks = reg.counter("machine.rollbacks");
+    met_.interruptAborts = reg.counter("machine.interrupt_aborts");
+    met_.retryAborts = reg.counter("machine.retry_aborts");
+    met_.syscalls = reg.counter("machine.syscalls");
+    met_.threadsCreated = reg.counter("machine.threads_created");
+    met_.deadlocks = reg.counter("machine.deadlocks");
+    met_.steps = reg.gauge("machine.steps");
+    met_.truncated = reg.gauge("machine.truncated");
+    met_.txCost = reg.histogram("tx.cost.committed");
+    met_.txWasted = reg.histogram("tx.cost.wasted");
 }
 
 ThreadContext &
@@ -98,6 +114,7 @@ Machine::commitTx(Tid t)
     for (const auto &[granule, value] : ctx.txStores)
         mem_.store(granule << mem::kGranuleBits, value);
     ctx.txStores.clear();
+    tel_.registry.observe(met_.txCost, ctx.baseSinceTxBegin);
 }
 
 void
@@ -119,7 +136,20 @@ Machine::rollback(Tid t, Bucket reason)
     ctx.baseSinceTxBegin = 0;
     ctx.restoreSnapshot();
     addCost(t, cfg_.cost.rollbackCost, reason);
-    stats_.add("machine.rollbacks");
+    tel_.registry.add(met_.rollbacks);
+    tel_.registry.observe(met_.txWasted, wasted);
+}
+
+telemetry::Phase
+Machine::phaseOf(Tid t) const
+{
+    const ThreadContext &ctx = contexts_[t];
+    if (ctx.path == PathMode::Slow)
+        return ctx.govForced ? telemetry::Phase::Degraded
+                             : telemetry::Phase::Slow;
+    if (htm_.inTx(t))
+        return telemetry::Phase::Fast;
+    return telemetry::Phase::Native;
 }
 
 uint32_t
@@ -176,9 +206,10 @@ Machine::reportDeadlock()
     for (const auto &info : error_.threads)
         warn("  thread %u state=%d at %s", info.tid,
              static_cast<int>(info.state), info.where.c_str());
-    stats_.add("machine.deadlocks");
-    events_.record(steps_, 0, "deadlock",
-                   strprintf("%u live threads blocked", live_));
+    tel_.registry.add(met_.deadlocks);
+    if (events_.enabled())
+        events_.record(steps_, 0, "deadlock",
+                       strprintf("%u live threads blocked", live_));
 }
 
 const RunError &
@@ -197,9 +228,10 @@ Machine::run()
                  static_cast<unsigned long long>(cfg_.maxSteps));
             error_.kind = RunError::Kind::Truncated;
             captureUnfinishedThreads();
-            stats_.set("machine.truncated", 1);
-            events_.record(steps_, 0, "truncated",
-                           "maxSteps runaway guard tripped");
+            tel_.registry.set(met_.truncated, 1);
+            if (events_.enabled())
+                events_.record(steps_, 0, "truncated",
+                               "maxSteps runaway guard tripped");
             break;
         }
         ++steps_;
@@ -208,7 +240,12 @@ Machine::run()
     }
     error_.stepsExecuted = steps_;
     policy_.onRunEnd(*this);
-    stats_.set("machine.steps", steps_);
+    tel_.registry.set(met_.steps, steps_);
+    tel_.trace.closeAll(steps_);
+    // Compatibility export: every registry counter/gauge lands in the
+    // string-keyed StatSet under its registered name, so harnesses and
+    // determinism tests see the same dump shape as before.
+    tel_.registry.exportTo(stats_);
     return error_;
 }
 
@@ -225,13 +262,17 @@ Machine::advanceFaults()
                             : "fault.episodes_ended");
         stats_.add(std::string("fault.") + fault::faultKindName(ep.kind)
                    + (tr.begin ? ".begin" : ".end"));
-        events_.record(steps_, 0,
-                       tr.begin ? "fault-begin" : "fault-end",
-                       strprintf("%s x%.2g +%.2g param=%llu",
-                                 fault::faultKindName(ep.kind),
-                                 ep.magnitude, ep.addProb,
-                                 static_cast<unsigned long long>(
-                                     ep.param)));
+        if (events_.enabled())
+            events_.record(steps_, 0,
+                           tr.begin ? "fault-begin" : "fault-end",
+                           strprintf("%s x%.2g +%.2g param=%llu",
+                                     fault::faultKindName(ep.kind),
+                                     ep.magnitude, ep.addProb,
+                                     static_cast<unsigned long long>(
+                                         ep.param)));
+        tel_.trace.instant(0, steps_,
+                           tr.begin ? "fault-begin" : "fault-end",
+                           "fault", fault::faultKindName(ep.kind));
         if (ep.kind == fault::FaultKind::CapacityCliff)
             ways_changed = true;
     }
@@ -251,6 +292,10 @@ Machine::step()
         return false;
     }
 
+    // Attribute this step to the acting thread's current detection
+    // mode (the Figure-10 time-in-mode breakdown). One array index.
+    tel_.phases.note(t, phaseOf(t));
+
     // Timer-interrupt injection: OS preemption aborts an in-flight
     // transaction with an all-zero (unknown) status, more often when
     // the machine is oversubscribed (paper §8.2, Figure 8). Fault
@@ -262,16 +307,22 @@ Machine::step()
         p = p * faults_.interruptMult() + faults_.interruptAdd();
         if (intrRng_.chance(p)) {
             htm_.abortTx(t, 0);
-            stats_.add("machine.interrupt_aborts");
-            events_.record(steps_, t, "interrupt",
-                           "unknown abort (preemption)");
+            tel_.registry.add(met_.interruptAborts);
+            if (events_.enabled())
+                events_.record(steps_, t, "interrupt",
+                               "unknown abort (preemption)");
+            tel_.trace.endSpan(t, telemetry::TraceBuffer::SpanKind::Tx,
+                               steps_, "interrupt");
+            tel_.trace.instant(t, steps_, "interrupt-abort", "abort");
             policy_.onInterruptAbort(*this, t);
             return true;
         }
         double pr = cfg_.retryAbortPerStep + faults_.retryAdd();
         if (pr > 0.0 && intrRng_.chance(pr)) {
             htm_.abortTx(t, htm::kAbortRetry);
-            stats_.add("machine.retry_aborts");
+            tel_.registry.add(met_.retryAborts);
+            tel_.trace.endSpan(t, telemetry::TraceBuffer::SpanKind::Tx,
+                               steps_, "retry");
             policy_.onRetryAbort(*this, t);
             return true;
         }
@@ -377,7 +428,7 @@ Machine::execInstr(Tid t)
 
       case ir::OpCode::Syscall:
         addCost(t, cost.syscallCost + ins.arg0, Bucket::Base);
-        stats_.add("machine.syscalls");
+        tel_.registry.add(met_.syscalls);
         ++ctx.pc;
         break;
 
@@ -489,7 +540,7 @@ Machine::execInstr(Tid t)
         ++live_;
         policy_.onThreadCreated(*this, t, child);
         policy_.onThreadStart(*this, child);
-        stats_.add("machine.threads_created");
+        tel_.registry.add(met_.threadsCreated);
         ++ctx.pc;
         break;
       }

@@ -33,6 +33,7 @@
 #include "support/rng.hh"
 #include "support/stats.hh"
 #include "sync/primitives.hh"
+#include "telemetry/telemetry.hh"
 
 namespace txrace::sim {
 
@@ -61,6 +62,9 @@ struct MachineConfig
     double retryAbortPerStep = 0.0;
     /** Record a structured event timeline (txrace_run --trace). */
     bool recordEvents = false;
+    /** Record transaction/slow-path spans and abort instants into the
+     *  telemetry trace buffer (txrace_run --trace-json). */
+    bool recordTrace = false;
     /** Hard cap on scheduler steps (runaway guard). Exceeding it ends
      *  the run with RunError::Kind::Truncated, not process death. */
     uint64_t maxSteps = 500'000'000;
@@ -184,9 +188,20 @@ class Machine
         return buckets_;
     }
 
-    /** Machine+policy counters. */
+    /** Machine+policy counters. Cold-path/string-keyed compatibility
+     *  surface; hot-path counters live in tel().registry and are
+     *  exported into this set at the end of run(). */
     StatSet &stats() { return stats_; }
     const StatSet &stats() const { return stats_; }
+
+    /** Telemetry bundle: typed metrics registry, phase profiler,
+     *  conflict attribution, trace spans. Policies intern their
+     *  metric ids here in onRunStart(). */
+    telemetry::Telemetry &tel() { return tel_; }
+    const telemetry::Telemetry &tel() const { return tel_; }
+
+    /** Phase the profiler would attribute to @p t right now. */
+    telemetry::Phase phaseOf(Tid t) const;
 
     /** Structured event timeline (empty unless cfg.recordEvents). */
     EventLog &events() { return events_; }
@@ -242,6 +257,23 @@ class Machine
     StatSet stats_;
     EventLog events_;
     RunError error_;
+
+    telemetry::Telemetry tel_;
+    /** Pre-interned ids of the machine's own hot-path metrics. */
+    struct MachineMetrics
+    {
+        telemetry::MetricId rollbacks;
+        telemetry::MetricId interruptAborts;
+        telemetry::MetricId retryAborts;
+        telemetry::MetricId syscalls;
+        telemetry::MetricId threadsCreated;
+        telemetry::MetricId deadlocks;
+        telemetry::MetricId steps;      ///< gauge
+        telemetry::MetricId truncated;  ///< gauge
+        telemetry::MetricId txCost;     ///< histogram: base cost/commit
+        telemetry::MetricId txWasted;   ///< histogram: base cost/abort
+    };
+    MachineMetrics met_;
 };
 
 } // namespace txrace::sim

@@ -1,0 +1,57 @@
+#include "telemetry/conflictmap.hh"
+
+#include <algorithm>
+
+namespace txrace::telemetry {
+
+void
+ConflictMap::record(uint64_t line, uint64_t granule, uint32_t site)
+{
+    LineConflicts &lc = lines_[line];
+    lc.line = line;
+    ++lc.conflicts;
+    lc.granules.insert(granule);
+    if (site != ~0u)
+        ++lc.sites[site];
+    ++total_;
+}
+
+std::vector<ConflictHotLine>
+ConflictMap::topN(size_t n, size_t sitesPerLine) const
+{
+    std::vector<const LineConflicts *> order;
+    order.reserve(lines_.size());
+    for (const auto &[line, lc] : lines_)
+        order.push_back(&lc);
+    std::sort(order.begin(), order.end(),
+              [](const LineConflicts *a, const LineConflicts *b) {
+                  if (a->conflicts != b->conflicts)
+                      return a->conflicts > b->conflicts;
+                  return a->line < b->line;
+              });
+    if (order.size() > n)
+        order.resize(n);
+
+    std::vector<ConflictHotLine> out;
+    out.reserve(order.size());
+    for (const LineConflicts *lc : order) {
+        ConflictHotLine hot;
+        hot.line = lc->line;
+        hot.conflicts = lc->conflicts;
+        hot.distinctGranules = lc->granules.size();
+        hot.falseSharingCandidate = lc->falseSharingCandidate();
+        hot.sites.assign(lc->sites.begin(), lc->sites.end());
+        std::sort(hot.sites.begin(), hot.sites.end(),
+                  [](const auto &a, const auto &b) {
+                      if (a.second != b.second)
+                          return a.second > b.second;
+                      return a.first < b.first;
+                  });
+        if (hot.sites.size() > sitesPerLine)
+            hot.sites.resize(sitesPerLine);
+        out.push_back(std::move(hot));
+    }
+    return out;
+}
+
+} // namespace txrace::telemetry

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Conflict-abort attribution: which cache lines the HTM's conflicts
+ * land on, which static IR sites touch them, and whether a line looks
+ * like a false-sharing hotspot.
+ *
+ * TxRace's slow path exists to separate true races from cache-line
+ * false sharing (paper Table 2); this map gives the same signal
+ * observationally, without a slow-path episode: a line whose
+ * conflicts involve several distinct sub-line granules is a
+ * false-sharing candidate (different variables packed into one 64 B
+ * line), while single-granule conflict lines point at true sharing.
+ */
+
+#ifndef TXRACE_TELEMETRY_CONFLICTMAP_HH
+#define TXRACE_TELEMETRY_CONFLICTMAP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace txrace::telemetry {
+
+/** Aggregated conflict telemetry for one cache line. */
+struct LineConflicts
+{
+    uint64_t line = 0;       ///< cache-line index
+    uint64_t conflicts = 0;  ///< conflict aborts attributed to it
+    /** Distinct sub-line granules the winning accesses touched. */
+    std::set<uint64_t> granules;
+    /** Winning (requester) static instruction -> conflicts caused. */
+    std::map<uint32_t, uint64_t> sites;
+
+    /** Conflicts spread over >1 granule of one line: the classic
+     *  false-sharing shape. */
+    bool falseSharingCandidate() const { return granules.size() > 1; }
+};
+
+/** One entry of the exported top-N heatmap. */
+struct ConflictHotLine
+{
+    uint64_t line = 0;
+    uint64_t conflicts = 0;
+    uint64_t distinctGranules = 0;
+    bool falseSharingCandidate = false;
+    /** (instruction id, conflicts) pairs, hottest first. */
+    std::vector<std::pair<uint32_t, uint64_t>> sites;
+};
+
+class ConflictMap
+{
+  public:
+    /**
+     * Attribute one conflict abort to cache line @p line. @p granule
+     * is the memory granule the winning access hit (sub-line
+     * position) and @p site its static instruction id (~0u when
+     * unknown, e.g. the TxFail broadcast).
+     */
+    void record(uint64_t line, uint64_t granule, uint32_t site);
+
+    /** Total conflicts recorded. */
+    uint64_t total() const { return total_; }
+
+    /** Lines attributed so far. */
+    size_t lineCount() const { return lines_.size(); }
+
+    /** Per-line data (keyed and iterated by line: deterministic). */
+    const std::map<uint64_t, LineConflicts> &lines() const
+    {
+        return lines_;
+    }
+
+    /**
+     * The @p n hottest lines by conflict count (ties broken by line
+     * index: deterministic), each with its @p sitesPerLine hottest
+     * sites.
+     */
+    std::vector<ConflictHotLine> topN(size_t n,
+                                      size_t sitesPerLine = 3) const;
+
+  private:
+    std::map<uint64_t, LineConflicts> lines_;
+    uint64_t total_ = 0;
+};
+
+} // namespace txrace::telemetry
+
+#endif // TXRACE_TELEMETRY_CONFLICTMAP_HH

@@ -1,0 +1,32 @@
+#include "telemetry/phase.hh"
+
+namespace txrace::telemetry {
+
+const char *
+phaseName(Phase p)
+{
+    switch (p) {
+      case Phase::Fast:
+        return "fast";
+      case Phase::Slow:
+        return "slow";
+      case Phase::Degraded:
+        return "degraded";
+      case Phase::Native:
+        return "native";
+      case Phase::NumPhases:
+        break;
+    }
+    return "?";
+}
+
+uint64_t
+PhaseProfiler::count(Phase p) const
+{
+    uint64_t n = 0;
+    for (const PerPhase &row : perThread_)
+        n += row[static_cast<size_t>(p)];
+    return n;
+}
+
+} // namespace txrace::telemetry

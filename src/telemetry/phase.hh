@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The phase profiler: attributes every executed scheduler step to the
+ * detection mode the acting thread was in, per thread — the data
+ * behind the paper's Figure 10 "time in fast path vs slow path"
+ * breakdown, generalized with the governor's degraded modes.
+ */
+
+#ifndef TXRACE_TELEMETRY_PHASE_HH
+#define TXRACE_TELEMETRY_PHASE_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace txrace::telemetry {
+
+/** Execution mode a thread occupies during one scheduler step. */
+enum class Phase : uint8_t {
+    Fast,      ///< inside an HTM-monitored transaction
+    Slow,      ///< software happens-before checking episode
+    Degraded,  ///< governor-forced slow/sampled region
+    Native,    ///< outside any monitored region (or untransacted run)
+    NumPhases,
+};
+
+constexpr size_t kNumPhases = static_cast<size_t>(Phase::NumPhases);
+
+/** Display name of a phase. */
+const char *phaseName(Phase p);
+
+/**
+ * Per-thread step attribution. One note() per executed scheduler
+ * step; the counts over all threads and phases sum to exactly the
+ * number of steps noted (total()), which the accounting tests assert.
+ */
+class PhaseProfiler
+{
+  public:
+    using PerPhase = std::array<uint64_t, kNumPhases>;
+
+    /** Attribute one step of thread @p t to phase @p p. */
+    void
+    note(Tid t, Phase p)
+    {
+        if (t >= perThread_.size())
+            perThread_.resize(t + 1);
+        ++perThread_[t][static_cast<size_t>(p)];
+        ++total_;
+    }
+
+    /** Steps noted in total (== sum over threads and phases). */
+    uint64_t total() const { return total_; }
+
+    /** Steps attributed to @p p across all threads. */
+    uint64_t count(Phase p) const;
+
+    /** Per-thread breakdown, indexed by tid. */
+    const std::vector<PerPhase> &perThread() const { return perThread_; }
+
+  private:
+    std::vector<PerPhase> perThread_;
+    uint64_t total_ = 0;
+};
+
+} // namespace txrace::telemetry
+
+#endif // TXRACE_TELEMETRY_PHASE_HH

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * The telemetry bundle a Machine owns and a RunResult carries out:
+ * typed metrics registry, phase profiler, conflict-attribution map,
+ * and the trace-span buffer. One instance per run; the driver moves
+ * it from the machine into the RunResult so exporters (metrics JSON,
+ * Chrome trace) can read it after the machine is gone.
+ */
+
+#ifndef TXRACE_TELEMETRY_TELEMETRY_HH
+#define TXRACE_TELEMETRY_TELEMETRY_HH
+
+#include "telemetry/conflictmap.hh"
+#include "telemetry/phase.hh"
+#include "telemetry/registry.hh"
+#include "telemetry/trace.hh"
+
+namespace txrace::telemetry {
+
+struct Telemetry
+{
+    MetricRegistry registry;
+    PhaseProfiler phases;
+    ConflictMap conflicts;
+    TraceBuffer trace;
+};
+
+} // namespace txrace::telemetry
+
+#endif // TXRACE_TELEMETRY_TELEMETRY_HH

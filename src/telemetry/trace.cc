@@ -1,0 +1,137 @@
+#include "telemetry/trace.hh"
+
+#include <set>
+
+#include "telemetry/json.hh"
+
+namespace txrace::telemetry {
+
+TraceBuffer::OpenSpan &
+TraceBuffer::slot(Tid t, SpanKind kind)
+{
+    if (t >= open_.size())
+        open_.resize(t + 1);
+    return open_[t][static_cast<size_t>(kind)];
+}
+
+void
+TraceBuffer::push(const TraceEvent &ev)
+{
+    if (events_.size() >= kMaxEvents) {
+        ++dropped_;
+        return;
+    }
+    events_.push_back(ev);
+}
+
+void
+TraceBuffer::beginSpan(Tid t, SpanKind kind, uint64_t ts,
+                       const char *name, const char *category)
+{
+    if (!enabled_)
+        return;
+    OpenSpan &s = slot(t, kind);
+    if (s.open)
+        endSpan(t, kind, ts);
+    s.open = true;
+    s.start = ts;
+    s.name = name;
+    s.category = category;
+}
+
+void
+TraceBuffer::endSpan(Tid t, SpanKind kind, uint64_t ts,
+                     const char *outcome)
+{
+    if (!enabled_)
+        return;
+    OpenSpan &s = slot(t, kind);
+    if (!s.open)
+        return;
+    s.open = false;
+    TraceEvent ev;
+    ev.ts = s.start;
+    ev.dur = ts >= s.start ? ts - s.start : 0;
+    ev.tid = t;
+    ev.span = true;
+    ev.name = s.name;
+    ev.category = s.category;
+    ev.detail = outcome;
+    push(ev);
+}
+
+void
+TraceBuffer::instant(Tid t, uint64_t ts, const char *name,
+                     const char *category, const char *detail)
+{
+    if (!enabled_)
+        return;
+    TraceEvent ev;
+    ev.ts = ts;
+    ev.tid = t;
+    ev.span = false;
+    ev.name = name;
+    ev.category = category;
+    ev.detail = detail;
+    push(ev);
+}
+
+void
+TraceBuffer::closeAll(uint64_t ts)
+{
+    if (!enabled_)
+        return;
+    for (Tid t = 0; t < open_.size(); ++t) {
+        endSpan(t, SpanKind::Tx, ts, "run-end");
+        endSpan(t, SpanKind::Slow, ts, "run-end");
+    }
+}
+
+void
+TraceBuffer::writeChromeTrace(std::ostream &os) const
+{
+    JsonWriter w(os, /*pretty=*/false);
+    w.beginArray();
+
+    // Thread-name metadata so the viewer labels the tracks.
+    std::set<Tid> tids;
+    for (const TraceEvent &ev : events_)
+        tids.insert(ev.tid);
+    for (Tid t : tids) {
+        w.beginObject();
+        w.field("name", "thread_name");
+        w.field("ph", "M");
+        w.field("pid", uint64_t{1});
+        w.field("tid", uint64_t{t});
+        w.key("args");
+        w.beginObject();
+        w.field("name", "thread " + std::to_string(t));
+        w.endObject();
+        w.endObject();
+    }
+
+    for (const TraceEvent &ev : events_) {
+        w.beginObject();
+        w.field("name", ev.name);
+        w.field("cat", ev.category);
+        w.field("ph", ev.span ? "X" : "i");
+        w.field("pid", uint64_t{1});
+        w.field("tid", uint64_t{ev.tid});
+        w.field("ts", ev.ts);
+        if (ev.span)
+            w.field("dur", ev.dur);
+        else
+            w.field("s", "t");  // instant scope: thread
+        if (ev.detail != nullptr) {
+            w.key("args");
+            w.beginObject();
+            w.field("detail", ev.detail);
+            w.endObject();
+        }
+        w.endObject();
+    }
+    w.endArray();
+    os << "\n";
+}
+
+} // namespace txrace::telemetry

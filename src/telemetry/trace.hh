@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Bounded timeline of transaction/slow-path spans and abort instants,
+ * exportable as Chrome trace-event JSON (chrome://tracing, Perfetto).
+ *
+ * Virtual time (scheduler steps) maps to the trace format's
+ * microsecond timestamps 1:1. Transactions and slow-path episodes
+ * become complete ("ph":"X") duration events on their thread's track;
+ * aborts, TxFail publications, loop cuts, and fault-plan transitions
+ * become instant ("ph":"i") events. Disabled (the default) it costs
+ * one branch per would-be record.
+ */
+
+#ifndef TXRACE_TELEMETRY_TRACE_HH
+#define TXRACE_TELEMETRY_TRACE_HH
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace txrace::telemetry {
+
+/** One recorded trace event (span when dur is meaningful). */
+struct TraceEvent
+{
+    uint64_t ts = 0;   ///< start step
+    uint64_t dur = 0;  ///< steps covered (spans only)
+    Tid tid = 0;
+    bool span = false;
+    /** Static names: callers pass string literals only. */
+    const char *name = "";
+    const char *category = "";
+    /** Optional static detail (e.g. span outcome); nullptr = none. */
+    const char *detail = nullptr;
+};
+
+class TraceBuffer
+{
+  public:
+    /** Hard cap on stored events; further records count as dropped. */
+    static constexpr size_t kMaxEvents = 1 << 20;
+
+    /** Kinds of per-thread open spans tracked concurrently. */
+    enum class SpanKind : uint8_t { Tx = 0, Slow = 1 };
+
+    void enable() { enabled_ = true; }
+    bool enabled() const { return enabled_; }
+
+    /** Open a span of @p kind for thread @p t at step @p ts. An
+     *  already-open span of the same kind is closed first (zero-length
+     *  spans are kept: they mark immediate aborts). */
+    void beginSpan(Tid t, SpanKind kind, uint64_t ts,
+                   const char *name, const char *category);
+
+    /** Close thread @p t's open span of @p kind at step @p ts with an
+     *  optional outcome label. No-op if none is open. */
+    void endSpan(Tid t, SpanKind kind, uint64_t ts,
+                 const char *outcome = nullptr);
+
+    /** Record an instant event. */
+    void instant(Tid t, uint64_t ts, const char *name,
+                 const char *category, const char *detail = nullptr);
+
+    /** Close every still-open span at @p ts (end of run). */
+    void closeAll(uint64_t ts);
+
+    const std::vector<TraceEvent> &events() const { return events_; }
+
+    /** Events rejected because the buffer was full. */
+    uint64_t dropped() const { return dropped_; }
+
+    /**
+     * Emit the buffer as a Chrome trace-event JSON array. Includes
+     * one metadata ("ph":"M") thread-name record per thread seen, a
+     * complete ("ph":"X") event per span, and an instant ("ph":"i")
+     * event per instant.
+     */
+    void writeChromeTrace(std::ostream &os) const;
+
+  private:
+    struct OpenSpan
+    {
+        bool open = false;
+        uint64_t start = 0;
+        const char *name = "";
+        const char *category = "";
+    };
+
+    /** Append with capacity check; counts drops past the cap. */
+    void push(const TraceEvent &ev);
+    OpenSpan &slot(Tid t, SpanKind kind);
+
+    bool enabled_ = false;
+    uint64_t dropped_ = 0;
+    std::vector<TraceEvent> events_;
+    /** Per-thread open spans, indexed [tid][kind]. */
+    std::vector<std::array<OpenSpan, 2>> open_;
+};
+
+} // namespace txrace::telemetry
+
+#endif // TXRACE_TELEMETRY_TRACE_HH

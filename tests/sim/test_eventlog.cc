@@ -109,4 +109,33 @@ TEST(EventLog, RecordIsNoOpWhenDisabled)
     sim::EventLog log;
     log.record(1, 1, "tick");
     EXPECT_TRUE(log.events().empty());
+    // A disabled log never accepts; there is no point building args.
+    EXPECT_FALSE(log.accepting());
+}
+
+TEST(EventLog, CountsDroppedEventsPastTheCap)
+{
+    sim::EventLog log;
+    log.enable();
+    EXPECT_TRUE(log.accepting());
+    constexpr uint64_t kExtra = 37;
+    for (uint64_t i = 0; i < sim::EventLog::kMaxEvents + kExtra; ++i)
+        log.record(i, 2, "tick");
+
+    // Storage stops exactly at the cap; the overflow is counted, not
+    // silently discarded, and accepting() tells hot call sites to stop
+    // building string arguments.
+    EXPECT_EQ(log.events().size(), sim::EventLog::kMaxEvents);
+    EXPECT_EQ(log.dropped(), kExtra);
+    EXPECT_FALSE(log.accepting());
+
+    // The printed timeline ends with the truncation marker carrying
+    // the drop total and the step where recording stopped.
+    std::ostringstream os;
+    log.print(os, 1);
+    std::string expected =
+        "[" + std::to_string(sim::EventLog::kMaxEvents) +
+        "] t2 truncated: event cap reached, " +
+        std::to_string(kExtra) + " event(s) dropped";
+    EXPECT_NE(os.str().find(expected), std::string::npos) << os.str();
 }

@@ -9,8 +9,10 @@
  */
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 
+#include "core/metrics_export.hh"
 #include "core/report_format.hh"
 #include "fault/fault.hh"
 #include "ir/text.hh"
@@ -66,7 +68,11 @@ usage()
         "  --fault NAME   inject a named fault scenario\n"
         "  --fault-horizon N  scale episode times to N steps\n"
         "  --governor     enable the adaptive fallback governor\n"
-        "  --stats        dump every counter\n"
+        "  --stats [PREFIX]  dump counters (optionally only those\n"
+        "                 whose name contains PREFIX, e.g. gov, fault)\n"
+        "  --metrics-json FILE  write the txrace-metrics-v1 document\n"
+        "  --trace-json FILE    write a Chrome trace-event timeline\n"
+        "                 (load in chrome://tracing or Perfetto)\n"
         "  --no-overhead  skip the native reference run\n";
     std::exit(0);
 }
@@ -84,11 +90,14 @@ main(int argc, char **argv)
     uint64_t seed = 1;
     double rate = 0.5;
     bool dump_stats = false;
+    std::string stats_filter;
     bool with_overhead = true;
     size_t trace = 0;
     std::string fault_name;
     uint64_t fault_horizon = 200'000;
     bool governor = false;
+    std::string metrics_json_path;
+    std::string trace_json_path;
 
     for (int i = 1; i < argc; ++i) {
         auto value = [&](const char *flag) -> const char * {
@@ -136,8 +145,16 @@ main(int argc, char **argv)
             fault_horizon = std::strtoull(v9, nullptr, 10);
         } else if (std::strcmp(argv[i], "--governor") == 0) {
             governor = true;
+        } else if (const char *vm = value("--metrics-json")) {
+            metrics_json_path = vm;
+        } else if (const char *vt = value("--trace-json")) {
+            trace_json_path = vt;
         } else if (std::strcmp(argv[i], "--stats") == 0) {
             dump_stats = true;
+            // Optional value: a name filter (substring match, so
+            // `--stats gov` catches txrace.gov.*).
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                stats_filter = argv[++i];
         } else if (std::strcmp(argv[i], "--no-overhead") == 0) {
             with_overhead = false;
         } else {
@@ -171,6 +188,7 @@ main(int argc, char **argv)
     }();
     cfg.machine.seed = seed;
     cfg.machine.recordEvents = trace > 0;
+    cfg.machine.recordTrace = !trace_json_path.empty();
     if (!fault_name.empty())
         cfg.machine.faults =
             fault::makeScenario(fault_name, fault_horizon);
@@ -210,9 +228,42 @@ main(int argc, char **argv)
     }
 
     if (dump_stats) {
-        std::cout << "\ncounters:\n";
-        for (const auto &[name, v] : result.stats.all())
+        std::cout << "\ncounters";
+        if (!stats_filter.empty())
+            std::cout << " (matching '" << stats_filter << "')";
+        std::cout << ":\n";
+        for (const auto &[name, v] : result.stats.all()) {
+            if (!stats_filter.empty() &&
+                name.find(stats_filter) == std::string::npos)
+                continue;
             std::cout << "  " << name << " = " << v << "\n";
+        }
+    }
+
+    if (!metrics_json_path.empty()) {
+        std::ofstream out(metrics_json_path);
+        if (!out)
+            fatal("cannot write %s", metrics_json_path.c_str());
+        core::MetricsMeta meta;
+        meta.app = !app_name.empty() ? app_name
+                   : !pattern_name.empty() ? pattern_name
+                                           : program_path;
+        meta.mode = mode_name;
+        meta.seed = seed;
+        meta.workers = params.nWorkers;
+        meta.scale = params.scale;
+        core::writeMetricsJson(out, meta, &prog, result);
+        std::cout << "metrics written to " << metrics_json_path << "\n";
+    }
+
+    if (!trace_json_path.empty()) {
+        std::ofstream out(trace_json_path);
+        if (!out)
+            fatal("cannot write %s", trace_json_path.c_str());
+        result.telemetry.trace.writeChromeTrace(out);
+        std::cout << "trace written to " << trace_json_path
+                  << " (" << result.telemetry.trace.events().size()
+                  << " events; open in chrome://tracing or Perfetto)\n";
     }
     return result.error.ok() ? 0 : 2;
 }
