@@ -9,6 +9,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "core/driver.hh"
 #include "detector/fasttrack.hh"
 #include "htm/htm.hh"
@@ -38,6 +41,93 @@ BM_HtmAccess(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_HtmAccess)->Arg(16)->Arg(256);
+
+/**
+ * Engine-level conflict-detection benchmarks: the same access stream
+ * through the reverse line directory and the legacy per-thread scan.
+ * `bench_compare.py` gates on these — the conflict-free cases measure
+ * the per-access cost as a function of in-flight transaction count
+ * (the directory's whole point is making it flat), the conflict-heavy
+ * case measures abort processing.
+ */
+void
+runConflictFree(benchmark::State &state, htm::ConflictEngine eng)
+{
+    htm::HtmConfig cfg;
+    cfg.engine = eng;
+    htm::HtmEngine engine(cfg);
+    const uint32_t txs = static_cast<uint32_t>(state.range(0));
+    for (Tid t = 0; t < txs; ++t)
+        engine.begin(t);
+    // Each in-flight transaction cycles a 3:1 read:write mix over its
+    // own disjoint 32-line region — the footprint scale and store
+    // ratio of a loop-cut transaction. No conflicts, no capacity
+    // pressure, steady state after the first lap.
+    constexpr uint64_t kLines = 32;
+    Tid t = 0;
+    uint64_t lap = 0;
+    for (auto _ : state) {
+        uint64_t line = (t + 1) * 4096 + lap;
+        auto res = engine.access(t, line * 64, (lap & 3) == 3);
+        benchmark::DoNotOptimize(res.selfCapacity);
+        if (++t == txs) {
+            t = 0;
+            if (++lap == kLines)
+                lap = 0;
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_HtmDirConflictFree(benchmark::State &state)
+{
+    runConflictFree(state, htm::ConflictEngine::Directory);
+}
+BENCHMARK(BM_HtmDirConflictFree)->Arg(1)->Arg(4)->Arg(8);
+
+void
+BM_HtmLegacyConflictFree(benchmark::State &state)
+{
+    runConflictFree(state, htm::ConflictEngine::LegacyScan);
+}
+BENCHMARK(BM_HtmLegacyConflictFree)->Arg(1)->Arg(4)->Arg(8);
+
+void
+runConflictHeavy(benchmark::State &state, htm::ConflictEngine eng)
+{
+    htm::HtmConfig cfg;
+    cfg.engine = eng;
+    cfg.maxConcurrentTx = 8;
+    htm::HtmEngine engine(cfg);
+    constexpr Tid kReaders = 8;
+    for (auto _ : state) {
+        // Eight readers pile onto one line; a non-transactional write
+        // then aborts all of them at once (requester-wins), and the
+        // next round re-begins from empty slots.
+        for (Tid t = 0; t < kReaders; ++t) {
+            engine.begin(t);
+            engine.access(t, 0x8000, false);
+        }
+        auto res = engine.access(99, 0x8000, true);
+        benchmark::DoNotOptimize(res.victims.data());
+    }
+    state.SetItemsProcessed(state.iterations() * (kReaders + 1));
+}
+
+void
+BM_HtmDirConflictHeavy(benchmark::State &state)
+{
+    runConflictHeavy(state, htm::ConflictEngine::Directory);
+}
+BENCHMARK(BM_HtmDirConflictHeavy);
+
+void
+BM_HtmLegacyConflictHeavy(benchmark::State &state)
+{
+    runConflictHeavy(state, htm::ConflictEngine::LegacyScan);
+}
+BENCHMARK(BM_HtmLegacyConflictHeavy);
 
 void
 BM_VectorClockJoin(benchmark::State &state)
@@ -108,4 +198,35 @@ BENCHMARK(BM_EndToEndTxRace);
 
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Entry point with one convenience over BENCHMARK_MAIN: `--json FILE`
+ * expands to `--benchmark_out=FILE --benchmark_out_format=json`, the
+ * spelling every other harness binary in bench/ uses.
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args;
+    args.emplace_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--json" && i + 1 < argc) {
+            args.push_back("--benchmark_out=" +
+                           std::string(argv[++i]));
+            args.emplace_back("--benchmark_out_format=json");
+        } else {
+            args.push_back(std::move(a));
+        }
+    }
+    std::vector<char *> cargs;
+    cargs.reserve(args.size());
+    for (std::string &a : args)
+        cargs.push_back(a.data());
+    int cargc = static_cast<int>(cargs.size());
+    benchmark::Initialize(&cargc, cargs.data());
+    if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Gate bench_micro results: engine speedup and baseline regression.
+
+Two independent checks over google-benchmark JSON output:
+
+1. Same-run ratio gate (always on): the directory conflict engine must
+   beat the legacy scan engine by at least --min-ratio on the
+   conflict-free 8-transactions-in-flight case. Both numbers come from
+   the same process on the same machine, so this gate is immune to
+   host-speed differences — it checks the *shape* of the performance,
+   not absolute throughput.
+
+2. Baseline regression gate (--baseline FILE): every benchmark present
+   in both files is compared after normalizing by a calibration
+   benchmark measured in the same file. Normalizing cancels host speed
+   (CI runners and dev machines differ by integer factors), so what is
+   compared is each benchmark's cost relative to the frozen legacy
+   engine. A normalized slowdown beyond --max-regress fails.
+
+Usage:
+  bench_compare.py CURRENT.json [--baseline BASELINE.json]
+                   [--min-ratio 3.0] [--max-regress 0.25] [--summary]
+
+Exit status 0 when all gates pass, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+RATIO_FAST = "BM_HtmDirConflictFree/8"
+RATIO_SLOW = "BM_HtmLegacyConflictFree/8"
+CALIBRATION = "BM_HtmLegacyConflictFree/1"
+
+
+def load_items_per_second(path):
+    """Map benchmark name -> items_per_second.
+
+    Prefers median aggregates when repetitions were used; otherwise
+    averages plain iteration entries of the same name.
+    """
+    with open(path) as f:
+        data = json.load(f)
+    medians = {}
+    plain = {}
+    for b in data.get("benchmarks", []):
+        ips = b.get("items_per_second")
+        if ips is None:
+            continue
+        if b.get("run_type") == "aggregate":
+            if b.get("aggregate_name") == "median":
+                medians[b["run_name"]] = ips
+        else:
+            name = b.get("run_name", b["name"])
+            plain.setdefault(name, []).append(ips)
+    out = {name: sum(v) / len(v) for name, v in plain.items()}
+    out.update(medians)
+    return out
+
+
+def check_ratio(cur, min_ratio):
+    fast = cur.get(RATIO_FAST)
+    slow = cur.get(RATIO_SLOW)
+    if fast is None or slow is None:
+        print(f"ratio gate: SKIPPED ({RATIO_FAST} or {RATIO_SLOW} "
+              "not in results)")
+        return True
+    ratio = fast / slow
+    ok = ratio >= min_ratio
+    print(f"ratio gate: directory {fast / 1e6:.1f} M/s vs legacy "
+          f"{slow / 1e6:.1f} M/s = {ratio:.2f}x "
+          f"(need >= {min_ratio:.2f}x) -> "
+          f"{'ok' if ok else 'FAIL'}")
+    return ok
+
+
+def check_baseline(cur, base, max_regress):
+    cal_cur = cur.get(CALIBRATION)
+    cal_base = base.get(CALIBRATION)
+    if not cal_cur or not cal_base:
+        print(f"baseline gate: FAIL (calibration benchmark "
+              f"{CALIBRATION} missing)")
+        return False
+    ok = True
+    shared = sorted(set(cur) & set(base) - {CALIBRATION})
+    if not shared:
+        print("baseline gate: FAIL (no shared benchmarks)")
+        return False
+    for name in shared:
+        norm_cur = cur[name] / cal_cur
+        norm_base = base[name] / cal_base
+        change = norm_cur / norm_base - 1.0
+        flag = "ok"
+        if change < -max_regress:
+            flag = "FAIL"
+            ok = False
+        print(f"baseline gate: {name}: normalized {norm_base:.3f} -> "
+              f"{norm_cur:.3f} ({change:+.1%}) {flag}")
+    return ok
+
+
+def print_summary(cur):
+    print("\nbenchmark                                items/sec")
+    for name in sorted(cur):
+        print(f"  {name:<38} {cur[name] / 1e6:>8.1f} M/s")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current", help="bench_micro --json output")
+    ap.add_argument("--baseline",
+                    help="committed baseline JSON to regress against")
+    ap.add_argument("--min-ratio", type=float, default=3.0,
+                    help="minimum directory/legacy speedup (same run)")
+    ap.add_argument("--max-regress", type=float, default=0.25,
+                    help="maximum tolerated normalized slowdown")
+    ap.add_argument("--summary", action="store_true",
+                    help="print a throughput table")
+    args = ap.parse_args()
+
+    cur = load_items_per_second(args.current)
+    if not cur:
+        print(f"error: no benchmarks with items_per_second in "
+              f"{args.current}", file=sys.stderr)
+        return 1
+
+    ok = check_ratio(cur, args.min_ratio)
+    if args.baseline:
+        base = load_items_per_second(args.baseline)
+        ok = check_baseline(cur, base, args.max_regress) and ok
+    if args.summary:
+        print_summary(cur)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

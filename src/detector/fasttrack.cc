@@ -94,11 +94,25 @@ HbDetector::barrierRelease(const std::vector<Tid> &participants)
     }
 }
 
+HbDetector::ShadowCell &
+HbDetector::shadowCell(uint64_t granule)
+{
+    uint64_t pageNo = granule >> kShadowPageBits;
+    if (pageNo != cachedNo_) {
+        auto &slot = shadow_[pageNo];
+        if (!slot)
+            slot = std::make_unique<ShadowPage>();
+        cachedNo_ = pageNo;
+        cachedPage_ = slot.get();
+    }
+    return cachedPage_->cells[granule & kShadowPageMask];
+}
+
 void
 HbDetector::read(Tid t, ir::Addr addr, ir::InstrId instr)
 {
     stats_.add("detector.reads");
-    ShadowCell &cell = shadow_[mem::granuleOf(addr)];
+    ShadowCell &cell = shadowCell(mem::granuleOf(addr));
     const VectorClock &vc = clockOf(t);
 
     if (!cell.write.epoch.empty() && cell.write.epoch.tid != t &&
@@ -142,7 +156,7 @@ void
 HbDetector::write(Tid t, ir::Addr addr, ir::InstrId instr)
 {
     stats_.add("detector.writes");
-    ShadowCell &cell = shadow_[mem::granuleOf(addr)];
+    ShadowCell &cell = shadowCell(mem::granuleOf(addr));
     const VectorClock &vc = clockOf(t);
 
     if (!cell.write.epoch.empty() && cell.write.epoch.tid != t &&

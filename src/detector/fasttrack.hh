@@ -25,7 +25,9 @@
 #ifndef TXRACE_DETECTOR_FASTTRACK_HH
 #define TXRACE_DETECTOR_FASTTRACK_HH
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -93,7 +95,13 @@ class HbDetector
     const StatSet &stats() const { return stats_; }
 
     /** Forget all shadow state but keep clocks (tests only). */
-    void dropShadow() { shadow_.clear(); }
+    void
+    dropShadow()
+    {
+        shadow_.clear();
+        cachedNo_ = kNoPage;
+        cachedPage_ = nullptr;
+    }
 
   private:
     struct Access
@@ -108,6 +116,27 @@ class HbDetector
         std::vector<Access> reads;
     };
 
+    /**
+     * Shadow cells are paged like VirtualMemory: 128 granules (1 KiB
+     * of address space) per page, one hash lookup per page switch
+     * instead of per check. The slow path checks runs of neighboring
+     * granules, so the one-entry cache absorbs almost every lookup.
+     */
+    static constexpr unsigned kShadowPageBits = 7;
+    static constexpr uint64_t kShadowPageGranules =
+        1ull << kShadowPageBits;
+    static constexpr uint64_t kShadowPageMask =
+        kShadowPageGranules - 1;
+    static constexpr uint64_t kNoPage = ~0ull;
+
+    struct ShadowPage
+    {
+        std::array<ShadowCell, kShadowPageGranules> cells;
+    };
+
+    /** The shadow cell of @p granule (created on first touch). */
+    ShadowCell &shadowCell(uint64_t granule);
+
     VectorClock &clock(Tid t);
 
     DetectorConfig cfg_;
@@ -115,7 +144,9 @@ class HbDetector
     std::vector<VectorClock> clocks_;
     std::unordered_map<uint64_t, VectorClock> lockClocks_;
     std::unordered_map<uint64_t, VectorClock> condClocks_;
-    std::unordered_map<uint64_t, ShadowCell> shadow_;
+    std::unordered_map<uint64_t, std::unique_ptr<ShadowPage>> shadow_;
+    uint64_t cachedNo_ = kNoPage;
+    ShadowPage *cachedPage_ = nullptr;
     RaceSet races_;
     StatSet stats_;
 };

@@ -1,5 +1,8 @@
 #include "htm/htm.hh"
 
+#include <algorithm>
+#include <bit>
+
 #include "support/log.hh"
 
 namespace txrace::htm {
@@ -31,7 +34,10 @@ abortToString(AbortStatus s)
 }
 
 HtmEngine::HtmEngine(const HtmConfig &cfg)
-    : cfg_(cfg), rng_(cfg.seed ^ 0xca9ac117ULL)
+    : cfg_(cfg),
+      useDirectory_(cfg.engine == ConflictEngine::Directory &&
+                    cfg.maxConcurrentTx <= 64),
+      rng_(cfg.seed ^ 0xca9ac117ULL)
 {
     if (cfg_.l1Sets == 0 || (cfg_.l1Sets & (cfg_.l1Sets - 1)) != 0)
         fatal("HtmEngine: l1Sets must be a nonzero power of two");
@@ -45,6 +51,8 @@ void
 HtmEngine::reset()
 {
     tx_.clear();
+    dir_ = LineDirectory();
+    slotsUsed_ = 0;
     inFlight_ = 0;
     counters_ = HtmCounters{};
 }
@@ -87,6 +95,21 @@ HtmEngine::stateIfAny(Tid t) const
 }
 
 void
+HtmEngine::beginOccupancy(TxState &s)
+{
+    if (s.setOccupancy.empty()) {
+        s.setOccupancy.resize(cfg_.l1Sets, 0);
+        s.setStamp.resize(cfg_.l1Sets, 0);
+    }
+    if (++s.occEpoch == 0) {
+        // Stamp wraparound: pay one memset every 2^32 transactions so
+        // pre-wrap stamps cannot read as current.
+        std::fill(s.setStamp.begin(), s.setStamp.end(), 0u);
+        s.occEpoch = 1;
+    }
+}
+
+void
 HtmEngine::begin(Tid t)
 {
     if (!canBegin())
@@ -95,9 +118,20 @@ HtmEngine::begin(Tid t)
     if (s.active)
         panic("HtmEngine::begin: thread %u already transactional", t);
     s.active = true;
-    s.readLines.clear();
-    s.writeLines.clear();
-    s.setOccupancy.assign(cfg_.l1Sets, 0);
+    if (useDirectory_) {
+        uint32_t slot =
+            static_cast<uint32_t>(std::countr_zero(~slotsUsed_));
+        slotsUsed_ |= uint64_t{1} << slot;
+        s.slot = slot;
+        slotTid_[slot] = t;
+        s.lines.clear();
+        s.readLineCount = 0;
+        s.writeLineCount = 0;
+    } else {
+        s.readLines.clear();
+        s.writeLines.clear();
+    }
+    beginOccupancy(s);
     ++inFlight_;
     ++counters_.begins;
 }
@@ -107,6 +141,37 @@ HtmEngine::inTx(Tid t) const
 {
     const TxState *s = stateIfAny(t);
     return s && s->active;
+}
+
+uint32_t
+HtmEngine::effectiveWays()
+{
+    // Fault injection (capacity cliff) removes ways first; jitter
+    // then nibbles at whatever remains.
+    uint32_t ways = waysPenalty_ < cfg_.l1Ways
+        ? cfg_.l1Ways - waysPenalty_
+        : 1;
+    if (cfg_.capacityJitter > 0.0 && ways > 2 &&
+        rng_.chance(cfg_.capacityJitter)) {
+        // One or two ways transiently occupied by others (victim
+        // lines, the hyperthread twin, prefetch).
+        ways -= 1 + static_cast<uint32_t>(rng_.below(2));
+    }
+    return ways;
+}
+
+void
+HtmEngine::abortVictim(Tid u, uint64_t line)
+{
+    ir::InstrId victim_instr = ir::kNoInstr;
+    if (cfg_.trackInstructions) {
+        auto it = tx_[u].lineInstr.find(line);
+        if (it != tx_[u].lineInstr.end())
+            victim_instr = it->second;
+    }
+    abortTx(u, kAbortConflict | kAbortRetry);
+    tx_[u].lastConflictLine = line;
+    tx_[u].lastConflictInstr = victim_instr;
 }
 
 void
@@ -121,73 +186,150 @@ HtmEngine::collectVictims(Tid requester, uint64_t line, bool is_write,
                tx_[u].writeLines.count(line))
             : tx_[u].writeLines.count(line) > 0;
         if (conflicts) {
-            ir::InstrId victim_instr = ir::kNoInstr;
-            if (cfg_.trackInstructions) {
-                auto it = tx_[u].lineInstr.find(line);
-                if (it != tx_[u].lineInstr.end())
-                    victim_instr = it->second;
-            }
-            abortTx(u, kAbortConflict | kAbortRetry);
-            tx_[u].lastConflictLine = line;
-            tx_[u].lastConflictInstr = victim_instr;
+            abortVictim(u, line);
             victims.push_back(u);
         }
     }
 }
 
-AccessResult
-HtmEngine::access(Tid t, Addr addr, bool is_write)
+void
+HtmEngine::accessDirectory(uint64_t line, bool is_write, TxState *self,
+                           bool self_tx, AccessResult &result)
 {
-    AccessResult result;
-    const uint64_t line = mem::lineOf(addr);
-    TxState *self = t < tx_.size() ? &tx_[t] : nullptr;
-    const bool self_tx = self && self->active;
+    // One probe serves the capacity membership test, the victim mask,
+    // and the insertion. Only a transactional requester inserts the
+    // key; non-transactional accesses just look (no bit to set, and
+    // dead keys would bloat the table under slow-path episodes).
+    LineDirectory::Entry *e =
+        self_tx ? &dir_.findOrInsert(line) : dir_.find(line);
+    const uint64_t selfBit =
+        self_tx ? uint64_t{1} << self->slot : 0;
 
+    if (self_tx) {
+        // Capacity is checked before the request is issued: an
+        // overflowing transaction dies without disturbing others.
+        if (is_write && !(e->writers & selfBit)) {
+            uint32_t set = static_cast<uint32_t>(line) &
+                           (cfg_.l1Sets - 1);
+            if (occupancyOf(*self, set) + 1u > effectiveWays()) {
+                abortTx(slotTid_[self->slot], kAbortCapacity);
+                result.selfCapacity = true;
+                return;
+            }
+        }
+        if (!is_write && !(e->readers & selfBit) &&
+            self->readLineCount + 1 > cfg_.readSetMaxLines) {
+            abortTx(slotTid_[self->slot], kAbortCapacity);
+            result.selfCapacity = true;
+            return;
+        }
+    }
+
+    // Requester-wins: every other transaction holding the line in a
+    // conflicting mode aborts. One bitmask intersection replaces the
+    // legacy per-thread scan.
+    if (e && inFlight_ > (self_tx ? 1u : 0u)) {
+        uint64_t mask = is_write ? (e->readers | e->writers)
+                                 : e->writers;
+        mask &= ~selfBit;
+        if (mask) {
+            for (uint64_t m = mask; m; m &= m - 1)
+                result.victims.push_back(
+                    slotTid_[std::countr_zero(m)]);
+            // Ascending tid order, matching the legacy scan exactly.
+            std::sort(result.victims.begin(), result.victims.end());
+            for (Tid u : result.victims)
+                abortVictim(u, line);
+        }
+    }
+
+    if (self_tx) {
+        bool hadAny = ((e->readers | e->writers) & selfBit) != 0;
+        if (is_write) {
+            if (!(e->writers & selfBit)) {
+                e->writers |= selfBit;
+                ++self->writeLineCount;
+                bumpOccupancy(*self,
+                              static_cast<uint32_t>(line) &
+                                  (cfg_.l1Sets - 1));
+            }
+        } else {
+            if (!(e->readers & selfBit)) {
+                e->readers |= selfBit;
+                ++self->readLineCount;
+            }
+        }
+        if (!hadAny)
+            self->lines.push_back(line);
+    }
+}
+
+void
+HtmEngine::accessLegacy(Tid t, uint64_t line, bool is_write,
+                        TxState *self, bool self_tx,
+                        AccessResult &result)
+{
     if (self_tx) {
         // Capacity is checked before the request is issued: an
         // overflowing transaction dies without disturbing others.
         if (is_write && !self->writeLines.count(line)) {
             uint32_t set = static_cast<uint32_t>(line) &
                            (cfg_.l1Sets - 1);
-            // Fault injection (capacity cliff) removes ways first;
-            // jitter then nibbles at whatever remains.
-            uint32_t ways = waysPenalty_ < cfg_.l1Ways
-                ? cfg_.l1Ways - waysPenalty_
-                : 1;
-            if (cfg_.capacityJitter > 0.0 && ways > 2 &&
-                rng_.chance(cfg_.capacityJitter)) {
-                // One or two ways transiently occupied by others
-                // (victim lines, the hyperthread twin, prefetch).
-                ways -= 1 + static_cast<uint32_t>(rng_.below(2));
-            }
-            if (self->setOccupancy[set] + 1u > ways) {
+            if (occupancyOf(*self, set) + 1u > effectiveWays()) {
                 abortTx(t, kAbortCapacity);
                 result.selfCapacity = true;
-                return result;
+                return;
             }
         }
         if (!is_write && !self->readLines.count(line) &&
             self->readLines.size() + 1 > cfg_.readSetMaxLines) {
             abortTx(t, kAbortCapacity);
             result.selfCapacity = true;
-            return result;
+            return;
         }
     }
 
-    collectVictims(t, line, is_write, result.victims);
+    // The early-out in access() covers the zero-in-flight case; the
+    // requester-only case still skips the whole scan here.
+    if (inFlight_ > (self_tx ? 1u : 0u))
+        collectVictims(t, line, is_write, result.victims);
 
     if (self_tx) {
         if (is_write) {
             if (self->writeLines.insert(line).second) {
                 uint32_t set = static_cast<uint32_t>(line) &
                                (cfg_.l1Sets - 1);
-                ++self->setOccupancy[set];
+                bumpOccupancy(*self, set);
             }
         } else {
             self->readLines.insert(line);
         }
     }
-    return result;
+}
+
+void
+HtmEngine::release(TxState &s)
+{
+    --inFlight_;
+    if (useDirectory_) {
+        slotsUsed_ &= ~(uint64_t{1} << s.slot);
+        if (inFlight_ == 0) {
+            // Last transaction out: drop the whole directory with one
+            // epoch bump instead of walking the line list.
+            dir_.bulkClear();
+        } else {
+            for (uint64_t line : s.lines)
+                dir_.clearSlot(line, s.slot);
+        }
+        s.lines.clear();
+        s.readLineCount = 0;
+        s.writeLineCount = 0;
+    } else {
+        s.readLines.clear();
+        s.writeLines.clear();
+    }
+    if (cfg_.trackInstructions)
+        s.lineInstr.clear();
 }
 
 void
@@ -197,10 +339,7 @@ HtmEngine::commit(Tid t)
     if (!s.active)
         panic("HtmEngine::commit: thread %u not transactional", t);
     s.active = false;
-    s.readLines.clear();
-    s.writeLines.clear();
-    s.lineInstr.clear();
-    --inFlight_;
+    release(s);
     ++counters_.commits;
 }
 
@@ -211,11 +350,8 @@ HtmEngine::abortTx(Tid t, AbortStatus status)
     if (!s.active)
         panic("HtmEngine::abortTx: thread %u not transactional", t);
     s.active = false;
-    s.readLines.clear();
-    s.writeLines.clear();
-    s.lineInstr.clear();
+    release(s);
     s.lastAbort = status;
-    --inFlight_;
     if (status & kAbortCapacity)
         ++counters_.abortsCapacity;
     else if (status & kAbortConflict)
@@ -271,14 +407,18 @@ size_t
 HtmEngine::readSetLines(Tid t) const
 {
     const TxState *s = stateIfAny(t);
-    return s && s->active ? s->readLines.size() : 0;
+    if (!s || !s->active)
+        return 0;
+    return useDirectory_ ? s->readLineCount : s->readLines.size();
 }
 
 size_t
 HtmEngine::writeSetLines(Tid t) const
 {
     const TxState *s = stateIfAny(t);
-    return s && s->active ? s->writeLines.size() : 0;
+    if (!s || !s->active)
+        return 0;
+    return useDirectory_ ? s->writeLineCount : s->writeLines.size();
 }
 
 } // namespace txrace::htm

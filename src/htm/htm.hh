@@ -20,21 +20,33 @@
  *    of hardware threads;
  *  - an Intel-style abort status word, with all-zero meaning unknown.
  *
- * The engine tracks read/write line sets and decides who aborts; the
- * simulator performs the actual rollback of thread state (the write
- * buffering lives in the interpreter's transactional store queue).
+ * The engine tracks read/write line ownership and decides who aborts;
+ * the simulator performs the actual rollback of thread state (the
+ * write buffering lives in the interpreter's transactional store
+ * queue).
+ *
+ * Two conflict engines implement the same semantics:
+ *  - ConflictEngine::Directory (default): a reverse line directory —
+ *    one open-addressing table mapping cache line -> reader/writer
+ *    slot bitmasks — answers every access with a single probe and a
+ *    bitmask intersection, O(1) in the number of open transactions.
+ *  - ConflictEngine::LegacyScan: the original per-thread line-set
+ *    scan, O(threads) hash probes per access. Kept for one PR as the
+ *    differential-testing oracle (tests/htm/test_htm_differential)
+ *    and as the bench_micro baseline.
  */
 
 #ifndef TXRACE_HTM_HTM_HH
 #define TXRACE_HTM_HTM_HH
 
+#include <array>
 #include <cstdint>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "htm/abort.hh"
-#include <unordered_map>
-
+#include "htm/linedir.hh"
 #include "ir/instruction.hh"
 #include "mem/layout.hh"
 #include "support/rng.hh"
@@ -44,6 +56,14 @@
 namespace txrace::htm {
 
 using ir::Addr;
+
+/** Which conflict-detection data structure the engine runs on. */
+enum class ConflictEngine : uint8_t {
+    /** Reverse line directory; O(1) per access. */
+    Directory,
+    /** Per-thread line-set scan; O(threads) per access. Oracle. */
+    LegacyScan,
+};
 
 /** Geometry and limits of the modeled HTM. */
 struct HtmConfig
@@ -74,6 +94,12 @@ struct HtmConfig
      * commodity model (real RTM exposes nothing).
      */
     bool trackInstructions = false;
+    /**
+     * Conflict-detection engine. Directory requires maxConcurrentTx
+     * <= 64 (one bitmask bit per in-flight transaction); larger
+     * configurations silently fall back to the legacy scan.
+     */
+    ConflictEngine engine = ConflictEngine::Directory;
 };
 
 /**
@@ -96,7 +122,8 @@ struct AccessResult
 {
     /** The requesting transaction overflowed and must abort. */
     bool selfCapacity = false;
-    /** Transactions aborted by this access (requester-wins). */
+    /** Transactions aborted by this access (requester-wins),
+     *  ascending tid order under both engines. */
     std::vector<Tid> victims;
 };
 
@@ -134,6 +161,11 @@ class HtmEngine
      * On selfCapacity the requester's transaction has been marked
      * aborted (capacity) and no victims are produced (the request
      * never reached the coherence fabric).
+     *
+     * Defined inline below: this is the single hottest call in the
+     * simulator (once per interpreted memory access), and the wrapper
+     * — line extraction, state lookup, native-mode early-out — must
+     * not cost a cross-TU call before the engine body even starts.
      */
     AccessResult access(Tid t, Addr addr, bool is_write);
 
@@ -188,6 +220,16 @@ class HtmEngine
     /** Raw engine counters (begins, commits, aborts by cause). */
     const HtmCounters &counters() const { return counters_; }
 
+    /** True when the reverse-directory engine is active. */
+    bool usesDirectory() const { return useDirectory_; }
+
+    /** The directory, for telemetry export and tests (nullptr when
+     *  the legacy scan engine is active). */
+    const LineDirectory *lineDirectory() const
+    {
+        return useDirectory_ ? &dir_ : nullptr;
+    }
+
     /** String-keyed view of counters() under the htm.* names
      *  (compatibility surface for dumps and tests; zero-valued
      *  counters are omitted, matching StatSet's first-touch shape). */
@@ -197,9 +239,34 @@ class HtmEngine
     struct TxState
     {
         bool active = false;
+
+        /** @name Legacy scan engine representation */
+        /** @{ */
         std::unordered_set<uint64_t> readLines;
         std::unordered_set<uint64_t> writeLines;
-        std::vector<uint8_t> setOccupancy;  ///< write lines per L1 set
+        /** @} */
+
+        /** @name Directory engine representation */
+        /** @{ */
+        /** Directory bitmask bit index while active. */
+        uint32_t slot = 0;
+        /** Lines holding any of this tx's bits (commit/abort clear
+         *  list; reused across transactions, no per-begin alloc). */
+        std::vector<uint64_t> lines;
+        uint32_t readLineCount = 0;
+        uint32_t writeLineCount = 0;
+        /** @} */
+
+        /** @name Epoch-stamped per-set write occupancy (both engines)
+         * Sized once at the thread's first begin; begin() bumps
+         * occEpoch instead of zeroing the arrays, so the begin path
+         * never allocates or memsets after warmup. */
+        /** @{ */
+        std::vector<uint8_t> setOccupancy;
+        std::vector<uint32_t> setStamp;
+        uint32_t occEpoch = 0;
+        /** @} */
+
         AbortStatus lastAbort = 0;
         uint64_t lastConflictLine = kNoLine;
         ir::InstrId lastConflictInstr = ir::kNoInstr;
@@ -210,17 +277,88 @@ class HtmEngine
     TxState &state(Tid t);
     const TxState *stateIfAny(Tid t) const;
 
-    /** Collect and mark-aborted all conflicting victim transactions. */
+    /** Collect and mark-aborted all conflicting victim transactions
+     *  (legacy scan engine). */
     void collectVictims(Tid requester, uint64_t line, bool is_write,
                         std::vector<Tid> &victims);
 
+    /** Directory-engine access body (probe + bitmask intersection). */
+    void accessDirectory(uint64_t line, bool is_write, TxState *self,
+                         bool self_tx, AccessResult &result);
+
+    /** Legacy-engine access body (per-thread set scan). */
+    void accessLegacy(Tid t, uint64_t line, bool is_write,
+                      TxState *self, bool self_tx,
+                      AccessResult &result);
+
+    /** Mark one conflict victim aborted and record the blame line. */
+    void abortVictim(Tid u, uint64_t line);
+
+    /** Tear down @p s's line footprint (commit or abort). Decrements
+     *  inFlight_ and, in directory mode, frees the slot and clears
+     *  the tx's lines (or the whole directory when it was the last
+     *  open transaction — one epoch bump instead of a walk). */
+    void release(TxState &s);
+
+    /** Write-set ways available right now; consumes the jitter RNG
+     *  exactly when both engines would (new write line, jitter on). */
+    uint32_t effectiveWays();
+
+    /** Start a fresh occupancy epoch for @p s (no allocation after
+     *  the thread's first transaction). */
+    void beginOccupancy(TxState &s);
+
+    uint32_t
+    occupancyOf(const TxState &s, uint32_t set) const
+    {
+        return s.setStamp[set] == s.occEpoch ? s.setOccupancy[set] : 0;
+    }
+
+    void
+    bumpOccupancy(TxState &s, uint32_t set)
+    {
+        if (s.setStamp[set] != s.occEpoch) {
+            s.setStamp[set] = s.occEpoch;
+            s.setOccupancy[set] = 1;
+        } else {
+            ++s.setOccupancy[set];
+        }
+    }
+
     HtmConfig cfg_;
+    bool useDirectory_;
     Rng rng_;
     std::vector<TxState> tx_;
+    LineDirectory dir_;
+    /** In-use directory slot bits; slot i belongs to slotTid_[i]. */
+    uint64_t slotsUsed_ = 0;
+    std::array<Tid, 64> slotTid_{};
     size_t inFlight_ = 0;
     uint32_t waysPenalty_ = 0;
     HtmCounters counters_;
 };
+
+inline AccessResult
+HtmEngine::access(Tid t, Addr addr, bool is_write)
+{
+    AccessResult result;
+    const uint64_t line = mem::lineOf(addr);
+    TxState *self = t < tx_.size() ? &tx_[t] : nullptr;
+    const bool self_tx = self && self->active;
+
+    // Early-out: a non-transactional access with no transaction in
+    // flight has nothing to check and nothing to record. This is the
+    // whole story for native-mode runs, which used to pay the full
+    // victim scan on every access.
+    if (!self_tx && inFlight_ == 0)
+        return result;
+
+    if (useDirectory_)
+        accessDirectory(line, is_write, self, self_tx, result);
+    else
+        accessLegacy(t, line, is_write, self, self_tx, result);
+    return result;
+}
 
 } // namespace txrace::htm
 

@@ -242,6 +242,22 @@ Machine::run()
     policy_.onRunEnd(*this);
     tel_.registry.set(met_.steps, steps_);
     tel_.trace.closeAll(steps_);
+    // Line-directory telemetry: the directory accumulates plain
+    // counters internally (the access path is too hot for even an
+    // interned-id update per probe); transfer them into the registry
+    // once, here, so --metrics-json shows the engine's behavior.
+    if (const htm::LineDirectory *dir = htm_.lineDirectory()) {
+        auto &reg = tel_.registry;
+        const htm::LineDirStats &ds = dir->stats();
+        reg.set(reg.gauge("htm.dir.capacity"), dir->capacity());
+        reg.set(reg.gauge("htm.dir.occupied_peak"), ds.occupiedPeak);
+        reg.add(reg.counter("htm.dir.epoch_clears"), ds.epochClears);
+        reg.add(reg.counter("htm.dir.line_walk_clears"),
+                ds.lineWalkClears);
+        reg.add(reg.counter("htm.dir.rehashes"), ds.rehashes);
+        reg.mergeHistogram(reg.histogram("htm.dir.probe_len"),
+                           ds.probeLen);
+    }
     // Compatibility export: every registry counter/gauge lands in the
     // string-keyed StatSet under its registered name, so harnesses and
     // determinism tests see the same dump shape as before.

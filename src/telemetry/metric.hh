@@ -82,6 +82,18 @@ class LogHistogram
         max_ = std::max(max_, v);
     }
 
+    /** Record @p n identical observations of @p v in O(1). */
+    void
+    observeMany(uint64_t v, uint64_t n)
+    {
+        if (n == 0)
+            return;
+        counts_[bucketOf(v)] += n;
+        count_ += n;
+        sum_ += v * n;
+        max_ = std::max(max_, v);
+    }
+
     /** Element-wise merge of another histogram into this one. */
     void
     merge(const LogHistogram &other)

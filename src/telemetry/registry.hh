@@ -74,6 +74,18 @@ class MetricRegistry
         hists_[metrics_[id].slot].observe(value);
     }
 
+    /**
+     * Merge a histogram accumulated outside the registry into
+     * histogram @p id (bulk transfer of pre-aggregated subsystem
+     * telemetry, e.g. the HTM line directory's probe lengths, at
+     * end of run).
+     */
+    void
+    mergeHistogram(MetricId id, const LogHistogram &other)
+    {
+        hists_[metrics_[id].slot].merge(other);
+    }
+
     /** Current value of counter/gauge @p id. */
     uint64_t
     value(MetricId id) const

@@ -11,6 +11,7 @@
 
 #include <map>
 #include <set>
+#include <tuple>
 
 #include "htm/htm.hh"
 #include "mem/layout.hh"
@@ -58,7 +59,9 @@ struct Mirror
 
 } // namespace
 
-class HtmAgainstMirror : public ::testing::TestWithParam<uint64_t>
+/** Parameter: (stream seed, conflict engine under test). */
+class HtmAgainstMirror
+    : public ::testing::TestWithParam<std::tuple<uint64_t, ConflictEngine>>
 {
 };
 
@@ -70,9 +73,12 @@ TEST_P(HtmAgainstMirror, VictimsAndFootprintsMatch)
     cfg.l1Ways = 64;
     cfg.readSetMaxLines = 1u << 20;
     cfg.maxConcurrentTx = 8;
+    cfg.engine = std::get<1>(GetParam());
     HtmEngine engine(cfg);
+    EXPECT_EQ(engine.usesDirectory(),
+              cfg.engine == ConflictEngine::Directory);
     Mirror mirror;
-    Rng rng(GetParam());
+    Rng rng(std::get<0>(GetParam()));
 
     constexpr Tid kThreads = 5;
     for (int step = 0; step < 2000; ++step) {
@@ -122,5 +128,14 @@ TEST_P(HtmAgainstMirror, VictimsAndFootprintsMatch)
     }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, HtmAgainstMirror,
-                         ::testing::Range<uint64_t>(1, 9));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, HtmAgainstMirror,
+    ::testing::Combine(::testing::Range<uint64_t>(1, 9),
+                       ::testing::Values(ConflictEngine::Directory,
+                                         ConflictEngine::LegacyScan)),
+    [](const auto &info) {
+        return (std::get<1>(info.param) == ConflictEngine::Directory
+                    ? std::string("Directory")
+                    : std::string("LegacyScan")) +
+               "_seed" + std::to_string(std::get<0>(info.param));
+    });
