@@ -1,0 +1,291 @@
+#include "campaign/aggregate.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "core/repro.hh"
+#include "support/log.hh"
+#include "telemetry/json.hh"
+
+namespace txrace::campaign {
+
+namespace {
+
+const char *
+kindName(detector::RaceKind kind)
+{
+    switch (kind) {
+      case detector::RaceKind::WriteWrite: return "write-write";
+      case detector::RaceKind::ReadWrite: return "read-write";
+      case detector::RaceKind::WriteRead: return "write-read";
+    }
+    return "unknown";
+}
+
+std::string
+hex64(uint64_t v)
+{
+    std::ostringstream ss;
+    ss << "0x" << std::hex << std::setfill('0') << std::setw(16) << v;
+    return ss.str();
+}
+
+} // namespace
+
+void
+Aggregator::add(const JobOutcome &outcome)
+{
+    ++runs_;
+    maxRound_ = std::max<uint64_t>(maxRound_, outcome.spec.round);
+    if (!outcome.ok)
+        ++errors_;
+    txCommitted_ += outcome.txCommitted;
+    abortConflict_ += outcome.abortConflict;
+    abortCapacity_ += outcome.abortCapacity;
+    abortUnknown_ += outcome.abortUnknown;
+
+    VariantAcc &va = variants_[outcome.spec.variant];
+    ++va.runs;
+    va.rawReports += outcome.races.size();
+    rawReports_ += outcome.races.size();
+
+    for (const FoundRace &race : outcome.races) {
+        Acc &acc = findings_[race.sig.key];
+        if (acc.runsSeen == 0) {
+            acc.sig = race.sig;
+            acc.app = outcome.spec.app;
+        }
+        ++acc.runsSeen;
+        acc.totalHits += race.hits;
+        // First sighting is the LOWEST job id ever to report the
+        // race, regardless of the order outcomes reach us.
+        if (outcome.spec.id < acc.firstJob) {
+            acc.firstJob = outcome.spec.id;
+            acc.firstKind = race.kind;
+            acc.firstSeed = outcome.spec.seed;
+            acc.firstVariant = outcome.spec.variant;
+            acc.firstConfigDigest = outcome.configDigest;
+            acc.firstRepro = outcome.repro;
+        }
+    }
+}
+
+CampaignResult
+Aggregator::finalize(const CampaignConfig &cfg,
+                     const std::map<std::string, std::set<std::string>>
+                         &groundTruth) const
+{
+    CampaignResult result;
+    result.runs = runs_;
+    result.rounds = runs_ ? maxRound_ + 1 : 0;
+    result.errors = errors_;
+    result.rawReports = rawReports_;
+    result.txCommitted = txCommitted_;
+    result.abortConflict = abortConflict_;
+    result.abortCapacity = abortCapacity_;
+    result.abortUnknown = abortUnknown_;
+
+    // Per-app tallies of distinct matched annotations (recall needs
+    // distinct labels: several findings may share one annotation when
+    // an init-idiom pair also races plainly).
+    std::map<std::string, std::set<std::string>> matched;
+    std::map<std::string, uint64_t> foundPerApp, fpPerApp;
+
+    for (const auto &[key, acc] : findings_) {
+        Finding f;
+        f.sig = acc.sig;
+        f.app = acc.app;
+        f.kind = kindName(acc.firstKind);
+        f.runsSeen = acc.runsSeen;
+        f.totalHits = acc.totalHits;
+        f.firstJob = acc.firstJob;
+        f.firstSeed = acc.firstSeed;
+        f.firstVariant = acc.firstVariant;
+        f.firstConfigDigest = acc.firstConfigDigest;
+        f.repro = acc.firstRepro;
+
+        auto gt = groundTruth.find(acc.app);
+        f.inGroundTruth =
+            gt != groundTruth.end() && gt->second.count(acc.sig.label);
+        ++foundPerApp[acc.app];
+        if (f.inGroundTruth)
+            matched[acc.app].insert(acc.sig.label);
+        else
+            ++fpPerApp[acc.app];
+
+        result.findings.push_back(std::move(f));
+    }
+    std::sort(result.findings.begin(), result.findings.end(),
+              [](const Finding &x, const Finding &y) {
+                  if (x.sig.hash != y.sig.hash)
+                      return x.sig.hash < y.sig.hash;
+                  return x.sig.key < y.sig.key;
+              });
+
+    for (const std::string &app : cfg.apps) {
+        AppScore score;
+        score.app = app;
+        auto gt = groundTruth.find(app);
+        score.expected = gt == groundTruth.end() ? 0 : gt->second.size();
+        score.found = foundPerApp.count(app) ? foundPerApp.at(app) : 0;
+        score.matched =
+            matched.count(app) ? matched.at(app).size() : 0;
+        score.falsePositives =
+            fpPerApp.count(app) ? fpPerApp.at(app) : 0;
+        // True positives for precision are findings whose label
+        // matches an annotation (may exceed `matched` when two
+        // distinct instruction pairs share a label).
+        uint64_t tp = score.found - score.falsePositives;
+        score.precision =
+            score.found ? double(tp) / double(score.found) : 1.0;
+        score.recall = score.expected
+                           ? double(score.matched) /
+                                 double(score.expected)
+                           : 1.0;
+        result.scores.push_back(score);
+    }
+
+    for (const auto &[name, va] : variants_) {
+        VariantYield vy;
+        vy.variant = name;
+        vy.runs = va.runs;
+        vy.rawReports = va.rawReports;
+        result.variants.push_back(vy);
+    }
+    for (const Finding &f : result.findings)
+        for (VariantYield &vy : result.variants)
+            if (vy.variant == f.firstVariant)
+                ++vy.firstFound;
+
+    result.dedupRatio =
+        result.findings.empty()
+            ? 1.0
+            : double(result.rawReports) /
+                  double(result.findings.size());
+
+    StatSet &st = result.stats;
+    st.set("campaign.runs", result.runs);
+    st.set("campaign.rounds", result.rounds);
+    st.set("campaign.errors", result.errors);
+    st.set("campaign.raw_reports", result.rawReports);
+    st.set("campaign.unique_findings", result.findings.size());
+    st.set("campaign.tx_committed", result.txCommitted);
+    st.set("campaign.abort_conflict", result.abortConflict);
+    st.set("campaign.abort_capacity", result.abortCapacity);
+    st.set("campaign.abort_unknown", result.abortUnknown);
+    uint64_t totalMatched = 0, totalExpected = 0, totalFp = 0;
+    for (const AppScore &s : result.scores) {
+        totalMatched += s.matched;
+        totalExpected += s.expected;
+        totalFp += s.falsePositives;
+    }
+    st.set("campaign.gt_matched", totalMatched);
+    st.set("campaign.gt_expected", totalExpected);
+    st.set("campaign.false_positives", totalFp);
+
+    return result;
+}
+
+void
+writeCampaignJson(std::ostream &os, const CampaignConfig &cfg,
+                  const CampaignResult &result)
+{
+    telemetry::JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", "txrace-campaign-v1");
+
+    // Campaign identity: everything that determines the report.
+    // Deliberately NOT here: jobs, wall time, steals — execution
+    // facts that must not leak into the deterministic artifact.
+    w.key("campaign");
+    w.beginObject();
+    w.field("master_seed", cfg.masterSeed);
+    w.field("strategy", cfg.strategy);
+    w.field("mode", core::cliModeName(cfg.mode));
+    w.key("apps");
+    w.beginArray();
+    for (const std::string &app : cfg.apps)
+        w.value(app);
+    w.endArray();
+    w.field("seeds_per_app", cfg.seedsPerApp);
+    w.field("workers", uint64_t(cfg.workers));
+    w.field("scale", cfg.scale);
+    w.endObject();
+
+    w.key("totals");
+    w.beginObject();
+    w.field("runs", result.runs);
+    w.field("rounds", result.rounds);
+    w.field("errors", result.errors);
+    w.field("raw_reports", result.rawReports);
+    w.field("unique_findings", uint64_t(result.findings.size()));
+    w.field("dedup_ratio", result.dedupRatio);
+    w.field("tx_committed", result.txCommitted);
+    w.field("abort_conflict", result.abortConflict);
+    w.field("abort_capacity", result.abortCapacity);
+    w.field("abort_unknown", result.abortUnknown);
+    w.endObject();
+
+    w.key("findings");
+    w.beginArray();
+    for (const Finding &f : result.findings) {
+        w.beginObject();
+        w.field("fingerprint", hex64(f.sig.hash));
+        w.field("app", f.app);
+        w.field("a", f.sig.a);
+        w.field("b", f.sig.b);
+        w.field("kind", f.kind);
+        w.field("runs_seen", f.runsSeen);
+        w.field("total_hits", f.totalHits);
+        w.field("in_ground_truth", f.inGroundTruth);
+        w.key("first_seen");
+        w.beginObject();
+        w.field("job", f.firstJob);
+        w.field("seed", f.firstSeed);
+        w.field("variant", f.firstVariant);
+        w.field("config", hex64(f.firstConfigDigest));
+        w.field("repro", f.repro);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("scores");
+    w.beginArray();
+    for (const AppScore &s : result.scores) {
+        w.beginObject();
+        w.field("app", s.app);
+        w.field("expected", s.expected);
+        w.field("found", s.found);
+        w.field("matched", s.matched);
+        w.field("false_positives", s.falsePositives);
+        w.field("precision", s.precision);
+        w.field("recall", s.recall);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("variants");
+    w.beginArray();
+    for (const VariantYield &vy : result.variants) {
+        w.beginObject();
+        w.field("variant", vy.variant);
+        w.field("runs", vy.runs);
+        w.field("raw_reports", vy.rawReports);
+        w.field("first_found", vy.firstFound);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("stats");
+    w.beginObject();
+    for (const auto &[name, value] : result.stats.all())
+        w.field(name, value);
+    w.endObject();
+
+    w.endObject();
+    os << "\n";
+}
+
+} // namespace txrace::campaign

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The campaign aggregator: folds job outcomes — arriving in
+ * arbitrary completion order — into the deterministic campaign
+ * result.
+ *
+ * Dedup is by RaceSig *key* (the full app-scoped endpoint-pair
+ * string); the 64-bit fingerprint hash is a display/sort handle
+ * only, so a hash collision degrades nothing but cosmetics. The
+ * "first sighting" of a finding is the outcome with the LOWEST JOB
+ * ID that reported it — a min-fold, order-independent — and its
+ * seed/variant/config digest/repro command are what the report
+ * carries as reproduction metadata.
+ */
+
+#ifndef TXRACE_CAMPAIGN_AGGREGATE_HH
+#define TXRACE_CAMPAIGN_AGGREGATE_HH
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "campaign/campaign.hh"
+#include "campaign/job.hh"
+
+namespace txrace::campaign {
+
+class Aggregator
+{
+  public:
+    /** Fold one outcome in. Any order; idempotence NOT assumed —
+     *  each job must be added exactly once. */
+    void add(const JobOutcome &outcome);
+
+    /** Outcomes folded so far. */
+    uint64_t runs() const { return runs_; }
+
+    /**
+     * Produce the deterministic result (no timing filled in).
+     * @p groundTruth maps app name -> set of raceLabelKey() strings;
+     * scoring uses cfg.apps order.
+     */
+    CampaignResult finalize(const CampaignConfig &cfg,
+                            const std::map<std::string,
+                                           std::set<std::string>>
+                                &groundTruth) const;
+
+  private:
+    /** Accumulating state of one deduplicated race. */
+    struct Acc
+    {
+        core::RaceSig sig;
+        std::string app;
+        uint64_t runsSeen = 0;
+        uint64_t totalHits = 0;
+        /** First sighting = minimal job id seen so far. */
+        uint64_t firstJob = ~0ull;
+        detector::RaceKind firstKind = detector::RaceKind::WriteWrite;
+        uint64_t firstSeed = 0;
+        std::string firstVariant;
+        uint64_t firstConfigDigest = 0;
+        std::string firstRepro;
+    };
+
+    /** Keyed by RaceSig::key (full identity, not the hash). */
+    std::map<std::string, Acc> findings_;
+
+    struct VariantAcc
+    {
+        uint64_t runs = 0;
+        uint64_t rawReports = 0;
+    };
+    std::map<std::string, VariantAcc> variants_;
+
+    uint64_t runs_ = 0;
+    uint64_t errors_ = 0;
+    uint64_t rawReports_ = 0;
+    uint64_t txCommitted_ = 0;
+    uint64_t abortConflict_ = 0;
+    uint64_t abortCapacity_ = 0;
+    uint64_t abortUnknown_ = 0;
+    uint64_t maxRound_ = 0;
+};
+
+} // namespace txrace::campaign
+
+#endif // TXRACE_CAMPAIGN_AGGREGATE_HH

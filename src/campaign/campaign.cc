@@ -1,0 +1,188 @@
+#include "campaign/campaign.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "campaign/aggregate.hh"
+#include "campaign/pool.hh"
+#include "campaign/queue.hh"
+#include "campaign/strategy.hh"
+#include "core/driver.hh"
+#include "core/repro.hh"
+#include "support/log.hh"
+#include "workloads/workloads.hh"
+
+namespace txrace::campaign {
+
+namespace {
+
+/**
+ * Per-worker workload cache. Building an AppModel (program synthesis
+ * + optional calibration) dwarfs many short runs, and the same app
+ * recurs across seeds; each worker keeps its own cache so no lock
+ * sits between the fleet and the registry.
+ */
+class WorkerCache
+{
+  public:
+    const workloads::AppModel &
+    get(const std::string &app, uint32_t workers, uint64_t scale,
+        bool calibrate)
+    {
+        Key key{app, workers, scale};
+        auto it = cache_.find(key);
+        if (it != cache_.end())
+            return it->second;
+        workloads::WorkloadParams params;
+        params.nWorkers = workers;
+        params.scale = scale;
+        params.calibrate = calibrate;
+        return cache_.emplace(key, workloads::makeApp(app, params))
+            .first->second;
+    }
+
+  private:
+    using Key = std::tuple<std::string, uint32_t, uint64_t>;
+    std::map<Key, workloads::AppModel> cache_;
+};
+
+JobOutcome
+executeJob(const JobSpec &spec, WorkerCache &cache, bool calibrate)
+{
+    const workloads::AppModel &app =
+        cache.get(spec.app, spec.workers, spec.scale, calibrate);
+
+    core::RunConfig rc;
+    rc.mode = spec.mode;
+    rc.machine = app.machine;
+    rc.machine.seed = spec.seed;
+    rc.machine.interruptPerStep *= spec.interruptScale;
+    rc.governor.enabled = spec.governor;
+
+    core::RunIdentity identity;
+    identity.target = core::RunTarget::App;
+    identity.name = spec.app;
+    identity.mode = core::cliModeName(spec.mode);
+    identity.workers = spec.workers;
+    identity.scale = spec.scale;
+    identity.seed = spec.seed;
+    identity.governor = spec.governor;
+    identity.irqScale = spec.interruptScale;
+    identity.calibrated = calibrate;
+
+    JobOutcome outcome;
+    outcome.spec = spec;
+    outcome.configDigest = core::configDigest(rc);
+    outcome.repro = core::reproCommand(identity);
+
+    auto t0 = std::chrono::steady_clock::now();
+    core::RunResult result = core::runProgram(app.program, rc);
+    auto t1 = std::chrono::steady_clock::now();
+    outcome.wallMicros = uint64_t(
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+            .count());
+
+    outcome.ok = result.error.ok();
+    outcome.error = sim::runErrorKindName(result.error.kind);
+    outcome.totalCost = result.totalCost;
+    outcome.txCommitted = result.stats.get("tx.committed");
+    outcome.abortConflict = result.stats.get("tx.abort.conflict");
+    outcome.abortCapacity = result.stats.get("tx.abort.capacity");
+    outcome.abortUnknown = result.stats.get("tx.abort.unknown");
+
+    // Race ids reference instructions of the source program (passes
+    // insert but never renumber), so fingerprinting against
+    // app.program is exact. Scope by app name: identical tags exist
+    // in different apps.
+    for (const auto &[sig, race] :
+         core::fingerprintedRaces(app.program, result.races, spec.app)) {
+        FoundRace found;
+        found.sig = sig;
+        found.kind = race.kind;
+        found.hits = race.hits;
+        found.addr = race.addr;
+        outcome.races.push_back(std::move(found));
+    }
+    return outcome;
+}
+
+} // namespace
+
+CampaignResult
+runCampaign(const CampaignConfig &cfg, std::ostream *progress)
+{
+    if (cfg.apps.empty())
+        fatal("runCampaign: no apps selected");
+    if (cfg.jobs == 0)
+        fatal("runCampaign: need at least one job slot");
+
+    // Ground truth up front — also validates every app name before
+    // any thread spawns.
+    std::map<std::string, std::set<std::string>> groundTruth;
+    for (const std::string &app : cfg.apps) {
+        std::set<std::string> &labels = groundTruth[app];
+        for (const workloads::RaceLabel &label :
+             workloads::groundTruthRaces(app))
+            labels.insert(core::raceLabelKey(label.a, label.b));
+    }
+
+    std::vector<WorkerCache> caches(cfg.jobs);
+    ResultQueue queue(cfg.queueCapacity);
+    bool calibrate = cfg.calibrate;
+    WorkStealingPool pool(
+        cfg.jobs,
+        [&caches, calibrate](const JobSpec &spec, uint32_t worker) {
+            return executeJob(spec, caches[worker], calibrate);
+        },
+        queue);
+
+    std::unique_ptr<Strategy> strategy = makeStrategy(cfg.strategy);
+    Aggregator aggregator;
+    std::vector<JobOutcome> history;
+    uint64_t nextId = 0;
+    uint64_t rounds = 0;
+
+    auto wall0 = std::chrono::steady_clock::now();
+    for (;;) {
+        std::vector<JobSpec> jobs =
+            strategy->nextRound(cfg, history, nextId);
+        if (jobs.empty())
+            break;
+        if (progress)
+            *progress << "round " << rounds << ": " << jobs.size()
+                      << " job(s) [" << strategy->name() << "]\n";
+        pool.submit(jobs);
+
+        // Round barrier: exactly one outcome per submitted job.
+        for (size_t i = 0; i < jobs.size(); ++i) {
+            JobOutcome outcome;
+            if (!queue.pop(outcome))
+                fatal("runCampaign: result queue closed early");
+            aggregator.add(outcome);
+            history.push_back(std::move(outcome));
+        }
+        // Strategies see id order, never completion order.
+        std::sort(history.begin(), history.end(),
+                  [](const JobOutcome &x, const JobOutcome &y) {
+                      return x.spec.id < y.spec.id;
+                  });
+        ++rounds;
+    }
+    auto wall1 = std::chrono::steady_clock::now();
+
+    CampaignResult result = aggregator.finalize(cfg, groundTruth);
+    result.timing.wallSeconds =
+        std::chrono::duration<double>(wall1 - wall0).count();
+    result.timing.runsPerSec =
+        result.timing.wallSeconds > 0.0
+            ? double(result.runs) / result.timing.wallSeconds
+            : 0.0;
+    result.timing.jobs = cfg.jobs;
+    result.timing.steals = pool.steals();
+    return result;
+}
+
+} // namespace txrace::campaign

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Units of campaign work: one JobSpec describes one deterministic
+ * Machine run out of the (workload x seed x config-variant) matrix,
+ * and one JobOutcome is everything the aggregator keeps of it.
+ *
+ * The engine is free to execute jobs in any order on any worker —
+ * outcomes carry the job id, and every consumer (strategies, the
+ * aggregator) re-sorts by id before acting, which is what makes the
+ * campaign a pure function of its config regardless of --jobs.
+ */
+
+#ifndef TXRACE_CAMPAIGN_JOB_HH
+#define TXRACE_CAMPAIGN_JOB_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/fingerprint.hh"
+#include "core/runmode.hh"
+#include "detector/report.hh"
+#include "ir/addr.hh"
+
+namespace txrace::campaign {
+
+/** One run of the matrix. Plain data; fully determines the run. */
+struct JobSpec
+{
+    /** Dense campaign-wide id; ties every ordering decision. */
+    uint64_t id = 0;
+    /** Exploration round that emitted the job (0 = base matrix). */
+    uint32_t round = 0;
+    std::string app;
+    uint64_t seed = 1;
+    core::RunMode mode = core::RunMode::TxRaceDynLoopcut;
+    uint32_t workers = 4;
+    uint64_t scale = 1;
+    /** Config-variant handle (perturbation sweeps). "base" = the
+     *  registry's calibrated machine config untouched. */
+    std::string variant = "base";
+    /** Multiplier on the app's interruptPerStep (variant knob). */
+    double interruptScale = 1.0;
+    /** Adaptive fallback governor on/off (variant knob). */
+    bool governor = false;
+};
+
+/** One race as found by one job, with its stable identity. */
+struct FoundRace
+{
+    core::RaceSig sig;
+    detector::RaceKind kind = detector::RaceKind::WriteWrite;
+    uint64_t hits = 0;
+    ir::Addr addr = 0;
+};
+
+/** What one finished job contributes to the aggregate. */
+struct JobOutcome
+{
+    JobSpec spec;
+    bool ok = true;
+    /** RunError kind name on abnormal end ("none" otherwise). */
+    std::string error = "none";
+    uint64_t totalCost = 0;
+    uint64_t txCommitted = 0;
+    uint64_t abortConflict = 0;
+    uint64_t abortCapacity = 0;
+    uint64_t abortUnknown = 0;
+    /** Races sorted by fingerprint (scope = app name). */
+    std::vector<FoundRace> races;
+    /** Digest of the exact RunConfig executed. */
+    uint64_t configDigest = 0;
+    /** Exact txrace_run command replaying this job. */
+    std::string repro;
+    /** Wall-clock cost of the run in microseconds. Timing only —
+     *  never part of the deterministic report. */
+    uint64_t wallMicros = 0;
+};
+
+} // namespace txrace::campaign
+
+#endif // TXRACE_CAMPAIGN_JOB_HH

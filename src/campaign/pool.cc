@@ -1,0 +1,104 @@
+#include "campaign/pool.hh"
+
+#include "support/log.hh"
+
+namespace txrace::campaign {
+
+WorkStealingPool::WorkStealingPool(uint32_t nWorkers, Runner runner,
+                                   ResultQueue &out)
+    : runner_(std::move(runner)), out_(out)
+{
+    if (nWorkers == 0)
+        fatal("WorkStealingPool: need at least one worker");
+    workers_.reserve(nWorkers);
+    for (uint32_t i = 0; i < nWorkers; ++i)
+        workers_.push_back(std::make_unique<Worker>());
+    threads_.reserve(nWorkers);
+    for (uint32_t i = 0; i < nWorkers; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+WorkStealingPool::~WorkStealingPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(wakeMu_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+WorkStealingPool::submit(const std::vector<JobSpec> &jobs)
+{
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        Worker &w = *workers_[i % workers_.size()];
+        std::lock_guard<std::mutex> lock(w.mu);
+        w.q.push_back(jobs[i]);
+    }
+    // Empty lock/unlock pairs with the predicate check in workerLoop:
+    // a worker that saw empty deques is either still holding wakeMu_
+    // (and will be notified) or has not yet re-checked (and will see
+    // the jobs).
+    { std::lock_guard<std::mutex> lock(wakeMu_); }
+    wake_.notify_all();
+}
+
+bool
+WorkStealingPool::takeJob(uint32_t self, JobSpec &job, bool &stolen)
+{
+    {
+        Worker &own = *workers_[self];
+        std::lock_guard<std::mutex> lock(own.mu);
+        if (!own.q.empty()) {
+            job = std::move(own.q.front());
+            own.q.pop_front();
+            stolen = false;
+            return true;
+        }
+    }
+    for (size_t k = 1; k < workers_.size(); ++k) {
+        Worker &victim = *workers_[(self + k) % workers_.size()];
+        std::lock_guard<std::mutex> lock(victim.mu);
+        if (!victim.q.empty()) {
+            job = std::move(victim.q.back());
+            victim.q.pop_back();
+            stolen = true;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+WorkStealingPool::anyQueued()
+{
+    for (auto &w : workers_) {
+        std::lock_guard<std::mutex> lock(w->mu);
+        if (!w->q.empty())
+            return true;
+    }
+    return false;
+}
+
+void
+WorkStealingPool::workerLoop(uint32_t self)
+{
+    for (;;) {
+        JobSpec job;
+        bool stolen = false;
+        if (takeJob(self, job, stolen)) {
+            if (stolen)
+                steals_.fetch_add(1);
+            out_.push(runner_(job, self));
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(wakeMu_);
+        wake_.wait(lock, [&] { return stop_ || anyQueued(); });
+        if (stop_)
+            return;
+    }
+}
+
+} // namespace txrace::campaign

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Bounded multi-producer single-consumer outcome queue: the channel
+ * between the pool's workers and the aggregator thread.
+ *
+ * A fixed-capacity ring under one mutex with two condition variables
+ * — deliberately boring. The critical sections are a handful of
+ * moves, the queue is never on a simulated hot path, and the whole
+ * engine must be clean under real ThreadSanitizer (CI dog-foods the
+ * pool through a TSan build), which rules out clever unverified
+ * lock-free code. Bounded so a fast fleet cannot run unboundedly
+ * ahead of a slow aggregator.
+ */
+
+#ifndef TXRACE_CAMPAIGN_QUEUE_HH
+#define TXRACE_CAMPAIGN_QUEUE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "campaign/job.hh"
+#include "support/log.hh"
+
+namespace txrace::campaign {
+
+class ResultQueue
+{
+  public:
+    explicit ResultQueue(size_t capacity) : ring_(capacity)
+    {
+        if (capacity == 0)
+            fatal("ResultQueue: capacity must be nonzero");
+    }
+
+    /** Blocks while full. fatal()s if called after close(). */
+    void
+    push(JobOutcome outcome)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        notFull_.wait(lock,
+                      [&] { return size_ < ring_.size() || closed_; });
+        if (closed_)
+            fatal("ResultQueue: push after close");
+        ring_[(head_ + size_) % ring_.size()] = std::move(outcome);
+        ++size_;
+        notEmpty_.notify_one();
+    }
+
+    /**
+     * Pop the oldest outcome into @p out. Blocks while empty; returns
+     * false once the queue is closed and drained.
+     */
+    bool
+    pop(JobOutcome &out)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        notEmpty_.wait(lock, [&] { return size_ > 0 || closed_; });
+        if (size_ == 0)
+            return false;
+        out = std::move(ring_[head_]);
+        head_ = (head_ + 1) % ring_.size();
+        --size_;
+        notFull_.notify_one();
+        return true;
+    }
+
+    /** No further pushes; pending outcomes stay poppable. */
+    void
+    close()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        closed_ = true;
+        notEmpty_.notify_all();
+        notFull_.notify_all();
+    }
+
+  private:
+    std::mutex mu_;
+    std::condition_variable notEmpty_;
+    std::condition_variable notFull_;
+    std::vector<JobOutcome> ring_;
+    size_t head_ = 0;
+    size_t size_ = 0;
+    bool closed_ = false;
+};
+
+} // namespace txrace::campaign
+
+#endif // TXRACE_CAMPAIGN_QUEUE_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Pluggable exploration strategies: how a campaign spends its run
+ * budget across the (workload x seed x config-variant) space.
+ *
+ * A strategy is driven in rounds. Each call to nextRound() sees
+ * every outcome so far — sorted by job id, never by completion
+ * order — and returns the next batch of jobs (empty = done). The
+ * round barrier plus id-sorted history is what lets an *adaptive*
+ * strategy stay deterministic under any --jobs count.
+ */
+
+#ifndef TXRACE_CAMPAIGN_STRATEGY_HH
+#define TXRACE_CAMPAIGN_STRATEGY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hh"
+#include "campaign/job.hh"
+
+namespace txrace::campaign {
+
+class Strategy
+{
+  public:
+    virtual ~Strategy() = default;
+
+    virtual const char *name() const = 0;
+
+    /**
+     * Produce the next round of jobs. @p history holds every outcome
+     * of earlier rounds, sorted by job id. @p nextId is the
+     * campaign's job-id allocator: consume one id per job, in
+     * emission order. Return empty when the campaign is complete.
+     */
+    virtual std::vector<JobSpec>
+    nextRound(const CampaignConfig &cfg,
+              const std::vector<JobOutcome> &history,
+              uint64_t &nextId) = 0;
+};
+
+/**
+ * Derive job seed @p index of stream @p stream for @p app from the
+ * master seed. Pure mixing — collisions across (app, stream, index)
+ * are as unlikely as SplitMix64 allows.
+ */
+uint64_t deriveSeed(uint64_t masterSeed, const std::string &app,
+                    uint32_t stream, uint64_t index);
+
+/** Factory: sweep | abort-guided | perturb. fatal()s on unknown. */
+std::unique_ptr<Strategy> makeStrategy(const std::string &name);
+
+/** All strategy names (CLI listings). */
+const std::vector<std::string> &strategyNames();
+
+} // namespace txrace::campaign
+
+#endif // TXRACE_CAMPAIGN_STRATEGY_HH

@@ -1,0 +1,110 @@
+#include "core/fingerprint.hh"
+
+#include <algorithm>
+
+namespace txrace::core {
+
+namespace {
+
+/** Field separator inside one endpoint descriptor. */
+constexpr char kFieldSep = '\x1f';
+/** Separator between the two endpoint descriptors. */
+constexpr char kPairSep = '\x1e';
+/** Separator between the scope prefix and the pair. */
+constexpr char kScopeSep = '\x1d';
+
+/** Canonical (hashed) and pretty (printed) forms of one endpoint. */
+struct Endpoint
+{
+    std::string canon;
+    std::string pretty;
+};
+
+Endpoint
+endpointOf(const ir::Program &prog, ir::InstrId id)
+{
+    const ir::Instruction &ins = prog.instr(id);
+    const std::string &func = prog.function(prog.funcOf(id)).name;
+
+    Endpoint e;
+    e.canon = func;
+    e.canon += kFieldSep;
+    e.canon += ir::opName(ins.op);
+    e.canon += kFieldSep;
+    e.canon += ins.tag;
+
+    e.pretty = ir::opName(ins.op);
+    if (!ins.tag.empty()) {
+        e.pretty += " '";
+        e.pretty += ins.tag;
+        e.pretty += "'";
+    }
+    e.pretty += " in @";
+    e.pretty += func;
+    return e;
+}
+
+} // namespace
+
+uint64_t
+fnv1a64(std::string_view data, uint64_t seed)
+{
+    uint64_t h = seed;
+    for (unsigned char c : data) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::string
+raceLabelKey(const std::string &tagA, const std::string &tagB)
+{
+    const std::string &lo = tagA <= tagB ? tagA : tagB;
+    const std::string &hi = tagA <= tagB ? tagB : tagA;
+    std::string out = lo;
+    out += kFieldSep;
+    out += hi;
+    return out;
+}
+
+RaceSig
+raceSig(const ir::Program &prog, const detector::Race &race,
+        const std::string &scope)
+{
+    RaceSig sig;
+    Endpoint ea = endpointOf(prog, race.first);
+    Endpoint eb = endpointOf(prog, race.second);
+    if (eb.canon < ea.canon)
+        std::swap(ea, eb);
+    sig.a = ea.pretty;
+    sig.b = eb.pretty;
+    sig.key = scope;
+    sig.key += kScopeSep;
+    sig.key += ea.canon;
+    sig.key += kPairSep;
+    sig.key += eb.canon;
+    sig.hash = fnv1a64(sig.key);
+    sig.label = raceLabelKey(prog.instr(race.first).tag,
+                             prog.instr(race.second).tag);
+    return sig;
+}
+
+std::vector<std::pair<RaceSig, detector::Race>>
+fingerprintedRaces(const ir::Program &prog,
+                   const detector::RaceSet &races,
+                   const std::string &scope)
+{
+    std::vector<std::pair<RaceSig, detector::Race>> out;
+    for (const detector::Race &race : races.all())
+        out.emplace_back(raceSig(prog, race, scope), race);
+    std::sort(out.begin(), out.end(),
+              [](const auto &x, const auto &y) {
+                  if (x.first.hash != y.first.hash)
+                      return x.first.hash < y.first.hash;
+                  return x.first.key < y.first.key;
+              });
+    return out;
+}
+
+} // namespace txrace::core

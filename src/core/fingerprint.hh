@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Stable fingerprints for race reports.
+ *
+ * A RaceSet identifies races by InstrId pairs, which are only
+ * meaningful within one prepared program: instrumentation variants
+ * (loop-cut on/off, privatization) renumber instructions, so ids
+ * cannot be compared across run configurations, and certainly not
+ * across campaign runs mixing config variants. A RaceSig instead
+ * names each endpoint by what the developer sees in the report —
+ * enclosing function, opcode, and source tag — and hashes the
+ * canonical (order-independent) pair. That identity survives
+ * re-instrumentation, seed changes, and config variants, which is
+ * what the campaign aggregator dedups on and what the ground-truth
+ * annotations in the workload registry are written against.
+ */
+
+#ifndef TXRACE_CORE_FINGERPRINT_HH
+#define TXRACE_CORE_FINGERPRINT_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "detector/report.hh"
+#include "ir/program.hh"
+
+namespace txrace::core {
+
+/** FNV-1a 64-bit hash (the fingerprint primitive). */
+uint64_t fnv1a64(std::string_view data,
+                 uint64_t seed = 0xcbf29ce484222325ULL);
+
+/** Stable identity of one race, independent of instruction numbering. */
+struct RaceSig
+{
+    /** 64-bit fingerprint: fnv1a64(key). Display/sort handle. */
+    uint64_t hash = 0;
+    /**
+     * Full dedup identity: the two endpoint descriptors
+     * ("func|op|tag"), lexicographically ordered and joined, plus the
+     * scope prefix. Dedup MUST compare keys, not hashes — the hash is
+     * a 64-bit summary and may collide.
+     */
+    std::string key;
+    /**
+     * Ground-truth matching label: the two source tags,
+     * lexicographically ordered, joined by '\x1f'. Matches
+     * workloads::raceLabelKey().
+     */
+    std::string label;
+    /** Human-readable endpoint descriptors, in key order. */
+    std::string a, b;
+};
+
+/** Canonical unordered pair of source tags (shared with the workload
+ *  ground-truth annotations). */
+std::string raceLabelKey(const std::string &tagA,
+                         const std::string &tagB);
+
+/**
+ * Fingerprint @p race as reported against @p prog. @p scope
+ * namespaces the key (and hash) — campaigns pass the application
+ * name so identically-tagged sites in different apps (both apps
+ * plant "boundary write 0" in @worker) stay distinct findings.
+ */
+RaceSig raceSig(const ir::Program &prog, const detector::Race &race,
+                const std::string &scope = "");
+
+/**
+ * All races of @p races fingerprinted and sorted by (hash, key):
+ * the canonical export order. Printing and JSON export go through
+ * this so cross-run and cross-worker-count diffs are byte-stable.
+ */
+std::vector<std::pair<RaceSig, detector::Race>>
+fingerprintedRaces(const ir::Program &prog,
+                   const detector::RaceSet &races,
+                   const std::string &scope = "");
+
+} // namespace txrace::core
+
+#endif // TXRACE_CORE_FINGERPRINT_HH

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "core/fingerprint.hh"
 #include "ir/printer.hh"
 #include "sim/costmodel.hh"
 #include "telemetry/json.hh"
@@ -176,9 +177,27 @@ writeMetricsJson(std::ostream &os, const MetricsMeta &meta,
     w.key("conflicts");
     writeConflicts(w, prog, result.telemetry.conflicts, 10);
 
+    // Race list in fingerprint order: byte-stable across runs and
+    // directly joinable with campaign findings (same fingerprints).
     w.key("races");
     w.beginObject();
     w.field("count", static_cast<uint64_t>(result.races.count()));
+    w.key("list");
+    w.beginArray();
+    if (prog) {
+        for (const auto &[sig, race] :
+             fingerprintedRaces(*prog, result.races)) {
+            std::ostringstream fp;
+            fp << "0x" << std::hex << sig.hash;
+            w.beginObject();
+            w.field("fingerprint", fp.str());
+            w.field("a", sig.a);
+            w.field("b", sig.b);
+            w.field("hits", race.hits);
+            w.endObject();
+        }
+    }
+    w.endArray();
     w.endObject();
 
     w.endObject();

@@ -1,7 +1,9 @@
 #include "core/report_format.hh"
 
+#include <iomanip>
 #include <sstream>
 
+#include "core/fingerprint.hh"
 #include "ir/printer.hh"
 
 namespace txrace::core {
@@ -47,15 +49,44 @@ formatRace(const ir::Program &prog, const detector::Race &race)
     return ss.str();
 }
 
+namespace {
+
 void
-printRaceReport(const ir::Program &prog, const RunResult &result,
-                std::ostream &os)
+printReport(const ir::Program &prog, const RunResult &result,
+            std::ostream &os, const RunIdentity *identity,
+            uint64_t digest)
 {
     os << runModeName(result.mode) << ": " << result.races.count()
        << " distinct data race(s), total cost " << result.totalCost
        << " units\n";
-    for (const detector::Race &race : result.races.all())
+    for (const auto &[sig, race] : fingerprintedRaces(prog,
+                                                      result.races)) {
         os << formatRace(prog, race);
+        os << "  fingerprint 0x" << std::hex << std::setw(16)
+           << std::setfill('0') << sig.hash << std::dec
+           << std::setfill(' ') << "\n";
+        if (identity)
+            os << "  reproduce: " << reproCommand(*identity)
+               << "  # config 0x" << std::hex << digest << std::dec
+               << "\n";
+    }
+}
+
+} // namespace
+
+void
+printRaceReport(const ir::Program &prog, const RunResult &result,
+                std::ostream &os)
+{
+    printReport(prog, result, os, nullptr, 0);
+}
+
+void
+printRaceReport(const ir::Program &prog, const RunResult &result,
+                std::ostream &os, const RunIdentity &identity,
+                uint64_t configDigest)
+{
+    printReport(prog, result, os, &identity, configDigest);
 }
 
 } // namespace txrace::core

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "core/driver.hh"
+#include "core/repro.hh"
 #include "detector/report.hh"
 #include "ir/program.hh"
 
@@ -23,11 +24,22 @@ std::string formatRace(const ir::Program &prog,
 
 /**
  * Write a full report for @p result to @p os: a summary line, then
- * every distinct race with its instruction pair, tags, access kinds,
- * first-seen address, and dynamic hit count.
+ * every distinct race with its fingerprint, instruction pair, tags,
+ * access kinds, first-seen address, and dynamic hit count. Races are
+ * ordered by fingerprint, so the report is byte-stable across any
+ * two runs that find the same races.
  */
 void printRaceReport(const ir::Program &prog, const RunResult &result,
                      std::ostream &os);
+
+/**
+ * Same, plus a one-line exact-reproduction command per race (the
+ * run's identity and config digest) so any finding can be replayed
+ * with a copy-paste.
+ */
+void printRaceReport(const ir::Program &prog, const RunResult &result,
+                     std::ostream &os, const RunIdentity &identity,
+                     uint64_t configDigest);
 
 } // namespace txrace::core
 

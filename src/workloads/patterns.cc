@@ -313,6 +313,25 @@ lockedControl()
             Expectation::Silent};
 }
 
+/** Ground-truth tag pairs for the racy patterns (the others stay
+ *  empty, matching trueRaces == 0). */
+void
+annotateGroundTruth(Pattern &p)
+{
+    if (p.name == "unlocked-counter")
+        p.groundTruth = {{"counter++ unlocked", "counter++ unlocked"}};
+    else if (p.name == "order-violation")
+        p.groundTruth = {{"produce", "consume too early"}};
+    else if (p.name == "unsafe-publication")
+        p.groundTruth = {{"unsynchronized init",
+                          "late read of published obj", true}};
+    else if (p.name == "double-checked-locking")
+        p.groundTruth = {{"locked init write",
+                          "unlocked fast-path check"}};
+    else if (p.name == "racy-flag-spin")
+        p.groundTruth = {{"set flag without sync", "spin on flag"}};
+}
+
 } // namespace
 
 std::vector<Pattern>
@@ -328,6 +347,8 @@ buildPatternCatalog()
     out.push_back(falseSharing());
     out.push_back(racyFlagSpin());
     out.push_back(lockedControl());
+    for (Pattern &p : out)
+        annotateGroundTruth(p);
     return out;
 }
 

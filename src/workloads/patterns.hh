@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "ir/program.hh"
+#include "workloads/workloads.hh"
 
 namespace txrace::workloads {
 
@@ -38,6 +39,9 @@ struct Pattern
     Expectation txrace;  ///< TxRace-ProfLoopcut, default seed
     Expectation eraser;
     Expectation racetm;  ///< fast-path-only reporting (§9)
+    /** Ground-truth annotations of the true races (tag pairs);
+     *  size() == trueRaces. Filled by buildPatternCatalog(). */
+    std::vector<RaceLabel> groundTruth;
 };
 
 /** Build the whole catalog (programs are freshly constructed). */

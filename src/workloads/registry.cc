@@ -65,6 +65,18 @@ findSpec(const std::string &name)
     fatal("unknown workload '%s'", name.c_str());
 }
 
+/** @p count indexed label pairs "<w> i" / "<r> i" (NeighborSites and
+ *  InitIdiomSites emit exactly these tags). */
+void
+indexedPairs(std::vector<RaceLabel> &out, size_t count,
+             const std::string &w, const std::string &r,
+             bool init_idiom = false)
+{
+    for (size_t i = 0; i < count; ++i)
+        out.push_back({w + " " + std::to_string(i),
+                       r + " " + std::to_string(i), init_idiom});
+}
+
 /**
  * Solve for the checkScale that makes the TSan baseline hit the
  * paper's measured overhead on this substrate. The check-cost
@@ -100,6 +112,51 @@ calibrateCheckScale(const ir::Program &prog,
 
 } // namespace
 
+std::vector<RaceLabel>
+groundTruthRaces(const std::string &name)
+{
+    findSpec(name);  // fatal() on unknown names, even race-free ones
+    std::vector<RaceLabel> gt;
+    if (name == "fluidanimate") {
+        // Unsynchronized global statistic: the store against itself.
+        gt.push_back({"unsync step stat", "unsync step stat"});
+    } else if (name == "vips") {
+        // 112 row-boundary pixel exchanges between adjacent workers.
+        indexedPairs(gt, 112, "boundary write", "boundary read");
+    } else if (name == "raytrace") {
+        // rays_traced += n without a lock: the read/write pair plus
+        // the write against itself.
+        gt.push_back({"rays_traced read", "rays_traced write"});
+        gt.push_back({"rays_traced write", "rays_traced write"});
+    } else if (name == "ferret") {
+        // Ranking stage's query statistic, updated unlocked.
+        gt.push_back({"stat write", "stat write"});
+    } else if (name == "x264") {
+        // Reference-frame rows read from the neighboring worker.
+        indexedPairs(gt, 64, "ref write", "ref read");
+    } else if (name == "bodytrack") {
+        // Six particle-weight exchanges plus two init-idiom races on
+        // the pose structures (the paper's 6-of-8).
+        indexedPairs(gt, 6, "weight write", "weight read");
+        indexedPairs(gt, 2, "init-idiom write", "init-idiom late read",
+                     true);
+    } else if (name == "facesim") {
+        // Eight partition-boundary exchanges plus one init-idiom race
+        // on the thread-pool structure (the paper's 8-of-9).
+        indexedPairs(gt, 8, "boundary write", "boundary read");
+        indexedPairs(gt, 1, "init-idiom write", "init-idiom late read",
+                     true);
+    } else if (name == "streamcluster") {
+        // Four unsynchronized cluster-center updates.
+        indexedPairs(gt, 4, "center write", "center read");
+    } else if (name == "canneal") {
+        // The intentionally unsynchronized element swap vs itself.
+        gt.push_back({"unsynchronized swap", "unsynchronized swap"});
+    }
+    // blackscholes, swaptions, freqmine, dedup, apache: race-free.
+    return gt;
+}
+
 const std::vector<std::string> &
 appNames()
 {
@@ -128,6 +185,7 @@ makeApp(const std::string &name, const WorkloadParams &params)
     m.plantedRaces = spec.planted;
     m.initIdiomRaces = spec.initIdiom;
     m.paper = spec.paper;
+    m.groundTruth = groundTruthRaces(name);
 
     if (params.calibrate) {
         m.machine.cost.checkScale = calibrateCheckScale(

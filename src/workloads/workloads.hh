@@ -41,6 +41,23 @@ struct WorkloadParams
     bool calibrate = true;
 };
 
+/**
+ * Ground-truth annotation of one planted race: the source tags of
+ * the two racy static instructions (equal tags for a self-race).
+ * Tags — not InstrIds — because instruction numbering changes with
+ * the instrumentation variant while tags survive every pass; the
+ * canonical matching key is core::raceLabelKey(a, b), which equals
+ * RaceSig::label of a detected race at the same pair.
+ */
+struct RaceLabel
+{
+    std::string a;
+    std::string b;
+    /** Initialization-idiom race (§8.3): happens-before detectors
+     *  report it, overlap-based detection is expected to miss it. */
+    bool initIdiom = false;
+};
+
 /** The paper's published per-application results (Table 1 / 2). */
 struct PaperRow
 {
@@ -65,7 +82,16 @@ struct AppModel
     size_t initIdiomRaces = 0;
     /** The paper's numbers, for side-by-side reporting. */
     PaperRow paper;
+    /** Ground-truth race annotations; size() == plantedRaces and the
+     *  initIdiom subset has size initIdiomRaces. Campaigns and tests
+     *  score precision/recall against these. */
+    std::vector<RaceLabel> groundTruth;
 };
+
+/** Ground-truth annotations for @p name without building the program
+ *  (fatal()s on unknown names). makeApp() fills AppModel::groundTruth
+ *  from the same table. */
+std::vector<RaceLabel> groundTruthRaces(const std::string &name);
 
 /** All application names, in the paper's Table 1 order. */
 const std::vector<std::string> &appNames();

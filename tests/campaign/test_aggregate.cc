@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests of the campaign aggregator: dedup semantics, first-seen
+ * attribution, ground-truth scoring. All pure logic — outcomes are
+ * hand-built, no Machine runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "campaign/aggregate.hh"
+
+using namespace txrace;
+using namespace txrace::campaign;
+
+namespace {
+
+core::RaceSig
+sig(const std::string &key, uint64_t hash,
+    const std::string &label = "")
+{
+    core::RaceSig s;
+    s.hash = hash;
+    s.key = key;
+    s.label = label.empty() ? key : label;
+    s.a = "a:" + key;
+    s.b = "b:" + key;
+    return s;
+}
+
+JobOutcome
+outcome(uint64_t jobId, const std::string &app, uint64_t seed,
+        std::vector<FoundRace> races,
+        const std::string &variant = "base")
+{
+    JobOutcome o;
+    o.spec.id = jobId;
+    o.spec.app = app;
+    o.spec.seed = seed;
+    o.spec.variant = variant;
+    o.repro = "txrace_run --app " + app;
+    o.configDigest = 0xd1600 + jobId;
+    o.races = std::move(races);
+    return o;
+}
+
+FoundRace
+race(const core::RaceSig &s, uint64_t hits = 1)
+{
+    FoundRace f;
+    f.sig = s;
+    f.hits = hits;
+    return f;
+}
+
+CampaignConfig
+cfgFor(std::vector<std::string> apps)
+{
+    CampaignConfig cfg;
+    cfg.apps = std::move(apps);
+    return cfg;
+}
+
+} // namespace
+
+TEST(Aggregator, DedupsByKeyAcrossRuns)
+{
+    Aggregator agg;
+    core::RaceSig r = sig("app\x1dpair1", 111);
+    agg.add(outcome(0, "app", 1, {race(r, 2)}));
+    agg.add(outcome(1, "app", 2, {race(r, 3)}));
+
+    CampaignResult result = agg.finalize(cfgFor({"app"}), {});
+    ASSERT_EQ(result.findings.size(), 1u);
+    EXPECT_EQ(result.findings[0].runsSeen, 2u);
+    EXPECT_EQ(result.findings[0].totalHits, 5u);
+    EXPECT_EQ(result.rawReports, 2u);
+    EXPECT_DOUBLE_EQ(result.dedupRatio, 2.0);
+}
+
+TEST(Aggregator, HashCollisionStaysTwoFindings)
+{
+    // Same 64-bit hash, different keys: the aggregator must keep
+    // them apart — dedup is by full key, the hash is cosmetic.
+    Aggregator agg;
+    agg.add(outcome(0, "app", 1,
+                    {race(sig("app\x1dpairA", 42)),
+                     race(sig("app\x1dpairB", 42))}));
+
+    CampaignResult result = agg.finalize(cfgFor({"app"}), {});
+    ASSERT_EQ(result.findings.size(), 2u);
+    EXPECT_EQ(result.findings[0].sig.hash,
+              result.findings[1].sig.hash);
+    EXPECT_NE(result.findings[0].sig.key,
+              result.findings[1].sig.key);
+    // Equal hashes: the key must break the sort tie deterministically.
+    EXPECT_LT(result.findings[0].sig.key, result.findings[1].sig.key);
+}
+
+TEST(Aggregator, FirstSeenIsLowestJobIdNotArrivalOrder)
+{
+    core::RaceSig r = sig("app\x1dpair1", 7);
+    std::vector<JobOutcome> outcomes;
+    for (uint64_t id : {5u, 2u, 9u, 0u, 3u})
+        outcomes.push_back(
+            outcome(id, "app", 100 + id, {race(r)}, "v" +
+                    std::to_string(id)));
+
+    // Every arrival order must agree on first-seen metadata.
+    std::sort(outcomes.begin(), outcomes.end(),
+              [](const JobOutcome &a, const JobOutcome &b) {
+                  return a.spec.id < b.spec.id;
+              });
+    do {
+        Aggregator agg;
+        for (const JobOutcome &o : outcomes)
+            agg.add(o);
+        CampaignResult result = agg.finalize(cfgFor({"app"}), {});
+        ASSERT_EQ(result.findings.size(), 1u);
+        EXPECT_EQ(result.findings[0].firstJob, 0u);
+        EXPECT_EQ(result.findings[0].firstSeed, 100u);
+        EXPECT_EQ(result.findings[0].firstVariant, "v0");
+        EXPECT_EQ(result.findings[0].firstConfigDigest,
+                  uint64_t(0xd1600));
+    } while (std::next_permutation(
+        outcomes.begin(), outcomes.end(),
+        [](const JobOutcome &a, const JobOutcome &b) {
+            return a.spec.id < b.spec.id;
+        }));
+}
+
+TEST(Aggregator, FindingsSortedByFingerprint)
+{
+    Aggregator agg;
+    agg.add(outcome(0, "app", 1,
+                    {race(sig("app\x1dz", 900)),
+                     race(sig("app\x1da", 100)),
+                     race(sig("app\x1dm", 500))}));
+    CampaignResult result = agg.finalize(cfgFor({"app"}), {});
+    ASSERT_EQ(result.findings.size(), 3u);
+    EXPECT_LT(result.findings[0].sig.hash, result.findings[1].sig.hash);
+    EXPECT_LT(result.findings[1].sig.hash, result.findings[2].sig.hash);
+}
+
+TEST(Aggregator, PrecisionRecallAgainstGroundTruth)
+{
+    Aggregator agg;
+    // Two true races found, one false positive, one annotation missed.
+    agg.add(outcome(0, "app", 1,
+                    {race(sig("app\x1dtrue1", 1, "L1")),
+                     race(sig("app\x1dtrue2", 2, "L2")),
+                     race(sig("app\x1dbogus", 3, "LX"))}));
+    std::map<std::string, std::set<std::string>> gt;
+    gt["app"] = {"L1", "L2", "L3"};
+
+    CampaignResult result = agg.finalize(cfgFor({"app"}), gt);
+    ASSERT_EQ(result.scores.size(), 1u);
+    const AppScore &s = result.scores[0];
+    EXPECT_EQ(s.expected, 3u);
+    EXPECT_EQ(s.found, 3u);
+    EXPECT_EQ(s.matched, 2u);
+    EXPECT_EQ(s.falsePositives, 1u);
+    EXPECT_DOUBLE_EQ(s.precision, 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(s.recall, 2.0 / 3.0);
+    EXPECT_EQ(result.stats.get("campaign.gt_matched"), 2u);
+    EXPECT_EQ(result.stats.get("campaign.false_positives"), 1u);
+}
+
+TEST(Aggregator, AppWithNoRunsScoresZeroRecall)
+{
+    Aggregator agg;
+    std::map<std::string, std::set<std::string>> gt;
+    gt["quiet"] = {"L1"};
+    CampaignResult result = agg.finalize(cfgFor({"quiet"}), gt);
+    ASSERT_EQ(result.scores.size(), 1u);
+    EXPECT_EQ(result.scores[0].found, 0u);
+    EXPECT_DOUBLE_EQ(result.scores[0].recall, 0.0);
+    // Nothing reported, nothing wrong: precision stays 1.0.
+    EXPECT_DOUBLE_EQ(result.scores[0].precision, 1.0);
+}
+
+TEST(Aggregator, VariantYieldAttributesFirstFinder)
+{
+    core::RaceSig r1 = sig("app\x1dpair1", 1);
+    core::RaceSig r2 = sig("app\x1dpair2", 2);
+    Aggregator agg;
+    agg.add(outcome(0, "app", 1, {race(r1)}, "base"));
+    agg.add(outcome(1, "app", 2, {race(r1), race(r2)}, "irq-x4"));
+    CampaignResult result = agg.finalize(cfgFor({"app"}), {});
+
+    ASSERT_EQ(result.variants.size(), 2u);
+    uint64_t baseFirst = 0, irqFirst = 0;
+    for (const VariantYield &vy : result.variants) {
+        if (vy.variant == "base")
+            baseFirst = vy.firstFound;
+        else if (vy.variant == "irq-x4")
+            irqFirst = vy.firstFound;
+    }
+    EXPECT_EQ(baseFirst, 1u);  // r1: first seen by job 0 (base)
+    EXPECT_EQ(irqFirst, 1u);   // r2: only the perturbed run saw it
+}
+
+TEST(Aggregator, ErrorsAndAbortTotalsAccumulate)
+{
+    Aggregator agg;
+    JobOutcome bad = outcome(0, "app", 1, {});
+    bad.ok = false;
+    bad.error = "deadlock";
+    bad.abortConflict = 5;
+    agg.add(bad);
+    JobOutcome good = outcome(1, "app", 2, {});
+    good.txCommitted = 10;
+    good.abortConflict = 2;
+    agg.add(good);
+
+    CampaignResult result = agg.finalize(cfgFor({"app"}), {});
+    EXPECT_EQ(result.runs, 2u);
+    EXPECT_EQ(result.errors, 1u);
+    EXPECT_EQ(result.txCommitted, 10u);
+    EXPECT_EQ(result.abortConflict, 7u);
+    EXPECT_EQ(result.stats.get("campaign.errors"), 1u);
+}

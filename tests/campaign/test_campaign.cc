@@ -1,0 +1,158 @@
+/**
+ * @file
+ * End-to-end campaign tests: the determinism contract (byte-identical
+ * reports for any --jobs count), strategy behaviour, and scoring on
+ * real workload runs. Small matrices keep it fast; the apps chosen
+ * (raytrace, canneal, streamcluster) are the cheapest in the
+ * registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "campaign/campaign.hh"
+#include "campaign/strategy.hh"
+
+using namespace txrace;
+using namespace txrace::campaign;
+
+namespace {
+
+CampaignConfig
+smallCampaign(const std::string &strategy)
+{
+    CampaignConfig cfg;
+    cfg.apps = {"raytrace", "canneal"};
+    cfg.seedsPerApp = 2;
+    cfg.masterSeed = 7;
+    cfg.strategy = strategy;
+    cfg.queueCapacity = 4;  // exercise backpressure
+    return cfg;
+}
+
+std::string
+reportFor(CampaignConfig cfg, uint32_t jobs)
+{
+    cfg.jobs = jobs;
+    CampaignResult result = runCampaign(cfg);
+    std::ostringstream os;
+    writeCampaignJson(os, cfg, result);
+    return os.str();
+}
+
+} // namespace
+
+TEST(Campaign, ReportByteIdenticalAcrossJobCounts)
+{
+    CampaignConfig cfg = smallCampaign("sweep");
+    std::string one = reportFor(cfg, 1);
+    EXPECT_EQ(one, reportFor(cfg, 4));
+    EXPECT_EQ(one, reportFor(cfg, 8));
+}
+
+TEST(Campaign, AdaptiveStrategyStaysDeterministic)
+{
+    // abort-guided reseeds from round-0 results — the hard case for
+    // worker-count independence.
+    CampaignConfig cfg = smallCampaign("abort-guided");
+    std::string one = reportFor(cfg, 1);
+    EXPECT_EQ(one, reportFor(cfg, 4));
+    EXPECT_EQ(one, reportFor(cfg, 8));
+}
+
+TEST(Campaign, RepeatedRunsAreIdentical)
+{
+    CampaignConfig cfg = smallCampaign("sweep");
+    EXPECT_EQ(reportFor(cfg, 2), reportFor(cfg, 2));
+}
+
+TEST(Campaign, MasterSeedChangesTheSeedMatrix)
+{
+    CampaignConfig cfg = smallCampaign("sweep");
+    CampaignResult a = runCampaign(cfg);
+    cfg.masterSeed = 8;
+    CampaignResult b = runCampaign(cfg);
+    ASSERT_FALSE(a.findings.empty());
+    ASSERT_FALSE(b.findings.empty());
+    // Different job seeds, hence different repro lines.
+    EXPECT_NE(a.findings[0].firstSeed, b.findings[0].firstSeed);
+}
+
+TEST(Campaign, ScoresPerfectOnEasyApps)
+{
+    // raytrace/canneal races reproduce on essentially every schedule,
+    // and the models plant nothing that is not annotated: the union
+    // over two seeds must score 1.0/1.0.
+    CampaignConfig cfg = smallCampaign("sweep");
+    CampaignResult result = runCampaign(cfg);
+    ASSERT_EQ(result.scores.size(), 2u);
+    for (const AppScore &s : result.scores) {
+        EXPECT_DOUBLE_EQ(s.precision, 1.0) << s.app;
+        EXPECT_DOUBLE_EQ(s.recall, 1.0) << s.app;
+    }
+    EXPECT_EQ(result.errors, 0u);
+    EXPECT_EQ(result.runs, 4u);
+}
+
+TEST(Campaign, FindingsCarryReproMetadata)
+{
+    CampaignConfig cfg = smallCampaign("sweep");
+    CampaignResult result = runCampaign(cfg);
+    ASSERT_FALSE(result.findings.empty());
+    for (const Finding &f : result.findings) {
+        EXPECT_NE(f.repro.find("txrace_run --app " + f.app),
+                  std::string::npos);
+        EXPECT_NE(f.repro.find("--seed "), std::string::npos);
+        EXPECT_NE(f.firstConfigDigest, 0u);
+        EXPECT_GE(f.runsSeen, 1u);
+    }
+}
+
+TEST(Campaign, PerturbVariantsAllRun)
+{
+    CampaignConfig cfg = smallCampaign("perturb");
+    cfg.seedsPerApp = 1;
+    CampaignResult result = runCampaign(cfg);
+    EXPECT_EQ(result.runs, 2u * 1u * 5u);  // apps x seeds x variants
+    EXPECT_EQ(result.variants.size(), 5u);
+    for (const VariantYield &vy : result.variants)
+        EXPECT_EQ(vy.runs, 2u);
+}
+
+TEST(Campaign, TimingIsOutsideTheReport)
+{
+    CampaignConfig cfg = smallCampaign("sweep");
+    cfg.jobs = 2;
+    CampaignResult result = runCampaign(cfg);
+    std::ostringstream os;
+    writeCampaignJson(os, cfg, result);
+    EXPECT_EQ(os.str().find("wall"), std::string::npos);
+    EXPECT_EQ(os.str().find("\"jobs\""), std::string::npos);
+    EXPECT_GT(result.timing.wallSeconds, 0.0);
+    EXPECT_EQ(result.timing.jobs, 2u);
+}
+
+TEST(Campaign, DeriveSeedIsStableAndSpreads)
+{
+    uint64_t s1 = deriveSeed(1, "vips", 0, 0);
+    EXPECT_EQ(s1, deriveSeed(1, "vips", 0, 0));
+    EXPECT_NE(s1, deriveSeed(1, "vips", 0, 1));
+    EXPECT_NE(s1, deriveSeed(1, "vips", 1, 0));
+    EXPECT_NE(s1, deriveSeed(1, "x264", 0, 0));
+    EXPECT_NE(s1, deriveSeed(2, "vips", 0, 0));
+}
+
+TEST(CampaignDeathTest, UnknownStrategyIsFatal)
+{
+    CampaignConfig cfg = smallCampaign("simulated-annealing");
+    EXPECT_EXIT(runCampaign(cfg), testing::ExitedWithCode(1),
+                "unknown strategy");
+}
+
+TEST(CampaignDeathTest, EmptyAppListIsFatal)
+{
+    CampaignConfig cfg;
+    EXPECT_EXIT(runCampaign(cfg), testing::ExitedWithCode(1),
+                "no apps");
+}

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit tests for race fingerprints and reproduction metadata: the
+ * identities every campaign decision keys on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/fingerprint.hh"
+#include "core/repro.hh"
+#include "ir/builder.hh"
+
+using namespace txrace;
+using namespace txrace::ir;
+
+namespace {
+
+Program
+taggedProgram()
+{
+    ProgramBuilder b;
+    Addr x = b.alloc("x", 8);
+    FuncId worker = b.beginFunction("worker");
+    b.load(AddrExpr::absolute(x), "reader site");
+    b.store(AddrExpr::absolute(x), "writer site");
+    b.endFunction();
+    b.beginFunction("main");
+    b.spawn(worker, 2);
+    b.joinAll();
+    b.endFunction();
+    return b.build();
+}
+
+} // namespace
+
+TEST(Fingerprint, OrderIndependent)
+{
+    Program p = taggedProgram();
+    detector::Race ab{0, 1, detector::RaceKind::ReadWrite, 0x40, 1};
+    detector::Race ba{1, 0, detector::RaceKind::ReadWrite, 0x40, 1};
+    core::RaceSig sa = core::raceSig(p, ab);
+    core::RaceSig sb = core::raceSig(p, ba);
+    EXPECT_EQ(sa.hash, sb.hash);
+    EXPECT_EQ(sa.key, sb.key);
+    EXPECT_EQ(sa.label, sb.label);
+    EXPECT_EQ(sa.a, sb.a);
+    EXPECT_EQ(sa.b, sb.b);
+}
+
+TEST(Fingerprint, ScopeSeparatesApps)
+{
+    Program p = taggedProgram();
+    detector::Race race{0, 1, detector::RaceKind::ReadWrite, 0x40, 1};
+    core::RaceSig vips = core::raceSig(p, race, "vips");
+    core::RaceSig facesim = core::raceSig(p, race, "facesim");
+    EXPECT_NE(vips.hash, facesim.hash);
+    EXPECT_NE(vips.key, facesim.key);
+    // The label (ground-truth matching key) is scope-free: each app
+    // scores against its own annotation table anyway.
+    EXPECT_EQ(vips.label, facesim.label);
+}
+
+TEST(Fingerprint, SelfRaceHasEqualEndpoints)
+{
+    Program p = taggedProgram();
+    detector::Race race{1, 1, detector::RaceKind::WriteWrite, 0x40, 1};
+    core::RaceSig sig = core::raceSig(p, race);
+    EXPECT_EQ(sig.a, sig.b);
+    EXPECT_EQ(sig.label,
+              core::raceLabelKey("writer site", "writer site"));
+}
+
+TEST(Fingerprint, LabelMatchesRaceLabelKey)
+{
+    Program p = taggedProgram();
+    detector::Race race{0, 1, detector::RaceKind::ReadWrite, 0x40, 1};
+    core::RaceSig sig = core::raceSig(p, race);
+    EXPECT_EQ(sig.label,
+              core::raceLabelKey("reader site", "writer site"));
+    // And label keys are themselves symmetric.
+    EXPECT_EQ(core::raceLabelKey("reader site", "writer site"),
+              core::raceLabelKey("writer site", "reader site"));
+}
+
+TEST(Fingerprint, FingerprintedRacesSorted)
+{
+    Program p = taggedProgram();
+    detector::RaceSet races;
+    races.record(0, 1, detector::RaceKind::ReadWrite, 0x40);
+    races.record(1, 1, detector::RaceKind::WriteWrite, 0x40);
+    auto sorted = core::fingerprintedRaces(p, races);
+    ASSERT_EQ(sorted.size(), 2u);
+    EXPECT_LE(sorted[0].first.hash, sorted[1].first.hash);
+}
+
+TEST(Repro, DigestStableAndSeedSensitive)
+{
+    core::RunConfig a;
+    core::RunConfig b;
+    EXPECT_EQ(core::configDigest(a), core::configDigest(b));
+    b.machine.seed ^= 1;
+    EXPECT_NE(core::configDigest(a), core::configDigest(b));
+}
+
+TEST(Repro, DigestSeesEveryLayer)
+{
+    core::RunConfig base;
+    uint64_t d0 = core::configDigest(base);
+
+    core::RunConfig m = base;
+    m.mode = core::RunMode::TSan;
+    EXPECT_NE(core::configDigest(m), d0);
+
+    core::RunConfig irq = base;
+    irq.machine.interruptPerStep *= 2.0;
+    EXPECT_NE(core::configDigest(irq), d0);
+
+    core::RunConfig htm = base;
+    htm.machine.htm.l1Ways += 1;
+    EXPECT_NE(core::configDigest(htm), d0);
+
+    core::RunConfig pass = base;
+    pass.passes.insertLoopCuts = false;
+    EXPECT_NE(core::configDigest(pass), d0);
+
+    core::RunConfig gov = base;
+    gov.governor.enabled = true;
+    EXPECT_NE(core::configDigest(gov), d0);
+
+    core::RunConfig flt = base;
+    flt.machine.faults.name = "storm";
+    EXPECT_NE(core::configDigest(flt), d0);
+}
+
+TEST(Repro, SampleRateInertOutsideSampling)
+{
+    // Front ends default sampleRate differently; the digest must not
+    // disagree when the field cannot affect the run.
+    core::RunConfig a;
+    core::RunConfig b;
+    a.sampleRate = 1.0;
+    b.sampleRate = 0.5;
+    EXPECT_EQ(core::configDigest(a), core::configDigest(b));
+    a.mode = b.mode = core::RunMode::TSanSampling;
+    EXPECT_NE(core::configDigest(a), core::configDigest(b));
+}
+
+TEST(Repro, CommandRendersEveryKnob)
+{
+    core::RunIdentity id;
+    id.name = "vips";
+    id.mode = "txrace-dyn";
+    id.workers = 8;
+    id.scale = 2;
+    id.seed = 42;
+    id.fault = "interrupt-storm";
+    id.faultHorizon = 5000;
+    id.governor = true;
+    id.irqScale = 4.0;
+    id.calibrated = false;
+    EXPECT_EQ(core::reproCommand(id),
+              "txrace_run --app vips --mode txrace-dyn --workers 8 "
+              "--scale 2 --seed 42 --fault interrupt-storm "
+              "--fault-horizon 5000 --governor --irq-scale 4 "
+              "--no-calibrate");
+}
+
+TEST(Repro, CommandDefaultsAreMinimal)
+{
+    core::RunIdentity id;
+    id.name = "raytrace";
+    id.seed = 7;
+    EXPECT_EQ(core::reproCommand(id),
+              "txrace_run --app raytrace --mode txrace --workers 4 "
+              "--scale 1 --seed 7");
+}
+
+TEST(Repro, ParseSeedList)
+{
+    EXPECT_EQ(core::parseSeedList("1"),
+              (std::vector<uint64_t>{1}));
+    EXPECT_EQ(core::parseSeedList("3,1,18446744073709551615"),
+              (std::vector<uint64_t>{3, 1, 18446744073709551615ull}));
+}

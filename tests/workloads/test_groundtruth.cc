@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests of the ground-truth race annotations: the label tables the
+ * campaign scores precision/recall against. The load-bearing
+ * property is exactness — for every app, a full-detection TSan run's
+ * races map one-to-one onto the annotation labels, so a campaign
+ * score of 1.0/1.0 means "found everything, invented nothing" and
+ * not "the table happens to be the right size".
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/driver.hh"
+#include "core/fingerprint.hh"
+#include "workloads/patterns.hh"
+#include "workloads/workloads.hh"
+
+using namespace txrace;
+using namespace txrace::workloads;
+
+class GroundTruthPerApp : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(GroundTruthPerApp, AnnotationCountsMatchPlantedRaces)
+{
+    WorkloadParams params;
+    params.calibrate = false;
+    AppModel app = makeApp(GetParam(), params);
+    EXPECT_EQ(app.groundTruth.size(), app.plantedRaces) << app.name;
+    size_t init_idiom = 0;
+    for (const RaceLabel &label : app.groundTruth)
+        init_idiom += label.initIdiom ? 1 : 0;
+    EXPECT_EQ(init_idiom, app.initIdiomRaces) << app.name;
+}
+
+TEST_P(GroundTruthPerApp, LabelsAreDistinct)
+{
+    std::set<std::string> keys;
+    for (const RaceLabel &label : groundTruthRaces(GetParam()))
+        EXPECT_TRUE(
+            keys.insert(core::raceLabelKey(label.a, label.b)).second)
+            << GetParam() << ": duplicate annotation " << label.a
+            << " / " << label.b;
+}
+
+TEST_P(GroundTruthPerApp, TSanRacesMapExactlyOntoAnnotations)
+{
+    WorkloadParams params;
+    params.calibrate = false;
+    AppModel app = makeApp(GetParam(), params);
+
+    core::RunConfig cfg;
+    cfg.mode = core::RunMode::TSan;
+    cfg.machine = app.machine;
+    cfg.machine.seed = 1;
+    core::RunResult tsan = core::runProgram(app.program, cfg);
+
+    std::set<std::string> expected;
+    for (const RaceLabel &label : app.groundTruth)
+        expected.insert(core::raceLabelKey(label.a, label.b));
+
+    std::set<std::string> detected;
+    for (const auto &[sig, race] :
+         core::fingerprintedRaces(app.program, tsan.races))
+        detected.insert(sig.label);
+
+    EXPECT_EQ(detected, expected) << app.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, GroundTruthPerApp,
+                         ::testing::ValuesIn(appNames()),
+                         [](const auto &info) {
+                             std::string name = info.param;
+                             for (char &c : name)
+                                 if (c == '-')
+                                     c = '_';
+                             return name;
+                         });
+
+TEST(GroundTruthPatterns, RacyPatternsAreAnnotated)
+{
+    for (const std::string &name : patternNames()) {
+        Pattern pattern = makePattern(name);
+        EXPECT_EQ(pattern.groundTruth.size(), pattern.trueRaces)
+            << name;
+    }
+}
+
+TEST(GroundTruthPatterns, TSanMatchesPatternAnnotations)
+{
+    for (const std::string &name : patternNames()) {
+        Pattern pattern = makePattern(name);
+        if (pattern.groundTruth.empty())
+            continue;
+
+        core::RunConfig cfg;
+        cfg.mode = core::RunMode::TSan;
+        cfg.machine.seed = 1;
+        core::RunResult tsan =
+            core::runProgram(pattern.program, cfg);
+
+        std::set<std::string> expected;
+        for (const RaceLabel &label : pattern.groundTruth)
+            expected.insert(core::raceLabelKey(label.a, label.b));
+        std::set<std::string> detected;
+        for (const auto &[sig, race] :
+             core::fingerprintedRaces(pattern.program, tsan.races))
+            detected.insert(sig.label);
+        EXPECT_EQ(detected, expected) << name;
+    }
+}
+
+TEST(GroundTruthDeathTest, UnknownAppIsFatal)
+{
+    EXPECT_EXIT(groundTruthRaces("quake3"),
+                testing::ExitedWithCode(1), "unknown workload");
+}

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Campaign front end: hunt races across a matrix of
+ * (workload x seed x config-variant) runs on a worker fleet, then
+ * print the deduplicated scoreboard and write the deterministic
+ * txrace-campaign-v1 report.
+ *
+ *   txrace_hunt --apps vips,x264 --seeds 8 --jobs 4 --out campaign.json
+ *   txrace_hunt --apps all --strategy perturb --seeds 2
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+
+#include "campaign/campaign.hh"
+#include "campaign/strategy.hh"
+#include "core/repro.hh"
+#include "support/log.hh"
+#include "workloads/workloads.hh"
+
+using namespace txrace;
+
+namespace {
+
+[[noreturn]] void
+usage()
+{
+    std::cout <<
+        "usage: txrace_hunt --apps A,B,...|all [options]\n\n"
+        "options:\n"
+        "  --seeds N        seed budget per app (default 4)\n"
+        "  --jobs N         pool worker threads (default 4; never\n"
+        "                   affects the report, only wall time)\n"
+        "  --strategy S     sweep | abort-guided | perturb\n"
+        "                   (default sweep)\n"
+        "  --mode M         detection mode (default txrace-dyn)\n"
+        "  --workers N      simulated threads per run (default 4)\n"
+        "  --scale N        work multiplier per run (default 1)\n"
+        "  --master-seed N  campaign master seed (default 1)\n"
+        "  --out FILE       write the txrace-campaign-v1 JSON report\n"
+        "  --quiet          no per-round progress chatter\n";
+    std::exit(0);
+}
+
+std::vector<std::string>
+parseApps(const std::string &list)
+{
+    if (list == "all")
+        return workloads::appNames();
+    std::vector<std::string> apps;
+    size_t pos = 0;
+    while (pos <= list.size()) {
+        size_t comma = list.find(',', pos);
+        if (comma == std::string::npos)
+            comma = list.size();
+        std::string item = list.substr(pos, comma - pos);
+        if (item.empty())
+            fatal("--apps: empty entry in '%s'", list.c_str());
+        apps.push_back(item);
+        pos = comma + 1;
+    }
+    return apps;
+}
+
+core::RunMode
+parseMode(const std::string &name)
+{
+    for (int m = 0; m <= int(core::RunMode::TxRaceProfLoopcut); ++m)
+        if (name == core::cliModeName(core::RunMode(m)))
+            return core::RunMode(m);
+    if (name == "txrace-prof")
+        return core::RunMode::TxRaceProfLoopcut;
+    fatal("unknown mode '%s'", name.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    campaign::CampaignConfig cfg;
+    std::string apps_arg;
+    std::string out_path;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        auto value = [&](const char *flag) -> const char * {
+            if (std::strcmp(argv[i], flag) != 0)
+                return nullptr;
+            if (i + 1 >= argc)
+                fatal("%s needs a value", flag);
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--help") == 0) {
+            usage();
+        } else if (const char *v = value("--apps")) {
+            apps_arg = v;
+        } else if (const char *v1 = value("--seeds")) {
+            cfg.seedsPerApp = std::strtoull(v1, nullptr, 10);
+        } else if (const char *v2 = value("--jobs")) {
+            cfg.jobs =
+                static_cast<uint32_t>(std::strtoul(v2, nullptr, 10));
+        } else if (const char *v3 = value("--strategy")) {
+            cfg.strategy = v3;
+        } else if (const char *v4 = value("--mode")) {
+            cfg.mode = parseMode(v4);
+        } else if (const char *v5 = value("--workers")) {
+            cfg.workers =
+                static_cast<uint32_t>(std::strtoul(v5, nullptr, 10));
+        } else if (const char *v6 = value("--scale")) {
+            cfg.scale = std::strtoull(v6, nullptr, 10);
+        } else if (const char *v7 = value("--master-seed")) {
+            cfg.masterSeed = std::strtoull(v7, nullptr, 10);
+        } else if (const char *v8 = value("--out")) {
+            out_path = v8;
+        } else if (std::strcmp(argv[i], "--quiet") == 0) {
+            quiet = true;
+        } else {
+            fatal("unknown option '%s' (try --help)", argv[i]);
+        }
+    }
+    if (apps_arg.empty())
+        usage();
+    cfg.apps = parseApps(apps_arg);
+
+    campaign::CampaignResult result =
+        campaign::runCampaign(cfg, quiet ? nullptr : &std::cout);
+
+    std::cout << "campaign: " << result.runs << " runs, "
+              << result.rounds << " round(s), " << result.errors
+              << " error(s), strategy " << cfg.strategy << "\n";
+    std::cout << "findings: " << result.findings.size()
+              << " unique race(s) from " << result.rawReports
+              << " raw reports (dedup ratio ";
+    std::cout.precision(2);
+    std::cout << std::fixed << result.dedupRatio << "x)\n";
+
+    std::cout << "\n  app            expect  found  match  falsepos"
+                 "  precision  recall\n";
+    for (const campaign::AppScore &s : result.scores) {
+        std::cout << "  " << std::left << std::setw(14) << s.app
+                  << std::right << std::setw(7) << s.expected
+                  << std::setw(7) << s.found << std::setw(7)
+                  << s.matched << std::setw(10) << s.falsePositives
+                  << std::setw(11) << s.precision << std::setw(8)
+                  << s.recall << "\n";
+    }
+
+    if (result.variants.size() > 1) {
+        std::cout << "\n  variant       runs  raw  first-found\n";
+        for (const campaign::VariantYield &vy : result.variants)
+            std::cout << "  " << std::left << std::setw(12)
+                      << vy.variant << std::right << std::setw(6)
+                      << vy.runs << std::setw(5) << vy.rawReports
+                      << std::setw(13) << vy.firstFound << "\n";
+    }
+
+    std::cout << "\ntiming: " << result.timing.wallSeconds << "s wall, "
+              << result.timing.runsPerSec << " runs/s with "
+              << result.timing.jobs << " job(s), "
+              << result.timing.steals << " steal(s)\n";
+
+    if (!out_path.empty()) {
+        std::ofstream out(out_path);
+        if (!out)
+            fatal("cannot write %s", out_path.c_str());
+        campaign::writeCampaignJson(out, cfg, result);
+        std::cout << "report written to " << out_path << "\n";
+    }
+    return result.errors == 0 ? 0 : 2;
+}

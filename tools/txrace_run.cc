@@ -14,6 +14,7 @@
 
 #include "core/metrics_export.hh"
 #include "core/report_format.hh"
+#include "core/repro.hh"
 #include "fault/fault.hh"
 #include "ir/text.hh"
 #include "support/log.hh"
@@ -63,11 +64,16 @@ usage()
         "  --workers N    worker threads (default 4)\n"
         "  --scale N      work multiplier (default 1)\n"
         "  --seed N       schedule seed (default 1)\n"
+        "  --seed-list A,B,...  run once per seed and report the\n"
+        "                 union of distinct races\n"
+        "  --irq-scale X  multiply the interrupt rate by X\n"
         "  --rate R       sampling rate for --mode sampling\n"
         "  --trace N      record and print the first N events\n"
         "  --fault NAME   inject a named fault scenario\n"
         "  --fault-horizon N  scale episode times to N steps\n"
         "  --governor     enable the adaptive fallback governor\n"
+        "  --no-calibrate skip the per-app TSan-cost calibration\n"
+        "                 (matches campaign runs)\n"
         "  --stats [PREFIX]  dump counters (optionally only those\n"
         "                 whose name contains PREFIX, e.g. gov, fault)\n"
         "  --metrics-json FILE  write the txrace-metrics-v1 document\n"
@@ -88,6 +94,8 @@ main(int argc, char **argv)
     std::string mode_name = "txrace";
     workloads::WorkloadParams params;
     uint64_t seed = 1;
+    std::string seed_list;
+    double irq_scale = 1.0;
     double rate = 0.5;
     bool dump_stats = false;
     std::string stats_filter;
@@ -135,6 +143,10 @@ main(int argc, char **argv)
             params.scale = std::strtoull(v4, nullptr, 10);
         } else if (const char *v5 = value("--seed")) {
             seed = std::strtoull(v5, nullptr, 10);
+        } else if (const char *vsl = value("--seed-list")) {
+            seed_list = vsl;
+        } else if (const char *vis = value("--irq-scale")) {
+            irq_scale = std::strtod(vis, nullptr);
         } else if (const char *v6 = value("--rate")) {
             rate = std::strtod(v6, nullptr);
         } else if (const char *v7 = value("--trace")) {
@@ -145,6 +157,8 @@ main(int argc, char **argv)
             fault_horizon = std::strtoull(v9, nullptr, 10);
         } else if (std::strcmp(argv[i], "--governor") == 0) {
             governor = true;
+        } else if (std::strcmp(argv[i], "--no-calibrate") == 0) {
+            params.calibrate = false;
         } else if (const char *vm = value("--metrics-json")) {
             metrics_json_path = vm;
         } else if (const char *vt = value("--trace-json")) {
@@ -187,6 +201,7 @@ main(int argc, char **argv)
         return std::move(app.program);
     }();
     cfg.machine.seed = seed;
+    cfg.machine.interruptPerStep *= irq_scale;
     cfg.machine.recordEvents = trace > 0;
     cfg.machine.recordTrace = !trace_json_path.empty();
     if (!fault_name.empty())
@@ -194,18 +209,53 @@ main(int argc, char **argv)
             fault::makeScenario(fault_name, fault_horizon);
     cfg.governor.enabled = governor;
 
-    core::RunResult result = core::runProgram(prog, cfg);
-    core::printRaceReport(prog, result, std::cout);
+    core::RunIdentity identity;
+    identity.target = !program_path.empty()
+                          ? core::RunTarget::ProgramFile
+                      : !pattern_name.empty() ? core::RunTarget::Pattern
+                                              : core::RunTarget::App;
+    identity.name = !program_path.empty()    ? program_path
+                    : !pattern_name.empty()  ? pattern_name
+                                             : app_name;
+    identity.mode = core::cliModeName(cfg.mode);
+    identity.workers = params.nWorkers;
+    identity.scale = params.scale;
+    identity.fault = fault_name;
+    identity.faultHorizon = fault_name.empty() ? 0 : fault_horizon;
+    identity.governor = governor;
+    identity.irqScale = irq_scale;
+    identity.calibrated = params.calibrate;
 
-    if (!result.error.ok()) {
-        std::cout << "abnormal end: "
-                  << sim::runErrorKindName(result.error.kind)
-                  << " after " << result.error.stepsExecuted
-                  << " steps\n";
-        for (const auto &info : result.error.threads)
-            std::cout << "  thread " << info.tid << " at "
-                      << info.where << "\n";
+    std::vector<uint64_t> seeds = {seed};
+    if (!seed_list.empty())
+        seeds = core::parseSeedList(seed_list);
+
+    detector::RaceSet union_races;
+    core::RunResult result;
+    for (uint64_t s : seeds) {
+        cfg.machine.seed = s;
+        identity.seed = s;
+        if (seeds.size() > 1)
+            std::cout << "=== seed " << s << " ===\n";
+        result = core::runProgram(prog, cfg);
+        core::printRaceReport(prog, result, std::cout, identity,
+                              core::configDigest(cfg));
+
+        if (!result.error.ok()) {
+            std::cout << "abnormal end: "
+                      << sim::runErrorKindName(result.error.kind)
+                      << " after " << result.error.stepsExecuted
+                      << " steps\n";
+            for (const auto &info : result.error.threads)
+                std::cout << "  thread " << info.tid << " at "
+                          << info.where << "\n";
+        }
+        union_races.merge(result.races);
     }
+    if (seeds.size() > 1)
+        std::cout << "seed-list union: " << union_races.count()
+                  << " distinct race(s) across " << seeds.size()
+                  << " seed(s)\n";
 
     if (with_overhead && cfg.mode != core::RunMode::Native) {
         core::RunConfig ncfg = cfg;
