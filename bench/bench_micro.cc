@@ -43,18 +43,18 @@ BM_HtmAccess(benchmark::State &state)
 BENCHMARK(BM_HtmAccess)->Arg(16)->Arg(256);
 
 /**
- * Engine-level conflict-detection benchmarks: the same access stream
- * through the reverse line directory and the legacy per-thread scan.
- * `bench_compare.py` gates on these — the conflict-free cases measure
- * the per-access cost as a function of in-flight transaction count
- * (the directory's whole point is making it flat), the conflict-heavy
- * case measures abort processing.
+ * Engine-level conflict-detection benchmarks. `bench_compare.py`
+ * gates on these — the conflict-free cases measure the per-access
+ * cost as a function of in-flight transaction count (the directory's
+ * whole point is making it flat), the conflict-heavy case measures
+ * abort processing, and the reuse pair measures what the owned-line
+ * filter saves on repeat accesses to held lines.
  */
 void
-runConflictFree(benchmark::State &state, htm::ConflictEngine eng)
+runConflictFree(benchmark::State &state, bool filter)
 {
     htm::HtmConfig cfg;
-    cfg.engine = eng;
+    cfg.accessFilter = filter;
     htm::HtmEngine engine(cfg);
     const uint32_t txs = static_cast<uint32_t>(state.range(0));
     for (Tid t = 0; t < txs; ++t)
@@ -82,22 +82,63 @@ runConflictFree(benchmark::State &state, htm::ConflictEngine eng)
 void
 BM_HtmDirConflictFree(benchmark::State &state)
 {
-    runConflictFree(state, htm::ConflictEngine::Directory);
+    // The 32-line stride defeats the 16-entry filter on purpose: this
+    // measures the probe path (plus a filter miss), not filter hits.
+    runConflictFree(state, true);
 }
 BENCHMARK(BM_HtmDirConflictFree)->Arg(1)->Arg(4)->Arg(8);
 
+/**
+ * Line-reuse-heavy stream: each transaction cycles over 8 lines of
+ * its own, so after the first lap every access hits a line the
+ * transaction already holds in the required mode. With the filter
+ * these accesses skip the directory probe entirely; without it each
+ * pays the full probe. The gate in BENCH_elision.json holds the
+ * filtered case strictly faster.
+ */
 void
-BM_HtmLegacyConflictFree(benchmark::State &state)
-{
-    runConflictFree(state, htm::ConflictEngine::LegacyScan);
-}
-BENCHMARK(BM_HtmLegacyConflictFree)->Arg(1)->Arg(4)->Arg(8);
-
-void
-runConflictHeavy(benchmark::State &state, htm::ConflictEngine eng)
+runLineReuse(benchmark::State &state, bool filter)
 {
     htm::HtmConfig cfg;
-    cfg.engine = eng;
+    cfg.accessFilter = filter;
+    htm::HtmEngine engine(cfg);
+    const uint32_t txs = static_cast<uint32_t>(state.range(0));
+    for (Tid t = 0; t < txs; ++t)
+        engine.begin(t);
+    constexpr uint64_t kLines = 8;  // < filter size: all-hit regime
+    Tid t = 0;
+    uint64_t lap = 0;
+    for (auto _ : state) {
+        uint64_t line = (t + 1) * 4096 + lap;
+        auto res = engine.access(t, line * 64, (lap & 3) == 3);
+        benchmark::DoNotOptimize(res.selfCapacity);
+        if (++t == txs) {
+            t = 0;
+            if (++lap == kLines)
+                lap = 0;
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_HtmFilterReuse(benchmark::State &state)
+{
+    runLineReuse(state, true);
+}
+BENCHMARK(BM_HtmFilterReuse)->Arg(8);
+
+void
+BM_HtmNoFilterReuse(benchmark::State &state)
+{
+    runLineReuse(state, false);
+}
+BENCHMARK(BM_HtmNoFilterReuse)->Arg(8);
+
+void
+runConflictHeavy(benchmark::State &state)
+{
+    htm::HtmConfig cfg;
     cfg.maxConcurrentTx = 8;
     htm::HtmEngine engine(cfg);
     constexpr Tid kReaders = 8;
@@ -118,16 +159,9 @@ runConflictHeavy(benchmark::State &state, htm::ConflictEngine eng)
 void
 BM_HtmDirConflictHeavy(benchmark::State &state)
 {
-    runConflictHeavy(state, htm::ConflictEngine::Directory);
+    runConflictHeavy(state);
 }
 BENCHMARK(BM_HtmDirConflictHeavy);
-
-void
-BM_HtmLegacyConflictHeavy(benchmark::State &state)
-{
-    runConflictHeavy(state, htm::ConflictEngine::LegacyScan);
-}
-BENCHMARK(BM_HtmLegacyConflictHeavy);
 
 void
 BM_VectorClockJoin(benchmark::State &state)
@@ -164,6 +198,50 @@ BM_FastTrackCheck(benchmark::State &state)
 }
 BENCHMARK(BM_FastTrackCheck);
 
+/**
+ * Same-epoch hot stream: two threads hammer one write address and one
+ * read address each, with a stable instruction id and no intervening
+ * synchronization — exactly the shape the FastTrack same-epoch fast
+ * path short-circuits. The Off variant runs the identical stream with
+ * the fast path disabled; the gap is what the fast path saves.
+ */
+void
+runFastTrackEpochHot(benchmark::State &state, bool fastPath)
+{
+    detector::DetectorConfig cfg;
+    cfg.epochFastPath = fastPath;
+    detector::HbDetector det(cfg);
+    det.rootThread(0);
+    det.threadCreated(0, 1);
+    uint64_t i = 0;
+    for (auto _ : state) {
+        Tid t = static_cast<Tid>(i & 1);
+        // The +8 keeps the read and write granules in different
+        // direct-mapped cell-cache slots (both addresses & 63 would
+        // otherwise collide and thrash the cache).
+        if (i & 2)
+            det.write(t, 0x1008 + t * 64, 1);
+        else
+            det.read(t, 0x2000 + t * 64, 2);
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_FastTrackEpochHot(benchmark::State &state)
+{
+    runFastTrackEpochHot(state, true);
+}
+BENCHMARK(BM_FastTrackEpochHot);
+
+void
+BM_FastTrackEpochHotOff(benchmark::State &state)
+{
+    runFastTrackEpochHot(state, false);
+}
+BENCHMARK(BM_FastTrackEpochHotOff);
+
 void
 BM_EndToEndTxRace(benchmark::State &state)
 {
@@ -195,6 +273,78 @@ BM_EndToEndTxRace(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 50 * 8 * 4);
 }
 BENCHMARK(BM_EndToEndTxRace);
+
+/**
+ * End-to-end elision gate: a redundancy-heavy workload (dominated
+ * re-loads of a shared cell, granule-aligned per-thread slots, tight
+ * line reuse) run with the full elision stack on vs off. This is the
+ * headline number for BENCH_elision.json — the stack must make the
+ * whole pipeline measurably faster on the streams it targets.
+ */
+void
+runEndToEndElide(benchmark::State &state, bool elide)
+{
+    ir::ProgramBuilder b;
+    ir::Addr shared = b.alloc("s", 64, 64);
+    ir::Addr flag = b.alloc("flag", 64, 64);
+    // Workers are tids 1..8; perThread indexes by tid, so slot 8
+    // reaches slots + 8*64 + 8 — size for ten lines.
+    ir::Addr slots = b.alloc("slots", 10 * 64, 64);
+    ir::FuncId worker = b.beginFunction("worker");
+    b.loop(50, [&] {
+        b.loop(8, [&] {
+            b.load(ir::AddrExpr::absolute(shared));
+            b.load(ir::AddrExpr::absolute(shared));
+            b.load(ir::AddrExpr::absolute(shared));
+            b.load(ir::AddrExpr::absolute(shared));
+            b.store(ir::AddrExpr::perThread(slots, 64));
+            b.load(ir::AddrExpr::perThread(slots, 64));
+            b.store(ir::AddrExpr::perThread(slots, 64));
+            // Contended flag: forces conflict aborts and therefore
+            // slow-path episodes, where the dominated loads and
+            // privatized slots save real detector work — seven
+            // accesses, two surviving elision.
+            b.store(ir::AddrExpr::absolute(flag));
+            b.compute(2);
+        });
+        b.syscall(1);
+    });
+    b.endFunction();
+    b.beginFunction("main");
+    b.spawn(worker, 8);
+    b.joinAll();
+    b.endFunction();
+    ir::Program prog = b.build();
+
+    core::RunConfig cfg;
+    cfg.mode = core::RunMode::TxRaceDynLoopcut;
+    if (!elide) {
+        cfg.passes.elide.enabled = false;
+        cfg.machine.htm.accessFilter = false;
+        cfg.machine.det.epochFastPath = false;
+    }
+    uint64_t seed = 1;
+    for (auto _ : state) {
+        cfg.machine.seed = seed++;
+        core::RunResult r = core::runProgram(prog, cfg);
+        benchmark::DoNotOptimize(r.totalCost);
+    }
+    state.SetItemsProcessed(state.iterations() * 50 * 8 * 8);
+}
+
+void
+BM_EndToEndElide(benchmark::State &state)
+{
+    runEndToEndElide(state, true);
+}
+BENCHMARK(BM_EndToEndElide);
+
+void
+BM_EndToEndNoElide(benchmark::State &state)
+{
+    runEndToEndElide(state, false);
+}
+BENCHMARK(BM_EndToEndNoElide);
 
 } // namespace
 

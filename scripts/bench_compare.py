@@ -1,25 +1,29 @@
 #!/usr/bin/env python3
-"""Gate bench_micro results: engine speedup and baseline regression.
+"""Gate bench_micro results: fast-path speedup and baseline regression.
 
 Two independent checks over google-benchmark JSON output:
 
-1. Same-run ratio gate (always on): the directory conflict engine must
-   beat the legacy scan engine by at least --min-ratio on the
-   conflict-free 8-transactions-in-flight case. Both numbers come from
-   the same process on the same machine, so this gate is immune to
+1. Same-run ratio gate (always on): --ratio-fast must beat
+   --ratio-slow by at least --min-ratio. Both numbers come from the
+   same process on the same machine, so this gate is immune to
    host-speed differences — it checks the *shape* of the performance,
-   not absolute throughput.
+   not absolute throughput. The default pair holds the owned-line
+   filter strictly faster than the unfiltered probe path on a
+   line-reuse-heavy stream; CI also runs an elision pair (end-to-end
+   elide-on vs elide-off) against BENCH_elision.json.
 
 2. Baseline regression gate (--baseline FILE): every benchmark present
-   in both files is compared after normalizing by a calibration
+   in both files is compared after normalizing by the --calibration
    benchmark measured in the same file. Normalizing cancels host speed
    (CI runners and dev machines differ by integer factors), so what is
-   compared is each benchmark's cost relative to the frozen legacy
-   engine. A normalized slowdown beyond --max-regress fails.
+   compared is each benchmark's cost relative to the calibration
+   anchor. A normalized slowdown beyond --max-regress fails.
 
 Usage:
   bench_compare.py CURRENT.json [--baseline BASELINE.json]
-                   [--min-ratio 3.0] [--max-regress 0.25] [--summary]
+                   [--ratio-fast NAME] [--ratio-slow NAME]
+                   [--calibration NAME]
+                   [--min-ratio 1.05] [--max-regress 0.25] [--summary]
 
 Exit status 0 when all gates pass, 1 otherwise.
 """
@@ -28,9 +32,9 @@ import argparse
 import json
 import sys
 
-RATIO_FAST = "BM_HtmDirConflictFree/8"
-RATIO_SLOW = "BM_HtmLegacyConflictFree/8"
-CALIBRATION = "BM_HtmLegacyConflictFree/1"
+DEFAULT_RATIO_FAST = "BM_HtmFilterReuse/8"
+DEFAULT_RATIO_SLOW = "BM_HtmNoFilterReuse/8"
+DEFAULT_CALIBRATION = "BM_HtmDirConflictFree/1"
 
 
 def load_items_per_second(path):
@@ -58,31 +62,31 @@ def load_items_per_second(path):
     return out
 
 
-def check_ratio(cur, min_ratio):
-    fast = cur.get(RATIO_FAST)
-    slow = cur.get(RATIO_SLOW)
+def check_ratio(cur, fast_name, slow_name, min_ratio):
+    fast = cur.get(fast_name)
+    slow = cur.get(slow_name)
     if fast is None or slow is None:
-        print(f"ratio gate: SKIPPED ({RATIO_FAST} or {RATIO_SLOW} "
+        print(f"ratio gate: SKIPPED ({fast_name} or {slow_name} "
               "not in results)")
         return True
     ratio = fast / slow
     ok = ratio >= min_ratio
-    print(f"ratio gate: directory {fast / 1e6:.1f} M/s vs legacy "
-          f"{slow / 1e6:.1f} M/s = {ratio:.2f}x "
+    print(f"ratio gate: {fast_name} {fast / 1e6:.1f} M/s vs "
+          f"{slow_name} {slow / 1e6:.1f} M/s = {ratio:.2f}x "
           f"(need >= {min_ratio:.2f}x) -> "
           f"{'ok' if ok else 'FAIL'}")
     return ok
 
 
-def check_baseline(cur, base, max_regress):
-    cal_cur = cur.get(CALIBRATION)
-    cal_base = base.get(CALIBRATION)
+def check_baseline(cur, base, calibration, max_regress):
+    cal_cur = cur.get(calibration)
+    cal_base = base.get(calibration)
     if not cal_cur or not cal_base:
         print(f"baseline gate: FAIL (calibration benchmark "
-              f"{CALIBRATION} missing)")
+              f"{calibration} missing)")
         return False
     ok = True
-    shared = sorted(set(cur) & set(base) - {CALIBRATION})
+    shared = sorted(set(cur) & set(base) - {calibration})
     if not shared:
         print("baseline gate: FAIL (no shared benchmarks)")
         return False
@@ -110,8 +114,14 @@ def main():
     ap.add_argument("current", help="bench_micro --json output")
     ap.add_argument("--baseline",
                     help="committed baseline JSON to regress against")
-    ap.add_argument("--min-ratio", type=float, default=3.0,
-                    help="minimum directory/legacy speedup (same run)")
+    ap.add_argument("--ratio-fast", default=DEFAULT_RATIO_FAST,
+                    help="numerator benchmark of the same-run ratio")
+    ap.add_argument("--ratio-slow", default=DEFAULT_RATIO_SLOW,
+                    help="denominator benchmark of the same-run ratio")
+    ap.add_argument("--calibration", default=DEFAULT_CALIBRATION,
+                    help="host-speed anchor for the baseline gate")
+    ap.add_argument("--min-ratio", type=float, default=1.05,
+                    help="minimum fast/slow speedup (same run)")
     ap.add_argument("--max-regress", type=float, default=0.25,
                     help="maximum tolerated normalized slowdown")
     ap.add_argument("--summary", action="store_true",
@@ -124,10 +134,12 @@ def main():
               f"{args.current}", file=sys.stderr)
         return 1
 
-    ok = check_ratio(cur, args.min_ratio)
+    ok = check_ratio(cur, args.ratio_fast, args.ratio_slow,
+                     args.min_ratio)
     if args.baseline:
         base = load_items_per_second(args.baseline)
-        ok = check_baseline(cur, base, args.max_regress) and ok
+        ok = check_baseline(cur, base, args.calibration,
+                            args.max_regress) and ok
     if args.summary:
         print_summary(cur)
     return 0 if ok else 1

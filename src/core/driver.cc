@@ -43,8 +43,13 @@ runProgram(const ir::Program &prog, const RunConfig &cfg)
       case RunMode::RaceTM: {
         // RaceTM needs the transactionalized program (it uses the
         // same region markers) and the extended debug-bit hardware.
+        // The elision pipeline stays off: RaceTM detects races from
+        // raw HTM conflicts, and its comparison point is the paper's
+        // unmodified instrumentation.
+        passes::PassConfig pass_cfg = cfg.passes;
+        pass_cfg.elide.enabled = false;
         ir::Program prepared =
-            passes::preparedForTxRace(prog, cfg.passes);
+            passes::preparedForTxRace(prog, pass_cfg);
         sim::MachineConfig mcfg = cfg.machine;
         mcfg.htm.trackInstructions = true;
         RaceTmPolicy policy;
@@ -83,7 +88,9 @@ runProgram(const ir::Program &prog, const RunConfig &cfg)
         passes::PassConfig pass_cfg = cfg.passes;
         if (cfg.mode == RunMode::TxRaceNoOpt)
             pass_cfg.insertLoopCuts = false;
-        ir::Program prepared = passes::preparedForTxRace(prog, pass_cfg);
+        passes::ElisionStats elision;
+        ir::Program prepared =
+            passes::preparedForTxRace(prog, pass_cfg, &elision);
 
         TxRacePolicy::Scheme scheme = TxRacePolicy::Scheme::NoOpt;
         if (cfg.mode == RunMode::TxRaceDynLoopcut)
@@ -120,6 +127,19 @@ runProgram(const ir::Program &prog, const RunConfig &cfg)
         result.stats.merge(machine.stats());
         result.stats.merge(machine.htm().stats());
         result.stats.merge(machine.det().stats());
+        // Static-elision accounting (zero-valued entries omitted to
+        // keep the first-touch dump shape).
+        auto put = [&](const char *name, uint64_t v) {
+            if (v)
+                result.stats.add(name, v);
+        };
+        put("pass.elide.candidates", elision.candidates);
+        put("pass.elide.dominated", elision.dominated);
+        put("pass.elide.raw_downgraded", elision.rawDowngraded);
+        put("pass.elide.privatized", elision.privatized);
+        put("pass.elide.total", elision.elided());
+        for (const auto &[fn, n] : elision.perFunction)
+            result.stats.add("pass.elide.fn." + fn, n);
         result.races = machine.det().races();
         result.events = std::move(machine.events());
         result.telemetry = std::move(machine.tel());

@@ -233,6 +233,10 @@ class TxRacePolicy : public sim::ExecutionPolicy
         telemetry::MetricId govSampledRegions, govForcedSlowRegions;
         telemetry::MetricId govSampleSkipped, govSampledChecks;
         telemetry::MetricId govTightenedCuts;
+        /** Dynamic accesses that still carry instrumentation vs. those
+         *  the static elision pipeline demoted — the "fraction of
+         *  accesses monitored" statistic HardRace reports. */
+        telemetry::MetricId accessInstrumented, accessUninstrumented;
     };
     Metrics met_{};
 };

@@ -113,10 +113,20 @@ configDigest(const RunConfig &cfg)
     d.f64(h.capacityJitter);
     d.u64(h.trackInstructions ? 1 : 0);
     d.u64(static_cast<uint64_t>(h.engine));
+    d.u64(h.accessFilter ? 1 : 0);
+
+    const detector::DetectorConfig &det = m.det;
+    d.u64(det.maxShadowCells);
+    d.u64(det.epochFastPath ? 1 : 0);
 
     d.u64(cfg.passes.smallRegionK);
     d.u64(cfg.passes.insertLoopCuts ? 1 : 0);
     d.u64(cfg.passes.removeUninstrumented ? 1 : 0);
+    const passes::ElideConfig &e = cfg.passes.elide;
+    d.u64(e.enabled ? 1 : 0);
+    d.u64(e.dominance ? 1 : 0);
+    d.u64(e.rawDowngrade ? 1 : 0);
+    d.u64(e.privatize ? 1 : 0);
 
     const GovernorConfig &g = cfg.governor;
     d.u64(g.enabled ? 1 : 0);
@@ -165,6 +175,8 @@ reproCommand(const RunIdentity &id)
     }
     if (id.governor)
         ss << " --governor";
+    if (!id.elide)
+        ss << " --no-elide";
     if (id.irqScale != 1.0)
         ss << " --irq-scale " << id.irqScale;
     if (!id.calibrated && id.target == RunTarget::App)

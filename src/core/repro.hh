@@ -42,6 +42,9 @@ struct RunIdentity
     std::string fault;
     uint64_t faultHorizon = 0;
     bool governor = false;
+    /** Whether the access-elision stack (static passes, HTM filter,
+     *  detector fast paths) was on; false renders --no-elide. */
+    bool elide = true;
     /** Multiplier on the app's interrupt rate (campaign perturbation
      *  variants; 1.0 = untouched). */
     double irqScale = 1.0;

@@ -101,6 +101,10 @@ TxRacePolicy::onRunStart(Machine &m)
     met_.govSampleSkipped = reg.counter("txrace.gov.sample_skipped");
     met_.govSampledChecks = reg.counter("txrace.gov.sampled_checks");
     met_.govTightenedCuts = reg.counter("txrace.gov.tightened_cuts");
+    met_.accessInstrumented =
+        reg.counter("txrace.access.instrumented");
+    met_.accessUninstrumented =
+        reg.counter("txrace.access.uninstrumented");
     governor_.bindMetrics(reg);
 }
 
@@ -485,6 +489,8 @@ TxRacePolicy::onMemAccess(Machine &m, Tid t, const ir::Instruction &ins,
                           ir::Addr addr, bool is_write)
 {
     const auto &cost = m.config().cost;
+    m.tel().registry.add(ins.instrumented ? met_.accessInstrumented
+                                          : met_.accessUninstrumented);
     if (ins.instrumented && cost.fastHookCost > 0)
         m.addCost(t, cost.fastHookCost, Bucket::Txn);
 

@@ -108,23 +108,74 @@ HbDetector::shadowCell(uint64_t granule)
     return cachedPage_->cells[granule & kShadowPageMask];
 }
 
+HbDetector::ShadowCell &
+HbDetector::cellFor(Tid t, uint64_t granule)
+{
+    if (t >= cellCache_.size())
+        cellCache_.resize(static_cast<size_t>(t) + 1);
+    CellCache &cc = cellCache_[t];
+    const uint32_t idx = granule & (kCellCacheSize - 1);
+    // cell[idx] is null until first fill, so the zero-initialized
+    // granule entries cannot falsely match granule 0.
+    if (cc.granule[idx] == granule && cc.cell[idx])
+        return *cc.cell[idx];
+    ShadowCell &cell = shadowCell(granule);
+    cc.granule[idx] = granule;
+    cc.cell[idx] = &cell;
+    return cell;
+}
+
+StatSet
+HbDetector::stats() const
+{
+    StatSet out;
+    auto put = [&](const char *name, uint64_t v) {
+        if (v)
+            out.set(name, v);
+    };
+    put("detector.reads", counters_.reads);
+    put("detector.writes", counters_.writes);
+    put("detector.race_hits", counters_.raceHits);
+    put("detector.read_epoch_sufficient",
+        counters_.readEpochSufficient);
+    put("detector.read_vc_promoted", counters_.readVcPromoted);
+    put("detector.evictions", counters_.evictions);
+    put("detector.epoch_fast_hits", counters_.epochFastHits);
+    return out;
+}
+
 void
 HbDetector::read(Tid t, ir::Addr addr, ir::InstrId instr)
 {
-    stats_.add("detector.reads");
-    ShadowCell &cell = shadowCell(mem::granuleOf(addr));
+    ++counters_.reads;
+    ShadowCell &cell = cellFor(t, mem::granuleOf(addr));
     const VectorClock &vc = clockOf(t);
+    const Epoch mine = vc.epochOf(t);
+
+    // Same-epoch fast path: this thread already recorded this exact
+    // read (same epoch, same instruction) as the sole read entry, and
+    // no unordered remote write is pending (so the full path would
+    // record no race). Then the full path is a provable no-op on the
+    // shadow state — skip the prune/append scan. The epoch-sufficient
+    // counter still moves: the full path would have counted it.
+    if (cfg_.epochFastPath && cell.reads.size() == 1 &&
+        cell.reads[0].epoch == mine && cell.reads[0].instr == instr &&
+        (cell.write.epoch.empty() || cell.write.epoch.tid == t ||
+         vc.covers(cell.write.epoch))) {
+        ++counters_.epochFastHits;
+        ++counters_.readEpochSufficient;
+        return;
+    }
 
     if (!cell.write.epoch.empty() && cell.write.epoch.tid != t &&
         !vc.covers(cell.write.epoch)) {
         races_.record(cell.write.instr, instr, RaceKind::WriteRead, addr);
-        stats_.add("detector.race_hits");
+        ++counters_.raceHits;
     }
 
     // Update the read set: replace this thread's entry, drop entries
     // that are now ordered before us (they can no longer race with any
     // future access that we are ordered with), and append.
-    Epoch mine = vc.epochOf(t);
     auto &reads = cell.reads;
     for (size_t i = 0; i < reads.size();) {
         if (reads[i].epoch.tid == t ||
@@ -141,38 +192,49 @@ HbDetector::read(Tid t, ir::Addr addr, ir::InstrId instr)
     // multiple survivors mean a promoted vector clock (FastTrack
     // reports >99% of reads stay in the epoch case).
     if (reads.size() == 1)
-        stats_.add("detector.read_epoch_sufficient");
+        ++counters_.readEpochSufficient;
     else
-        stats_.add("detector.read_vc_promoted");
+        ++counters_.readVcPromoted;
     if (cfg_.maxShadowCells > 0 && reads.size() > cfg_.maxShadowCells) {
         size_t victim = rng_.below(reads.size());
         reads[victim] = reads.back();
         reads.pop_back();
-        stats_.add("detector.evictions");
+        ++counters_.evictions;
     }
 }
 
 void
 HbDetector::write(Tid t, ir::Addr addr, ir::InstrId instr)
 {
-    stats_.add("detector.writes");
-    ShadowCell &cell = shadowCell(mem::granuleOf(addr));
+    ++counters_.writes;
+    ShadowCell &cell = cellFor(t, mem::granuleOf(addr));
     const VectorClock &vc = clockOf(t);
+    const Epoch mine = vc.epochOf(t);
+
+    // Same-epoch fast path: this thread already owns the write entry
+    // at this exact epoch and instruction and no reads are recorded —
+    // the full path would find no race (write epoch is ours) and
+    // store back the identical entry.
+    if (cfg_.epochFastPath && cell.write.epoch == mine &&
+        cell.write.instr == instr && cell.reads.empty()) {
+        ++counters_.epochFastHits;
+        return;
+    }
 
     if (!cell.write.epoch.empty() && cell.write.epoch.tid != t &&
         !vc.covers(cell.write.epoch)) {
         races_.record(cell.write.instr, instr, RaceKind::WriteWrite,
                       addr);
-        stats_.add("detector.race_hits");
+        ++counters_.raceHits;
     }
     for (const Access &r : cell.reads) {
         if (r.epoch.tid != t && !vc.covers(r.epoch)) {
             races_.record(r.instr, instr, RaceKind::ReadWrite, addr);
-            stats_.add("detector.race_hits");
+            ++counters_.raceHits;
         }
     }
 
-    cell.write = {vc.epochOf(t), instr};
+    cell.write = {mine, instr};
     cell.reads.clear();
 }
 

@@ -46,6 +46,37 @@ struct DetectorConfig
     uint32_t maxShadowCells = 0;
     /** Seed for the eviction RNG (only used when bounded). */
     uint64_t seed = 1;
+    /**
+     * FastTrack same-epoch fast paths: return before the shadow-cell
+     * scan when this thread already recorded an identical access (same
+     * epoch, same instruction) and the full path would provably change
+     * nothing — no race recorded, no shadow state changed, no
+     * counter other than the check count moved. Off only for ablation
+     * (txrace_run --no-elide) and the differential soundness test.
+     */
+    bool epochFastPath = true;
+};
+
+/**
+ * Fixed-layout detector counters. read()/write() run once per checked
+ * access — the hottest detector code — so they bump plain integers;
+ * stats() materializes the string-keyed view on demand (cold path:
+ * result merging and dumps only).
+ */
+struct DetCounters
+{
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t raceHits = 0;
+    /** Read state collapsed to a single epoch (FastTrack's O(1)
+     *  representation; the paper reports >99% of reads stay here). */
+    uint64_t readEpochSufficient = 0;
+    /** Read state held multiple concurrent epochs (promoted VC). */
+    uint64_t readVcPromoted = 0;
+    /** Bounded-shadow random evictions (maxShadowCells > 0 only). */
+    uint64_t evictions = 0;
+    /** Checks answered by the same-epoch fast path (scan skipped). */
+    uint64_t epochFastHits = 0;
 };
 
 /** Sound (configurable) and complete happens-before detector. */
@@ -91,8 +122,13 @@ class HbDetector
     /** Current clock of thread @p t (tests, runtime diagnostics). */
     const VectorClock &clockOf(Tid t) const;
 
-    /** Counters: checks performed, races, evictions. */
-    const StatSet &stats() const { return stats_; }
+    /** Raw counters (checks performed, races, evictions). */
+    const DetCounters &counters() const { return counters_; }
+
+    /** String-keyed view of counters() under the detector.* names
+     *  (compatibility surface for dumps and tests; zero-valued
+     *  counters are omitted, matching StatSet's first-touch shape). */
+    StatSet stats() const;
 
     /** Forget all shadow state but keep clocks (tests only). */
     void
@@ -101,6 +137,7 @@ class HbDetector
         shadow_.clear();
         cachedNo_ = kNoPage;
         cachedPage_ = nullptr;
+        cellCache_.clear();  // cached ShadowCell pointers are dead
     }
 
   private:
@@ -137,6 +174,23 @@ class HbDetector
     /** The shadow cell of @p granule (created on first touch). */
     ShadowCell &shadowCell(uint64_t granule);
 
+    /**
+     * Per-thread direct-mapped granule -> ShadowCell* cache in front
+     * of shadowCell()'s page lookup. ShadowCell addresses are stable
+     * (fixed arrays inside heap-allocated ShadowPages that are never
+     * erased except by dropShadow(), which clears the cache), so a
+     * hit returns the pointer with no hashing at all. Per-thread
+     * because each thread's working set is what repeats; a shared
+     * cache would thrash under interleaving.
+     */
+    static constexpr uint32_t kCellCacheSize = 64;
+    struct CellCache
+    {
+        std::array<uint64_t, kCellCacheSize> granule{};
+        std::array<ShadowCell *, kCellCacheSize> cell{};
+    };
+    ShadowCell &cellFor(Tid t, uint64_t granule);
+
     VectorClock &clock(Tid t);
 
     DetectorConfig cfg_;
@@ -147,8 +201,9 @@ class HbDetector
     std::unordered_map<uint64_t, std::unique_ptr<ShadowPage>> shadow_;
     uint64_t cachedNo_ = kNoPage;
     ShadowPage *cachedPage_ = nullptr;
+    std::vector<CellCache> cellCache_;
     RaceSet races_;
-    StatSet stats_;
+    DetCounters counters_;
 };
 
 } // namespace txrace::detector

@@ -41,11 +41,28 @@ LocksetDetector::refine(Shadow &sh, Tid t)
     sh.candidates = std::move(intersection);
 }
 
+StatSet
+LocksetDetector::stats() const
+{
+    StatSet out;
+    auto put = [&](const char *name, uint64_t v) {
+        if (v)
+            out.set(name, v);
+    };
+    put("lockset.reads", counters_.reads);
+    put("lockset.writes", counters_.writes);
+    put("lockset.warnings", counters_.warnings);
+    return out;
+}
+
 void
 LocksetDetector::access(Tid t, ir::Addr addr, ir::InstrId instr,
                         bool is_write)
 {
-    stats_.add(is_write ? "lockset.writes" : "lockset.reads");
+    if (is_write)
+        ++counters_.writes;
+    else
+        ++counters_.reads;
     Shadow &sh = shadow_[mem::granuleOf(addr)];
 
     switch (sh.state) {
@@ -84,7 +101,7 @@ LocksetDetector::access(Tid t, ir::Addr addr, ir::InstrId instr,
                       instr, is_write ? RaceKind::WriteWrite
                                       : RaceKind::WriteRead,
                       addr);
-        stats_.add("lockset.warnings");
+        ++counters_.warnings;
         sh.reported = true;  // one warning per location, as in Eraser
     }
     sh.lastInstr = instr;

@@ -36,6 +36,15 @@
 
 namespace txrace::detector {
 
+/** Fixed-layout counters for the lockset hot path; stats()
+ *  materializes the string-keyed view on demand. */
+struct LocksetCounters
+{
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t warnings = 0;
+};
+
 /** Eraser's lockset algorithm over 8-byte granules. */
 class LocksetDetector
 {
@@ -59,8 +68,12 @@ class LocksetDetector
     /** Locks currently held by @p t (tests). */
     const std::set<uint64_t> &heldBy(Tid t);
 
-    /** Counters: checks, warnings, state transitions. */
-    const StatSet &stats() const { return stats_; }
+    /** Raw counters (checks, warnings). */
+    const LocksetCounters &counters() const { return counters_; }
+
+    /** String-keyed view of counters() under the lockset.* names
+     *  (zero-valued counters omitted, matching first-touch shape). */
+    StatSet stats() const;
 
   private:
     enum class State : uint8_t {
@@ -91,7 +104,7 @@ class LocksetDetector
     std::unordered_map<Tid, std::set<uint64_t>> held_;
     std::unordered_map<uint64_t, Shadow> shadow_;
     RaceSet races_;
-    StatSet stats_;
+    LocksetCounters counters_;
 };
 
 } // namespace txrace::detector

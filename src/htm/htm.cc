@@ -35,16 +35,21 @@ abortToString(AbortStatus s)
 
 HtmEngine::HtmEngine(const HtmConfig &cfg)
     : cfg_(cfg),
-      useDirectory_(cfg.engine == ConflictEngine::Directory &&
-                    cfg.maxConcurrentTx <= 64),
+      filterEnabled_(cfg.accessFilter),
       rng_(cfg.seed ^ 0xca9ac117ULL)
 {
+    if (cfg_.engine != ConflictEngine::Directory)
+        fatal("HtmEngine: the LegacyScan engine was removed; use "
+              "ConflictEngine::Directory");
     if (cfg_.l1Sets == 0 || (cfg_.l1Sets & (cfg_.l1Sets - 1)) != 0)
         fatal("HtmEngine: l1Sets must be a nonzero power of two");
     if (cfg_.l1Ways == 0)
         fatal("HtmEngine: l1Ways must be nonzero");
     if (cfg_.maxConcurrentTx == 0)
         fatal("HtmEngine: maxConcurrentTx must be nonzero");
+    if (cfg_.maxConcurrentTx > 64)
+        fatal("HtmEngine: maxConcurrentTx must be <= 64 (one "
+              "directory bitmask bit per in-flight transaction)");
 }
 
 void
@@ -103,8 +108,10 @@ HtmEngine::beginOccupancy(TxState &s)
     }
     if (++s.occEpoch == 0) {
         // Stamp wraparound: pay one memset every 2^32 transactions so
-        // pre-wrap stamps cannot read as current.
+        // pre-wrap stamps cannot read as current. The owned-line
+        // filter is stamped with the same epoch, so it wraps too.
         std::fill(s.setStamp.begin(), s.setStamp.end(), 0u);
+        s.filterStamp.fill(0u);
         s.occEpoch = 1;
     }
 }
@@ -118,19 +125,14 @@ HtmEngine::begin(Tid t)
     if (s.active)
         panic("HtmEngine::begin: thread %u already transactional", t);
     s.active = true;
-    if (useDirectory_) {
-        uint32_t slot =
-            static_cast<uint32_t>(std::countr_zero(~slotsUsed_));
-        slotsUsed_ |= uint64_t{1} << slot;
-        s.slot = slot;
-        slotTid_[slot] = t;
-        s.lines.clear();
-        s.readLineCount = 0;
-        s.writeLineCount = 0;
-    } else {
-        s.readLines.clear();
-        s.writeLines.clear();
-    }
+    uint32_t slot =
+        static_cast<uint32_t>(std::countr_zero(~slotsUsed_));
+    slotsUsed_ |= uint64_t{1} << slot;
+    s.slot = slot;
+    slotTid_[slot] = t;
+    s.lines.clear();
+    s.readLineCount = 0;
+    s.writeLineCount = 0;
     beginOccupancy(s);
     ++inFlight_;
     ++counters_.begins;
@@ -175,24 +177,6 @@ HtmEngine::abortVictim(Tid u, uint64_t line)
 }
 
 void
-HtmEngine::collectVictims(Tid requester, uint64_t line, bool is_write,
-                          std::vector<Tid> &victims)
-{
-    for (Tid u = 0; u < tx_.size(); ++u) {
-        if (u == requester || !tx_[u].active)
-            continue;
-        bool conflicts = is_write
-            ? (tx_[u].readLines.count(line) ||
-               tx_[u].writeLines.count(line))
-            : tx_[u].writeLines.count(line) > 0;
-        if (conflicts) {
-            abortVictim(u, line);
-            victims.push_back(u);
-        }
-    }
-}
-
-void
 HtmEngine::accessDirectory(uint64_t line, bool is_write, TxState *self,
                            bool self_tx, AccessResult &result)
 {
@@ -226,8 +210,8 @@ HtmEngine::accessDirectory(uint64_t line, bool is_write, TxState *self,
     }
 
     // Requester-wins: every other transaction holding the line in a
-    // conflicting mode aborts. One bitmask intersection replaces the
-    // legacy per-thread scan.
+    // conflicting mode aborts. One bitmask intersection, O(1) in the
+    // number of open transactions.
     if (e && inFlight_ > (self_tx ? 1u : 0u)) {
         uint64_t mask = is_write ? (e->readers | e->writers)
                                  : e->writers;
@@ -236,7 +220,7 @@ HtmEngine::accessDirectory(uint64_t line, bool is_write, TxState *self,
             for (uint64_t m = mask; m; m &= m - 1)
                 result.victims.push_back(
                     slotTid_[std::countr_zero(m)]);
-            // Ascending tid order, matching the legacy scan exactly.
+            // Deterministic ascending tid order.
             std::sort(result.victims.begin(), result.victims.end());
             for (Tid u : result.victims)
                 abortVictim(u, line);
@@ -265,69 +249,21 @@ HtmEngine::accessDirectory(uint64_t line, bool is_write, TxState *self,
 }
 
 void
-HtmEngine::accessLegacy(Tid t, uint64_t line, bool is_write,
-                        TxState *self, bool self_tx,
-                        AccessResult &result)
-{
-    if (self_tx) {
-        // Capacity is checked before the request is issued: an
-        // overflowing transaction dies without disturbing others.
-        if (is_write && !self->writeLines.count(line)) {
-            uint32_t set = static_cast<uint32_t>(line) &
-                           (cfg_.l1Sets - 1);
-            if (occupancyOf(*self, set) + 1u > effectiveWays()) {
-                abortTx(t, kAbortCapacity);
-                result.selfCapacity = true;
-                return;
-            }
-        }
-        if (!is_write && !self->readLines.count(line) &&
-            self->readLines.size() + 1 > cfg_.readSetMaxLines) {
-            abortTx(t, kAbortCapacity);
-            result.selfCapacity = true;
-            return;
-        }
-    }
-
-    // The early-out in access() covers the zero-in-flight case; the
-    // requester-only case still skips the whole scan here.
-    if (inFlight_ > (self_tx ? 1u : 0u))
-        collectVictims(t, line, is_write, result.victims);
-
-    if (self_tx) {
-        if (is_write) {
-            if (self->writeLines.insert(line).second) {
-                uint32_t set = static_cast<uint32_t>(line) &
-                               (cfg_.l1Sets - 1);
-                bumpOccupancy(*self, set);
-            }
-        } else {
-            self->readLines.insert(line);
-        }
-    }
-}
-
-void
 HtmEngine::release(TxState &s)
 {
     --inFlight_;
-    if (useDirectory_) {
-        slotsUsed_ &= ~(uint64_t{1} << s.slot);
-        if (inFlight_ == 0) {
-            // Last transaction out: drop the whole directory with one
-            // epoch bump instead of walking the line list.
-            dir_.bulkClear();
-        } else {
-            for (uint64_t line : s.lines)
-                dir_.clearSlot(line, s.slot);
-        }
-        s.lines.clear();
-        s.readLineCount = 0;
-        s.writeLineCount = 0;
+    slotsUsed_ &= ~(uint64_t{1} << s.slot);
+    if (inFlight_ == 0) {
+        // Last transaction out: drop the whole directory with one
+        // epoch bump instead of walking the line list.
+        dir_.bulkClear();
     } else {
-        s.readLines.clear();
-        s.writeLines.clear();
+        for (uint64_t line : s.lines)
+            dir_.clearSlot(line, s.slot);
     }
+    s.lines.clear();
+    s.readLineCount = 0;
+    s.writeLineCount = 0;
     if (cfg_.trackInstructions)
         s.lineInstr.clear();
 }
@@ -407,18 +343,14 @@ size_t
 HtmEngine::readSetLines(Tid t) const
 {
     const TxState *s = stateIfAny(t);
-    if (!s || !s->active)
-        return 0;
-    return useDirectory_ ? s->readLineCount : s->readLines.size();
+    return s && s->active ? s->readLineCount : 0;
 }
 
 size_t
 HtmEngine::writeSetLines(Tid t) const
 {
     const TxState *s = stateIfAny(t);
-    if (!s || !s->active)
-        return 0;
-    return useDirectory_ ? s->writeLineCount : s->writeLines.size();
+    return s && s->active ? s->writeLineCount : 0;
 }
 
 } // namespace txrace::htm

@@ -25,15 +25,22 @@
  * write buffering lives in the interpreter's transactional store
  * queue).
  *
- * Two conflict engines implement the same semantics:
- *  - ConflictEngine::Directory (default): a reverse line directory —
- *    one open-addressing table mapping cache line -> reader/writer
- *    slot bitmasks — answers every access with a single probe and a
- *    bitmask intersection, O(1) in the number of open transactions.
- *  - ConflictEngine::LegacyScan: the original per-thread line-set
- *    scan, O(threads) hash probes per access. Kept for one PR as the
- *    differential-testing oracle (tests/htm/test_htm_differential)
- *    and as the bench_micro baseline.
+ * Conflict detection runs on a reverse line directory — one
+ * open-addressing table mapping cache line -> reader/writer slot
+ * bitmasks — answering every access with a single probe and a bitmask
+ * intersection, O(1) in the number of open transactions. (The
+ * original per-thread line-set scan survived PR 3 for one PR as the
+ * differential-testing oracle and was removed once the directory
+ * property/differential suite took over that role.)
+ *
+ * On top of the directory sits a per-transaction owned-line filter: a
+ * small direct-mapped cache of lines the transaction already holds in
+ * the required mode. A hit skips the probe entirely — while a
+ * transaction holds a line, requester-wins guarantees no conflicting
+ * remote holder can coexist (acquiring the line would have aborted
+ * one side), so the probe, victim collection, capacity check, and set
+ * update are all provably no-ops. Invalidated wholesale by the
+ * occupancy-epoch bump at begin(); never allocates.
  */
 
 #ifndef TXRACE_HTM_HTM_HH
@@ -42,7 +49,6 @@
 #include <array>
 #include <cstdint>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "htm/abort.hh"
@@ -61,7 +67,11 @@ using ir::Addr;
 enum class ConflictEngine : uint8_t {
     /** Reverse line directory; O(1) per access. */
     Directory,
-    /** Per-thread line-set scan; O(threads) per access. Oracle. */
+    /** Retired: the per-thread line-set scan oracle, deleted after
+     *  serving as the directory's differential baseline. Selecting it
+     *  is a configuration error (HtmEngine's constructor fatal()s)
+     *  kept as an enumerator so old configs fail loudly instead of
+     *  silently meaning something else. */
     LegacyScan,
 };
 
@@ -95,11 +105,22 @@ struct HtmConfig
      */
     bool trackInstructions = false;
     /**
-     * Conflict-detection engine. Directory requires maxConcurrentTx
-     * <= 64 (one bitmask bit per in-flight transaction); larger
-     * configurations silently fall back to the legacy scan.
+     * Conflict-detection engine. Only Directory is implemented; it
+     * requires maxConcurrentTx <= 64 (one bitmask bit per in-flight
+     * transaction) and the constructor fatal()s on anything else —
+     * there is no silent fallback.
      */
     ConflictEngine engine = ConflictEngine::Directory;
+    /**
+     * Per-transaction owned-line filter: skip the directory probe for
+     * repeat accesses to a line the transaction already holds in the
+     * required mode (read hits need the line read-held, write hits
+     * write-held — a read of a merely write-held line still probes,
+     * because it charges the read-set capacity bound). Behavior-
+     * identical to probing by the requester-wins invariant; off only
+     * for ablation (txrace_run --no-elide) and differential tests.
+     */
+    bool accessFilter = true;
 };
 
 /**
@@ -115,6 +136,11 @@ struct HtmCounters
     uint64_t abortsCapacity = 0;
     uint64_t abortsUnknown = 0;
     uint64_t abortsOther = 0;
+    /** Accesses answered by the owned-line filter (probe skipped).
+     *  Exported as htm.dir.filter_hit by the machine's run-end
+     *  telemetry transfer, NOT by stats() — the driver merges both
+     *  stats() and the machine export, and StatSet::merge sums. */
+    uint64_t filterHits = 0;
 };
 
 /** Outcome of routing one memory access through the HTM. */
@@ -220,15 +246,13 @@ class HtmEngine
     /** Raw engine counters (begins, commits, aborts by cause). */
     const HtmCounters &counters() const { return counters_; }
 
-    /** True when the reverse-directory engine is active. */
-    bool usesDirectory() const { return useDirectory_; }
+    /** True when the reverse-directory engine is active (always, now
+     *  that the legacy scan oracle is gone; kept for call sites that
+     *  gate on engine kind). */
+    bool usesDirectory() const { return true; }
 
-    /** The directory, for telemetry export and tests (nullptr when
-     *  the legacy scan engine is active). */
-    const LineDirectory *lineDirectory() const
-    {
-        return useDirectory_ ? &dir_ : nullptr;
-    }
+    /** The directory, for telemetry export and tests. */
+    const LineDirectory *lineDirectory() const { return &dir_; }
 
     /** String-keyed view of counters() under the htm.* names
      *  (compatibility surface for dumps and tests; zero-valued
@@ -240,13 +264,7 @@ class HtmEngine
     {
         bool active = false;
 
-        /** @name Legacy scan engine representation */
-        /** @{ */
-        std::unordered_set<uint64_t> readLines;
-        std::unordered_set<uint64_t> writeLines;
-        /** @} */
-
-        /** @name Directory engine representation */
+        /** @name Directory representation */
         /** @{ */
         /** Directory bitmask bit index while active. */
         uint32_t slot = 0;
@@ -255,6 +273,20 @@ class HtmEngine
         std::vector<uint64_t> lines;
         uint32_t readLineCount = 0;
         uint32_t writeLineCount = 0;
+        /** @} */
+
+        /** @name Owned-line filter (direct-mapped, occEpoch-stamped)
+         * Entries are valid only when their stamp equals the current
+         * occupancy epoch, so begin() invalidates the whole filter
+         * with the same epoch bump that resets the occupancy table —
+         * no per-begin clearing, no allocation, ever. */
+        /** @{ */
+        static constexpr uint32_t kFilterSize = 16;
+        static constexpr uint8_t kFilterRead = 1;
+        static constexpr uint8_t kFilterWrite = 2;
+        std::array<uint64_t, kFilterSize> filterLine{};
+        std::array<uint32_t, kFilterSize> filterStamp{};
+        std::array<uint8_t, kFilterSize> filterMode{};
         /** @} */
 
         /** @name Epoch-stamped per-set write occupancy (both engines)
@@ -277,19 +309,9 @@ class HtmEngine
     TxState &state(Tid t);
     const TxState *stateIfAny(Tid t) const;
 
-    /** Collect and mark-aborted all conflicting victim transactions
-     *  (legacy scan engine). */
-    void collectVictims(Tid requester, uint64_t line, bool is_write,
-                        std::vector<Tid> &victims);
-
-    /** Directory-engine access body (probe + bitmask intersection). */
+    /** Directory access body (probe + bitmask intersection). */
     void accessDirectory(uint64_t line, bool is_write, TxState *self,
                          bool self_tx, AccessResult &result);
-
-    /** Legacy-engine access body (per-thread set scan). */
-    void accessLegacy(Tid t, uint64_t line, bool is_write,
-                      TxState *self, bool self_tx,
-                      AccessResult &result);
 
     /** Mark one conflict victim aborted and record the blame line. */
     void abortVictim(Tid u, uint64_t line);
@@ -326,7 +348,7 @@ class HtmEngine
     }
 
     HtmConfig cfg_;
-    bool useDirectory_;
+    bool filterEnabled_;
     Rng rng_;
     std::vector<TxState> tx_;
     LineDirectory dir_;
@@ -353,10 +375,40 @@ HtmEngine::access(Tid t, Addr addr, bool is_write)
     if (!self_tx && inFlight_ == 0)
         return result;
 
-    if (useDirectory_)
-        accessDirectory(line, is_write, self, self_tx, result);
-    else
-        accessLegacy(t, line, is_write, self, self_tx, result);
+    // Owned-line filter: while this transaction holds `line` in the
+    // required mode, requester-wins guarantees no conflicting remote
+    // holder exists and the directory entry already carries our bit,
+    // so the probe would change nothing. Read hits require the line
+    // read-held (a read of a write-held line still probes: the full
+    // path charges it against the read-set capacity bound).
+    if (self_tx && filterEnabled_) {
+        const uint32_t idx = line & (TxState::kFilterSize - 1);
+        if (self->filterStamp[idx] == self->occEpoch &&
+            self->filterLine[idx] == line &&
+            (self->filterMode[idx] &
+             (is_write ? TxState::kFilterWrite : TxState::kFilterRead))) {
+            ++counters_.filterHits;
+            return result;
+        }
+    }
+
+    accessDirectory(line, is_write, self, self_tx, result);
+
+    // Record the now-held mode — only if the transaction survived the
+    // access (a selfCapacity abort clears `active` inside the call).
+    if (self_tx && filterEnabled_ && self->active) {
+        const uint32_t idx = line & (TxState::kFilterSize - 1);
+        const uint8_t mode =
+            is_write ? TxState::kFilterWrite : TxState::kFilterRead;
+        if (self->filterStamp[idx] == self->occEpoch &&
+            self->filterLine[idx] == line) {
+            self->filterMode[idx] |= mode;
+        } else {
+            self->filterStamp[idx] = self->occEpoch;
+            self->filterLine[idx] = line;
+            self->filterMode[idx] = mode;
+        }
+    }
     return result;
 }
 

@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Static access-elision pipeline (the reproduction of the
+ * "Compiling Away the Overhead of Race Detection" / HardRace idea the
+ * paper's §7 points at: most dynamic checks are statically redundant).
+ *
+ * Three passes, all running AFTER transactionalize() and all only
+ * clearing `instrumented` bits — never inserting, removing, or
+ * reordering instructions. That discipline is what keeps an elided
+ * and a non-elided build schedule-identical (same step counts, same
+ * RNG draws, same transaction boundaries), so the differential
+ * soundness test can assert byte-identical race-fingerprint sets.
+ *
+ * 1. Dominance elision. Within one *elision segment* — a maximal run
+ *    of instructions free of synchronization, system calls, loop
+ *    boundaries, loop cuts, and transaction markers — a second access
+ *    with the same address expression, opcode, and source tag is
+ *    redundant: the surviving first access (the representative)
+ *    executes at the same vector-clock epoch and therefore records
+ *    exactly the same race pairs, and slow-path episodes always
+ *    re-execute from a segment boundary (TxBegin and LoopCut both
+ *    snapshot at boundary positions), so the representative is never
+ *    skipped. Elided accesses carry `elisionRep` pointing at their
+ *    representative; its fingerprint (func|op|tag) equals theirs, so
+ *    the report the developer sees is unchanged.
+ *
+ * 2. Read-after-write downgrade. A load dominated by a *store* to the
+ *    same address in the same segment adds no new racy location: the
+ *    store's shadow-cell write entry is checked by every subsequent
+ *    conflicting access at the same epoch. The racing *endpoint* can
+ *    move from the load to the store (the opcode differs), so unlike
+ *    pass 1 this is not fingerprint-identical by construction; it is
+ *    validated empirically by the differential test across every
+ *    registry workload and seed.
+ *
+ * 3. Thread-disjointness (extended escape/privatization). The
+ *    simulator evaluates `addr = base + threadStride*tid +
+ *    loopStride*loopIdx + randomStride*uniform`, so an access's
+ *    dynamic footprint is a per-thread interval. If every access
+ *    whose global footprint can overlap lives in the same
+ *    "slot family" — common thread stride ts (granule-aligned), each
+ *    member's in-slot extent contained in one slot, all members in
+ *    the same slot phase — then two different threads can never touch
+ *    a common granule, under any schedule, so no member can ever
+ *    race and all of them can be elided outright (no representative
+ *    needed). This generalizes privatize.cc beyond declared ranges.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "mem/layout.hh"
+#include "passes/passes.hh"
+#include "support/log.hh"
+
+namespace txrace::passes {
+
+using ir::AddrExpr;
+using ir::Instruction;
+using ir::OpCode;
+using ir::Program;
+
+namespace {
+
+/** Opcodes that end an elision segment. Everything the runtime can
+ *  resume, re-execute, or synchronize at is a boundary; Compute and
+ *  Nop are transparent. */
+bool
+isSegmentBoundary(OpCode op)
+{
+    switch (op) {
+      case OpCode::Syscall:
+      case OpCode::LoopBegin:
+      case OpCode::LoopEnd:
+      case OpCode::LoopCut:
+      case OpCode::TxBegin:
+      case OpCode::TxEnd:
+        return true;
+      default:
+        return ir::isSyncOp(op);
+    }
+}
+
+/** Straight-line dominance + read-after-write downgrade over one
+ *  function. Returns via @p stats. */
+void
+elideDominated(ir::Function &fn, const ElideConfig &cfg,
+               ElisionStats &stats, uint64_t &fn_elided)
+{
+    struct Rep
+    {
+        const AddrExpr *addr;
+        OpCode op;
+        const std::string *tag;
+        ir::InstrId id;
+    };
+    std::vector<Rep> window;
+
+    for (Instruction &ins : fn.body) {
+        if (isSegmentBoundary(ins.op)) {
+            window.clear();
+            continue;
+        }
+        if (!ir::isMemAccess(ins.op) || !ins.instrumented)
+            continue;
+        // A random address component makes the dynamic address differ
+        // between executions of the same static instruction: such an
+        // access can neither be dominated nor dominate.
+        if (ins.addr.randomCount != 0)
+            continue;
+
+        const Rep *same_op = nullptr;
+        const Rep *store_rep = nullptr;
+        for (const Rep &r : window) {
+            if (!(*r.addr == ins.addr))
+                continue;
+            // Same-op dominance demands an equal tag: the survivor
+            // must be the same report endpoint. The store behind a
+            // RAW downgrade need not share the load's tag — the
+            // endpoint moves to the store by design.
+            if (r.op == ins.op && *r.tag == ins.tag) {
+                same_op = &r;
+                break;
+            }
+            if (r.op == OpCode::Store)
+                store_rep = &r;
+        }
+
+        if (cfg.dominance && same_op) {
+            ins.instrumented = false;
+            ins.elisionRep = same_op->id;
+            ++stats.dominated;
+            ++fn_elided;
+            continue;
+        }
+        if (cfg.rawDowngrade && ins.op == OpCode::Load && store_rep) {
+            ins.instrumented = false;
+            ins.elisionRep = store_rep->id;
+            ++stats.rawDowngraded;
+            ++fn_elided;
+            continue;
+        }
+        window.push_back({&ins.addr, ins.op, &ins.tag, ins.id});
+    }
+}
+
+/** One instrumented access with its footprint summary. */
+struct Footprint
+{
+    ir::FuncId func = 0;
+    uint32_t pc = 0;
+    /** threadStride. */
+    uint64_t ts = 0;
+    uint64_t base = 0;
+    /** Max byte offset beyond base + ts*tid (loop + random extent). */
+    uint64_t span = 0;
+    /** Whole-program footprint interval [lo, hi], inclusive. */
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+    /** False when the extent could not be bounded (unknown loop
+     *  nesting); such an access blocks its whole overlap group. */
+    bool analyzable = true;
+};
+
+/**
+ * Upper bound on simulated thread ids: 1 (root) + every ThreadCreate,
+ * with creations inside loops multiplied by the loops' maximum trip
+ * counts. Returns 0 when no sound bound exists (thread creation
+ * outside the entry function, or absurd loop products), which
+ * disables the privatization pass.
+ */
+uint64_t
+maxThreadBound(const Program &prog)
+{
+    constexpr uint64_t kCap = 1u << 20;
+    for (ir::FuncId f = 0; f < prog.numFunctions(); ++f) {
+        if (f == prog.entry())
+            continue;
+        for (const Instruction &ins : prog.function(f).body)
+            if (ins.op == OpCode::ThreadCreate)
+                return 0;  // transitive spawning: no easy bound
+    }
+    uint64_t total = 1;
+    uint64_t mult = 1;
+    std::vector<uint64_t> mult_stack;
+    for (const Instruction &ins :
+         prog.function(prog.entry()).body) {
+        if (ins.op == OpCode::LoopBegin) {
+            mult_stack.push_back(mult);
+            uint64_t trips = ins.arg0 + ins.arg1;
+            if (trips == 0)
+                trips = 1;
+            if (mult > kCap / trips)
+                return 0;
+            mult *= trips;
+        } else if (ins.op == OpCode::LoopEnd) {
+            mult = mult_stack.back();
+            mult_stack.pop_back();
+        } else if (ins.op == OpCode::ThreadCreate) {
+            total += mult;
+            if (total > kCap)
+                return 0;
+        }
+    }
+    return total;
+}
+
+/**
+ * Thread-disjointness elision. Collects the footprint of every still-
+ * instrumented access, groups accesses whose global footprints can
+ * overlap, and elides every member of a group proven per-thread
+ * disjoint (see file comment). Sound regardless of schedule: the
+ * detector can never pair two different threads on a common granule
+ * of such a group, so removing the checks removes no race.
+ */
+void
+elidePrivate(Program &prog, ElisionStats &stats,
+             std::vector<uint64_t> &fn_elided)
+{
+    const uint64_t max_threads = maxThreadBound(prog);
+    if (max_threads == 0)
+        return;
+
+    std::vector<Footprint> fps;
+    for (ir::FuncId f = 0; f < prog.numFunctions(); ++f) {
+        const ir::Function &fn = prog.function(f);
+        // Static stack of enclosing LoopBegin pcs while scanning.
+        std::vector<uint32_t> loop_stack;
+        for (uint32_t pc = 0; pc < fn.body.size(); ++pc) {
+            const Instruction &ins = fn.body[pc];
+            if (ins.op == OpCode::LoopBegin) {
+                loop_stack.push_back(pc);
+                continue;
+            }
+            if (ins.op == OpCode::LoopEnd) {
+                loop_stack.pop_back();
+                continue;
+            }
+            if (!ir::isMemAccess(ins.op) || !ins.instrumented)
+                continue;
+
+            Footprint fp;
+            fp.func = f;
+            fp.pc = pc;
+            fp.ts = ins.addr.threadStride;
+            fp.base = ins.addr.base;
+            uint64_t span = 0;
+            if (ins.addr.loopStride != 0) {
+                if (ins.addr.loopDepth >= loop_stack.size()) {
+                    fp.analyzable = false;
+                } else {
+                    const Instruction &loop =
+                        fn.body[loop_stack[loop_stack.size() - 1 -
+                                           ins.addr.loopDepth]];
+                    uint64_t max_idx = loop.arg0 + loop.arg1;
+                    max_idx = max_idx > 0 ? max_idx - 1 : 0;
+                    span += ins.addr.loopStride * max_idx;
+                }
+            }
+            if (ins.addr.randomCount > 0)
+                span += ins.addr.randomStride *
+                        (ins.addr.randomCount - 1);
+            fp.span = span;
+            if (fp.analyzable) {
+                fp.lo = fp.base;
+                fp.hi = fp.base + span + mem::kGranuleSize - 1 +
+                        (fp.ts > 0 ? fp.ts * (max_threads - 1) : 0);
+            } else {
+                fp.lo = 0;
+                fp.hi = ~0ull;
+            }
+            fps.push_back(fp);
+        }
+    }
+    if (fps.empty())
+        return;
+
+    std::sort(fps.begin(), fps.end(),
+              [](const Footprint &a, const Footprint &b) {
+                  return a.lo < b.lo;
+              });
+
+    // Sweep: maximal groups of transitively overlapping intervals.
+    size_t group_start = 0;
+    uint64_t group_hi = fps[0].hi;
+    auto flush = [&](size_t end) {
+        // Safe iff all members form one slot family: common
+        // granule-aligned thread stride, each member's in-slot extent
+        // contained in a single slot, and a common slot phase (equal
+        // base/ts), so thread t only ever touches slot block t+q.
+        const uint64_t ts = fps[group_start].ts;
+        bool safe = ts > 0 && ts % mem::kGranuleSize == 0;
+        uint64_t q0 = safe ? fps[group_start].base / ts : 0;
+        for (size_t i = group_start; safe && i < end; ++i) {
+            const Footprint &fp = fps[i];
+            safe = fp.analyzable && fp.ts == ts &&
+                   fp.base / ts == q0 &&
+                   fp.base % ts + fp.span + mem::kGranuleSize <= ts;
+        }
+        if (!safe)
+            return;
+        for (size_t i = group_start; i < end; ++i) {
+            Instruction &ins = prog.function(fps[i].func)
+                                   .body[fps[i].pc];
+            ins.instrumented = false;
+            ++stats.privatized;
+            ++fn_elided[fps[i].func];
+        }
+    };
+    for (size_t i = 1; i < fps.size(); ++i) {
+        if (fps[i].lo > group_hi) {
+            flush(i);
+            group_start = i;
+            group_hi = fps[i].hi;
+        } else {
+            group_hi = std::max(group_hi, fps[i].hi);
+        }
+    }
+    flush(fps.size());
+}
+
+} // namespace
+
+ElisionStats
+elide(Program &prog, const ElideConfig &cfg)
+{
+    ElisionStats stats;
+    if (!cfg.enabled)
+        return stats;
+    if (!prog.finalized())
+        fatal("elide: program not finalized");
+
+    std::vector<uint64_t> fn_elided(prog.numFunctions(), 0);
+    for (ir::FuncId f = 0; f < prog.numFunctions(); ++f) {
+        ir::Function &fn = prog.function(f);
+        for (const Instruction &ins : fn.body)
+            if (ir::isMemAccess(ins.op) && ins.instrumented)
+                ++stats.candidates;
+        if (cfg.dominance || cfg.rawDowngrade)
+            elideDominated(fn, cfg, stats, fn_elided[f]);
+    }
+    if (cfg.privatize)
+        elidePrivate(prog, stats, fn_elided);
+
+    for (ir::FuncId f = 0; f < prog.numFunctions(); ++f)
+        if (fn_elided[f] > 0)
+            stats.perFunction.emplace_back(prog.function(f).name,
+                                           fn_elided[f]);
+    return stats;
+}
+
+} // namespace txrace::passes

@@ -31,9 +31,45 @@
 #ifndef TXRACE_PASSES_PASSES_HH
 #define TXRACE_PASSES_PASSES_HH
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "ir/program.hh"
 
 namespace txrace::passes {
+
+/**
+ * Tunables of the static elision pipeline (passes/elide.cc). All
+ * elision passes run strictly after transactionalize() and only clear
+ * `instrumented` bits: the instruction stream, region boundaries, and
+ * every RNG draw are identical with elision on and off, which is what
+ * makes the soundness contract ("elision never changes which races
+ * are reported") checkable by a bitwise differential test.
+ */
+struct ElideConfig
+{
+    /** Master switch (txrace_run --no-elide clears it). */
+    bool enabled = true;
+    /** Straight-line dominance elision: a second access with the same
+     *  address expression, opcode, and tag inside one sync-free
+     *  segment is redundant — the surviving first access reaches the
+     *  detector in the same epoch and reproduces every race pair. */
+    bool dominance = true;
+    /** Read-after-write downgrade: a load dominated by a store to the
+     *  same address in the same segment. Any race with the load is
+     *  also a race with the store on the same variable, but the
+     *  reported endpoint moves to the store, so this is validated
+     *  empirically by the differential test rather than proven
+     *  fingerprint-identical. */
+    bool rawDowngrade = true;
+    /** Extended escape/privatization: elide accesses whose per-thread
+     *  footprints are provably disjoint across threads (granule-
+     *  aligned per-slot containment) and that share no granule with
+     *  any other instrumented access. Such accesses cannot race under
+     *  any schedule. */
+    bool privatize = true;
+};
 
 /** Tunables of the instrumentation pipeline. */
 struct PassConfig
@@ -45,6 +81,29 @@ struct PassConfig
     bool insertLoopCuts = true;
     /** Drop transactions around uninstrumented regions. */
     bool removeUninstrumented = true;
+    /** Static access-elision pipeline (TxRace modes only). */
+    ElideConfig elide;
+};
+
+/** What the elision pipeline did, for telemetry (pass.elide.*). */
+struct ElisionStats
+{
+    /** Instrumented memory accesses entering the pipeline. */
+    uint64_t candidates = 0;
+    /** Demoted by straight-line dominance (same expr/op/tag). */
+    uint64_t dominated = 0;
+    /** Loads downgraded behind a dominating same-address store. */
+    uint64_t rawDowngraded = 0;
+    /** Elided as provably thread-disjoint (cannot race). */
+    uint64_t privatized = 0;
+    /** Per-function elided counts, in function order. */
+    std::vector<std::pair<std::string, uint64_t>> perFunction;
+
+    uint64_t
+    elided() const
+    {
+        return dominated + rawDowngraded + privatized;
+    }
 };
 
 /** Clear `instrumented` on accesses inside declared private ranges. */
@@ -54,11 +113,25 @@ void privatize(ir::Program &prog);
  *  refinalized; panics if the post-condition fails. */
 void transactionalize(ir::Program &prog, const PassConfig &cfg = {});
 
-/** Copy @p prog and run the full TxRace pipeline on the copy. */
-ir::Program preparedForTxRace(const ir::Program &prog,
-                              const PassConfig &cfg = {});
+/**
+ * Static elision pipeline: dominance elision, read-after-write
+ * downgrade, and the thread-disjointness (escape/privatization)
+ * analysis, per @p cfg. Must run after transactionalize() — segment
+ * boundaries include the inserted TxBegin/TxEnd/LoopCut markers, so
+ * every slow-path re-execution replays the surviving representative
+ * before any access elided under it. Only `instrumented` bits change.
+ */
+ElisionStats elide(ir::Program &prog, const ElideConfig &cfg = {});
 
-/** Copy @p prog and run only privatize() (TSan baseline build). */
+/** Copy @p prog and run the full TxRace pipeline on the copy.
+ *  @p elision, when non-null, receives the elision statistics. */
+ir::Program preparedForTxRace(const ir::Program &prog,
+                              const PassConfig &cfg = {},
+                              ElisionStats *elision = nullptr);
+
+/** Copy @p prog and run only privatize() (TSan baseline build). The
+ *  elision pipeline is not applied: TSan/Eraser baselines measure the
+ *  paper's unmodified instrumentation. */
 ir::Program preparedForTSan(const ir::Program &prog);
 
 } // namespace txrace::passes

@@ -295,11 +295,20 @@ transactionalize(Program &prog, const PassConfig &cfg)
 }
 
 ir::Program
-preparedForTxRace(const Program &prog, const PassConfig &cfg)
+preparedForTxRace(const Program &prog, const PassConfig &cfg,
+                  ElisionStats *elision)
 {
     Program copy = prog;
     privatize(copy);
     transactionalize(copy, cfg);
+    // Elision runs last, on the final instruction stream: it only
+    // clears `instrumented` bits, so the prepared program is
+    // position-for-position identical with elision on and off (same
+    // ids, same region structure, same RNG consumption) — the
+    // property the differential soundness test rests on.
+    ElisionStats stats = elide(copy, cfg.elide);
+    if (elision)
+        *elision = stats;
     return copy;
 }
 

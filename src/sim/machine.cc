@@ -257,6 +257,11 @@ Machine::run()
         reg.add(reg.counter("htm.dir.rehashes"), ds.rehashes);
         reg.mergeHistogram(reg.histogram("htm.dir.probe_len"),
                            ds.probeLen);
+        // Probe count plus the owned-line filter's skips: together
+        // they show how much directory traffic the filter removed.
+        reg.add(reg.counter("htm.dir.probes"), ds.probeLen.count());
+        reg.add(reg.counter("htm.dir.filter_hit"),
+                htm_.counters().filterHits);
     }
     // Compatibility export: every registry counter/gauge lands in the
     // string-keyed StatSet under its registered name, so harnesses and

@@ -158,35 +158,36 @@ TEST(HtmAllocation, ConflictAbortPathAllocatesOnlyTheVictimList)
     EXPECT_LE(allocs, 400u) << "conflict abort internals are churning";
 }
 
-TEST(HtmAllocation, LegacyEngineChurnsAsDocumented)
+TEST(HtmAllocation, FilterHitPathIsHeapFree)
 {
-    // Not a requirement — a characterization: the legacy scan engine
-    // allocates per transaction (hash-set nodes), which is exactly the
-    // churn the directory removes. If this ever reads 0 the oracle
-    // engine changed and the directory comparison in BENCH files needs
-    // re-baselining.
+    // Repeat accesses to held lines are answered by the owned-line
+    // filter; the filter is fixed arrays in TxState, so a hit must
+    // not allocate — and neither may its occEpoch-based invalidation
+    // across begin/commit rounds.
     HtmConfig cfg;
-    cfg.engine = ConflictEngine::LegacyScan;
     HtmEngine h(cfg);
-    ASSERT_FALSE(h.usesDirectory());
+    ASSERT_TRUE(cfg.accessFilter);
 
     auto oneRound = [&] {
         for (Tid t = 0; t < 4; ++t)
             h.begin(t);
-        for (Tid t = 0; t < 4; ++t)
-            for (int l = 0; l < 16; ++l)
-                h.access(t, (t + 1) * 0x10000 + l * mem::kLineSize,
-                         false);
+        for (int rep = 0; rep < 8; ++rep)
+            for (Tid t = 0; t < 4; ++t)
+                for (int l = 0; l < 4; ++l)
+                    h.access(t, (t + 1) * 0x10000 + l * mem::kLineSize,
+                             rep % 2 == 0);
         for (Tid t = 0; t < 4; ++t)
             h.commit(t);
     };
     for (int i = 0; i < 3; ++i)
         oneRound();
+    const uint64_t hitsBefore = h.counters().filterHits;
 
-    EXPECT_GT(allocationsDuring([&] {
+    EXPECT_EQ(allocationsDuring([&] {
         for (int i = 0; i < 100; ++i)
             oneRound();
-    }), 0u);
+    }), 0u) << "filter hit path must not allocate";
+    EXPECT_GT(h.counters().filterHits, hitsBefore);
 }
 
 } // namespace

@@ -188,19 +188,21 @@ TEST(HtmDirectoryEngine, LastTxOutClearsViaEpochNotWalk)
     EXPECT_EQ(d->stats().epochClears, 2u);
 }
 
-TEST(HtmDirectoryEngine, FallsBackToLegacyAboveSlotLimit)
+TEST(HtmDirectoryEngine, RejectsConfigsBeyondSlotLimit)
+{
+    // More in-flight transactions than one bitmask can carry used to
+    // fall back to the legacy scan engine silently; with the scan
+    // engine gone, such configs must fail loudly at construction.
+    HtmConfig cfg;
+    cfg.maxConcurrentTx = 65;
+    EXPECT_DEATH(HtmEngine{cfg}, "maxConcurrentTx must be <= 64");
+}
+
+TEST(HtmDirectoryEngine, RejectsRetiredLegacyScanEnum)
 {
     HtmConfig cfg;
-    cfg.maxConcurrentTx = 65;  // more than one bitmask can carry
-    HtmEngine h(cfg);
-    EXPECT_FALSE(h.usesDirectory());
-    EXPECT_EQ(h.lineDirectory(), nullptr);
-    // Semantics are intact on the fallback path.
-    h.begin(0);
-    h.access(0, 0x100, false);
-    auto res = h.access(1, 0x100, true);
-    ASSERT_EQ(res.victims.size(), 1u);
-    EXPECT_EQ(res.victims[0], 0u);
+    cfg.engine = ConflictEngine::LegacyScan;
+    EXPECT_DEATH(HtmEngine{cfg}, "LegacyScan engine was removed");
 }
 
 TEST(HtmDirectoryEngine, ResetDropsDirectoryState)

@@ -1,0 +1,372 @@
+/**
+ * @file
+ * Unit tests for the static access-elision pipeline (passes/elide.cc):
+ * dominance elision with its segment boundaries, read-after-write
+ * downgrade, the thread-disjointness (privatization) analysis with its
+ * slot-family safety conditions, elision statistics, and the
+ * structural guarantee underpinning the soundness contract — elision
+ * only ever clears `instrumented` bits, it never changes the
+ * instruction stream.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ir/builder.hh"
+#include "mem/layout.hh"
+#include "passes/passes.hh"
+#include "workloads/workloads.hh"
+
+using namespace txrace;
+using namespace txrace::ir;
+using namespace txrace::passes;
+
+namespace {
+
+/** The instruction carrying @p tag (asserts it is unique). */
+const Instruction &
+byTag(const Program &p, const std::string &tag)
+{
+    const Instruction *found = nullptr;
+    for (FuncId f = 0; f < p.numFunctions(); ++f) {
+        for (const Instruction &ins : p.function(f).body) {
+            if (ins.tag == tag) {
+                EXPECT_EQ(found, nullptr) << "duplicate tag " << tag;
+                found = &ins;
+            }
+        }
+    }
+    EXPECT_NE(found, nullptr) << "tag not found: " << tag;
+    return *found;
+}
+
+} // namespace
+
+TEST(Elide, DominanceElidesRepeatedAccess)
+{
+    ProgramBuilder b;
+    Addr x = b.alloc("x", 64);
+    b.beginFunction("main");
+    b.load(AddrExpr::absolute(x), "first");
+    b.compute(1);
+    b.load(AddrExpr::absolute(x), "first");  // same expr, op, tag
+    b.endFunction();
+    Program p = b.build();
+
+    ElisionStats stats = elide(p);
+    EXPECT_EQ(stats.dominated, 1u);
+    EXPECT_EQ(stats.candidates, 2u);
+    EXPECT_EQ(stats.elided(), 1u);
+
+    const auto &body = p.function(0).body;
+    EXPECT_TRUE(body[0].instrumented);
+    EXPECT_FALSE(body[2].instrumented);
+    // The elided access points at its surviving representative so the
+    // slow path can attribute races to it.
+    EXPECT_EQ(body[2].elisionRep, body[0].id);
+}
+
+TEST(Elide, DifferentTagIsNotDominated)
+{
+    // Distinct source tags are distinct report endpoints: eliding one
+    // under the other would change what the developer sees.
+    ProgramBuilder b;
+    Addr x = b.alloc("x", 64);
+    b.beginFunction("main");
+    b.load(AddrExpr::absolute(x), "site A");
+    b.load(AddrExpr::absolute(x), "site B");
+    b.endFunction();
+    Program p = b.build();
+    ElisionStats stats = elide(p);
+    EXPECT_EQ(stats.dominated, 0u);
+}
+
+TEST(Elide, BoundariesResetTheDominanceWindow)
+{
+    // Sync ops, syscalls, and loop edges end an elision segment: the
+    // repeated access after each boundary executes at a different
+    // epoch (or in a different slow-path episode) and must stay
+    // instrumented.
+    ProgramBuilder b;
+    Addr x = b.alloc("x", 64);
+    b.beginFunction("main");
+    b.load(AddrExpr::absolute(x), "a");
+    b.syscall(1);
+    b.load(AddrExpr::absolute(x), "a");
+    b.lock(0);
+    b.load(AddrExpr::absolute(x), "a");
+    b.unlock(0);
+    b.loop(3, [&] { b.load(AddrExpr::absolute(x), "a"); });
+    b.endFunction();
+    Program p = b.build();
+    ElisionStats stats = elide(p);
+    EXPECT_EQ(stats.dominated, 0u);
+}
+
+TEST(Elide, RandomAddressesNeverParticipate)
+{
+    // A randomized address expression resolves differently on every
+    // execution of the same static instruction: it can neither be
+    // dominated nor serve as a representative.
+    ProgramBuilder b;
+    Addr t = b.alloc("t", 1024);
+    b.beginFunction("main");
+    b.load(AddrExpr::randomIn(t, 16, 8), "r");
+    b.load(AddrExpr::randomIn(t, 16, 8), "r");
+    b.endFunction();
+    Program p = b.build();
+    ElisionStats stats = elide(p);
+    EXPECT_EQ(stats.dominated, 0u);
+    EXPECT_EQ(stats.rawDowngraded, 0u);
+}
+
+TEST(Elide, RawDowngradeElidesLoadBehindStore)
+{
+    ProgramBuilder b;
+    Addr x = b.alloc("x", 64);
+    b.beginFunction("main");
+    b.store(AddrExpr::absolute(x), "the store");
+    b.load(AddrExpr::absolute(x), "the load");
+    b.endFunction();
+    Program p = b.build();
+
+    ElisionStats stats = elide(p);
+    EXPECT_EQ(stats.rawDowngraded, 1u);
+    EXPECT_EQ(byTag(p, "the store").instrumented, true);
+    EXPECT_FALSE(byTag(p, "the load").instrumented);
+    EXPECT_EQ(byTag(p, "the load").elisionRep,
+              byTag(p, "the store").id);
+}
+
+TEST(Elide, RawDowngradeRespectsItsSwitch)
+{
+    ProgramBuilder b;
+    Addr x = b.alloc("x", 64);
+    b.beginFunction("main");
+    b.store(AddrExpr::absolute(x), "s");
+    b.load(AddrExpr::absolute(x), "l");
+    b.endFunction();
+    Program p = b.build();
+    ElideConfig cfg;
+    cfg.rawDowngrade = false;
+    ElisionStats stats = elide(p, cfg);
+    EXPECT_EQ(stats.rawDowngraded, 0u);
+    EXPECT_TRUE(byTag(p, "l").instrumented);
+}
+
+TEST(Elide, StoreAfterLoadIsNotDowngraded)
+{
+    // The reverse direction is not sound: the store creates the write
+    // entry every later conflicting access is checked against.
+    ProgramBuilder b;
+    Addr x = b.alloc("x", 64);
+    b.beginFunction("main");
+    b.load(AddrExpr::absolute(x), "l");
+    b.store(AddrExpr::absolute(x), "s");
+    b.endFunction();
+    Program p = b.build();
+    ElisionStats stats = elide(p);
+    EXPECT_EQ(stats.rawDowngraded, 0u);
+    EXPECT_TRUE(byTag(p, "s").instrumented);
+}
+
+TEST(Elide, PrivatizationElidesDisjointSlotFamily)
+{
+    // Granule-aligned per-thread slots, every access contained in its
+    // own slot: no two threads can ever touch a common granule, so
+    // the whole family is elided outright.
+    ProgramBuilder b;
+    Addr slots = b.alloc("slots", 64, 64);
+    FuncId worker = b.beginFunction("worker");
+    b.store(AddrExpr::perThread(slots, mem::kGranuleSize), "own");
+    b.load(AddrExpr::perThread(slots, mem::kGranuleSize), "own rd");
+    b.endFunction();
+    b.beginFunction("main");
+    b.spawn(worker, 4);
+    b.joinAll();
+    b.endFunction();
+    Program p = b.build();
+
+    // Isolate the pass: with dominance/RAW on, the slot load would be
+    // downgraded behind the slot store before privatization runs.
+    ElideConfig cfg;
+    cfg.dominance = false;
+    cfg.rawDowngrade = false;
+    ElisionStats stats = elide(p, cfg);
+    EXPECT_EQ(stats.privatized, 2u);
+    EXPECT_FALSE(byTag(p, "own").instrumented);
+    EXPECT_FALSE(byTag(p, "own rd").instrumented);
+    // Outright elision, not demotion to a representative.
+    EXPECT_EQ(byTag(p, "own").elisionRep, kNoInstr);
+}
+
+TEST(Elide, PrivatizationBlockedByOverlappingAbsoluteAccess)
+{
+    // An absolute store into the slot range overlaps every thread's
+    // slot; the family is no longer provably disjoint and every
+    // member must stay instrumented.
+    ProgramBuilder b;
+    Addr slots = b.alloc("slots", 64, 64);
+    FuncId worker = b.beginFunction("worker");
+    b.store(AddrExpr::perThread(slots, mem::kGranuleSize), "own");
+    b.store(AddrExpr::absolute(slots + mem::kGranuleSize),
+            "intruder");
+    b.endFunction();
+    b.beginFunction("main");
+    b.spawn(worker, 4);
+    b.joinAll();
+    b.endFunction();
+    Program p = b.build();
+
+    ElisionStats stats = elide(p);
+    EXPECT_EQ(stats.privatized, 0u);
+    EXPECT_TRUE(byTag(p, "own").instrumented);
+    EXPECT_TRUE(byTag(p, "intruder").instrumented);
+}
+
+TEST(Elide, PrivatizationBlockedByUnalignedStride)
+{
+    // A sub-granule stride packs two threads' slots into one granule
+    // (the false-sharing idiom): per-thread footprints share granules
+    // and the detector must keep watching them.
+    ProgramBuilder b;
+    Addr slots = b.alloc("slots", 64, 64);
+    FuncId worker = b.beginFunction("worker");
+    b.store(AddrExpr::perThread(slots, mem::kGranuleSize / 2),
+            "packed");
+    b.endFunction();
+    b.beginFunction("main");
+    b.spawn(worker, 4);
+    b.joinAll();
+    b.endFunction();
+    Program p = b.build();
+
+    ElisionStats stats = elide(p);
+    EXPECT_EQ(stats.privatized, 0u);
+    EXPECT_TRUE(byTag(p, "packed").instrumented);
+}
+
+TEST(Elide, PrivatizationBlockedByTransitiveSpawning)
+{
+    // Thread creation outside the entry function defeats the static
+    // thread bound; without a bound the footprint intervals are
+    // unbounded and the pass must stand down entirely.
+    ProgramBuilder b;
+    Addr slots = b.alloc("slots", 16 * 64, 64);
+    FuncId leaf = b.beginFunction("leaf");
+    b.store(AddrExpr::perThread(slots, mem::kGranuleSize), "own");
+    b.endFunction();
+    b.beginFunction("mid");
+    b.spawn(leaf, 2);
+    b.joinAll();
+    b.endFunction();
+    b.beginFunction("main");
+    b.spawn(1, 2);  // spawns "mid", which spawns again
+    b.joinAll();
+    b.endFunction();
+    Program p = b.build();
+
+    ElisionStats stats = elide(p);
+    EXPECT_EQ(stats.privatized, 0u);
+    EXPECT_TRUE(byTag(p, "own").instrumented);
+}
+
+TEST(Elide, DisabledPipelineIsIdentity)
+{
+    ProgramBuilder b;
+    Addr x = b.alloc("x", 64);
+    b.beginFunction("main");
+    b.store(AddrExpr::absolute(x), "s");
+    b.load(AddrExpr::absolute(x), "l");
+    b.load(AddrExpr::absolute(x), "l");
+    b.endFunction();
+    Program p = b.build();
+    ElideConfig cfg;
+    cfg.enabled = false;
+    ElisionStats stats = elide(p, cfg);
+    EXPECT_EQ(stats.candidates, 0u);
+    EXPECT_EQ(stats.elided(), 0u);
+    for (const Instruction &ins : p.function(0).body)
+        if (isMemAccess(ins.op))
+            EXPECT_TRUE(ins.instrumented);
+}
+
+TEST(Elide, PerFunctionStatsNameTheFunctions)
+{
+    ProgramBuilder b;
+    Addr x = b.alloc("x", 64);
+    FuncId worker = b.beginFunction("worker");
+    b.load(AddrExpr::absolute(x), "w");
+    b.load(AddrExpr::absolute(x), "w");
+    b.endFunction();
+    b.beginFunction("main");
+    b.spawn(worker, 2);
+    b.joinAll();
+    b.load(AddrExpr::absolute(x), "m");
+    b.load(AddrExpr::absolute(x), "m");
+    b.endFunction();
+    Program p = b.build();
+    ElisionStats stats = elide(p);
+    ASSERT_EQ(stats.perFunction.size(), 2u);
+    EXPECT_EQ(stats.perFunction[0].first, "worker");
+    EXPECT_EQ(stats.perFunction[0].second, 1u);
+    EXPECT_EQ(stats.perFunction[1].first, "main");
+    EXPECT_EQ(stats.perFunction[1].second, 1u);
+}
+
+// --- The structural half of the soundness contract ---
+
+class ElideStructure : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ElideStructure, OnlyInstrumentedBitsChange)
+{
+    // preparedForTxRace with and without elision must produce
+    // position-for-position identical instruction streams — same ids,
+    // opcodes, addresses, region structure — differing only in
+    // `instrumented`. This is what makes elided and non-elided runs
+    // schedule-identical (same steps, same RNG draws), which the
+    // behavioral differential test then builds on.
+    workloads::WorkloadParams params;
+    params.calibrate = false;
+    workloads::AppModel app = workloads::makeApp(GetParam(), params);
+
+    PassConfig on;
+    PassConfig off;
+    off.elide.enabled = false;
+    ElisionStats stats;
+    ir::Program with = preparedForTxRace(app.program, on, &stats);
+    ir::Program without = preparedForTxRace(app.program, off);
+
+    ASSERT_EQ(with.numFunctions(), without.numFunctions());
+    uint64_t demoted = 0;
+    for (FuncId f = 0; f < with.numFunctions(); ++f) {
+        const auto &fa = with.function(f).body;
+        const auto &fb = without.function(f).body;
+        ASSERT_EQ(fa.size(), fb.size()) << "function " << f;
+        for (size_t i = 0; i < fa.size(); ++i) {
+            ASSERT_EQ(fa[i].id, fb[i].id);
+            ASSERT_EQ(fa[i].op, fb[i].op);
+            ASSERT_TRUE(fa[i].addr == fb[i].addr);
+            ASSERT_EQ(fa[i].tag, fb[i].tag);
+            // Elision may only clear the bit, never set it.
+            if (fa[i].instrumented)
+                ASSERT_TRUE(fb[i].instrumented);
+            else if (fb[i].instrumented)
+                ++demoted;
+        }
+    }
+    EXPECT_EQ(demoted, stats.elided());
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, ElideStructure,
+                         ::testing::ValuesIn(workloads::appNames()),
+                         [](const auto &info) {
+                             std::string name = info.param;
+                             for (char &c : name)
+                                 if (c == '-')
+                                     c = '_';
+                             return name;
+                         });

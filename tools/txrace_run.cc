@@ -72,6 +72,10 @@ usage()
         "  --fault NAME   inject a named fault scenario\n"
         "  --fault-horizon N  scale episode times to N steps\n"
         "  --governor     enable the adaptive fallback governor\n"
+        "  --no-elide     disable the access-elision stack (static\n"
+        "                 elision passes, the HTM owned-line filter,\n"
+        "                 and the detector same-epoch fast paths);\n"
+        "                 races reported must be identical either way\n"
         "  --no-calibrate skip the per-app TSan-cost calibration\n"
         "                 (matches campaign runs)\n"
         "  --stats [PREFIX]  dump counters (optionally only those\n"
@@ -104,6 +108,7 @@ main(int argc, char **argv)
     std::string fault_name;
     uint64_t fault_horizon = 200'000;
     bool governor = false;
+    bool elide = true;
     std::string metrics_json_path;
     std::string trace_json_path;
 
@@ -157,6 +162,8 @@ main(int argc, char **argv)
             fault_horizon = std::strtoull(v9, nullptr, 10);
         } else if (std::strcmp(argv[i], "--governor") == 0) {
             governor = true;
+        } else if (std::strcmp(argv[i], "--no-elide") == 0) {
+            elide = false;
         } else if (std::strcmp(argv[i], "--no-calibrate") == 0) {
             params.calibrate = false;
         } else if (const char *vm = value("--metrics-json")) {
@@ -208,6 +215,14 @@ main(int argc, char **argv)
         cfg.machine.faults =
             fault::makeScenario(fault_name, fault_horizon);
     cfg.governor.enabled = governor;
+    if (!elide) {
+        // All three elision layers off together: the ablation point is
+        // "no redundancy removal anywhere", and the differential
+        // soundness test compares against exactly this configuration.
+        cfg.passes.elide.enabled = false;
+        cfg.machine.htm.accessFilter = false;
+        cfg.machine.det.epochFastPath = false;
+    }
 
     core::RunIdentity identity;
     identity.target = !program_path.empty()
@@ -223,6 +238,7 @@ main(int argc, char **argv)
     identity.fault = fault_name;
     identity.faultHorizon = fault_name.empty() ? 0 : fault_horizon;
     identity.governor = governor;
+    identity.elide = elide;
     identity.irqScale = irq_scale;
     identity.calibrated = params.calibrate;
 
