@@ -1,7 +1,9 @@
 #!/usr/bin/env python3
 """Gate bench_micro results: fast-path speedup and baseline regression.
 
-Two independent checks over google-benchmark JSON output:
+Two independent checks over google-benchmark JSON output, plus an
+optional monitor-mode budget-compliance gate over txrace_run
+--metrics-json output (--monitor-metrics):
 
 1. Same-run ratio gate (always on): --ratio-fast must beat
    --ratio-slow by at least --min-ratio. Both numbers come from the
@@ -19,11 +21,19 @@ Two independent checks over google-benchmark JSON output:
    compared is each benchmark's cost relative to the calibration
    anchor. A normalized slowdown beyond --max-regress fails.
 
+3. Monitor budget gate (--monitor-metrics FILE): the file is a
+   txrace_run --monitor --metrics-json dump; every complete window's
+   detection overhead must stay within the hard allowance
+   (budget_pct / 100 * window_base) and never be flagged hard_over.
+   --budget-pct overrides the percentage recorded in the file (use it
+   to pin the gate to the percentage CI asked for).
+
 Usage:
-  bench_compare.py CURRENT.json [--baseline BASELINE.json]
+  bench_compare.py [CURRENT.json] [--baseline BASELINE.json]
                    [--ratio-fast NAME] [--ratio-slow NAME]
                    [--calibration NAME]
                    [--min-ratio 1.05] [--max-regress 0.25] [--summary]
+                   [--monitor-metrics METRICS.json] [--budget-pct N]
 
 Exit status 0 when all gates pass, 1 otherwise.
 """
@@ -103,6 +113,38 @@ def check_baseline(cur, base, calibration, max_regress):
     return ok
 
 
+def check_monitor(path, budget_pct):
+    """Every complete window of a --monitor run held the hard budget."""
+    with open(path) as f:
+        data = json.load(f)
+    mon = data.get("monitor")
+    if not mon:
+        print(f"monitor gate: FAIL (no monitor section in {path}; "
+              "was the run made with --monitor?)")
+        return False
+    pct = budget_pct if budget_pct is not None else mon["budget_pct"]
+    if budget_pct is not None and mon["budget_pct"] != budget_pct:
+        print(f"monitor gate: FAIL (run used --budget-pct="
+              f"{mon['budget_pct']}, expected {budget_pct})")
+        return False
+    windows = mon.get("windows", [])
+    if not windows:
+        print("monitor gate: FAIL (no complete windows; run too short "
+              "for the window base)")
+        return False
+    allowed = int(pct / 100.0 * mon["window_base"])
+    worst = max(w["overhead"] for w in windows)
+    over = [i for i, w in enumerate(windows)
+            if w["overhead"] > allowed or w["hard_over"]]
+    refused = sum(1 for w in windows if w["refused"])
+    ok = not over
+    print(f"monitor gate: {len(windows)} windows at {pct}% "
+          f"(allowed {allowed}/window), worst {worst}, "
+          f"{refused} refused, {len(over)} over -> "
+          f"{'ok' if ok else 'FAIL ' + str(over[:10])}")
+    return ok
+
+
 def print_summary(cur):
     print("\nbenchmark                                items/sec")
     for name in sorted(cur):
@@ -111,7 +153,9 @@ def print_summary(cur):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("current", help="bench_micro --json output")
+    ap.add_argument("current", nargs="?",
+                    help="bench_micro --json output (omit to run only "
+                         "the monitor gate)")
     ap.add_argument("--baseline",
                     help="committed baseline JSON to regress against")
     ap.add_argument("--ratio-fast", default=DEFAULT_RATIO_FAST,
@@ -126,22 +170,35 @@ def main():
                     help="maximum tolerated normalized slowdown")
     ap.add_argument("--summary", action="store_true",
                     help="print a throughput table")
+    ap.add_argument("--monitor-metrics",
+                    help="txrace_run --monitor --metrics-json dump to "
+                         "gate for budget compliance")
+    ap.add_argument("--budget-pct", type=float,
+                    help="expected --budget-pct of the monitor run "
+                         "(default: trust the file)")
     args = ap.parse_args()
 
-    cur = load_items_per_second(args.current)
-    if not cur:
-        print(f"error: no benchmarks with items_per_second in "
-              f"{args.current}", file=sys.stderr)
-        return 1
+    if not args.current and not args.monitor_metrics:
+        ap.error("need CURRENT.json and/or --monitor-metrics")
 
-    ok = check_ratio(cur, args.ratio_fast, args.ratio_slow,
-                     args.min_ratio)
-    if args.baseline:
-        base = load_items_per_second(args.baseline)
-        ok = check_baseline(cur, base, args.calibration,
-                            args.max_regress) and ok
-    if args.summary:
-        print_summary(cur)
+    ok = True
+    if args.current:
+        cur = load_items_per_second(args.current)
+        if not cur:
+            print(f"error: no benchmarks with items_per_second in "
+                  f"{args.current}", file=sys.stderr)
+            return 1
+        ok = check_ratio(cur, args.ratio_fast, args.ratio_slow,
+                         args.min_ratio)
+        if args.baseline:
+            base = load_items_per_second(args.baseline)
+            ok = check_baseline(cur, base, args.calibration,
+                                args.max_regress) and ok
+        if args.summary:
+            print_summary(cur)
+    if args.monitor_metrics:
+        ok = check_monitor(args.monitor_metrics,
+                           args.budget_pct) and ok
     return 0 if ok else 1
 
 

@@ -119,9 +119,11 @@ runProgram(const ir::Program &prog, const RunConfig &cfg)
                                 : nullptr,
                             cfg.dynLoopcutInitial, 4,
                             cfg.conflictAddressHints, cfg.governor,
-                            cfg.machine.seed ^ 0x9075ea1ULL);
+                            cfg.machine.seed ^ 0x9075ea1ULL,
+                            cfg.budget);
         sim::Machine machine(prepared, cfg.machine, policy);
         result.error = machine.run();
+        result.budget = policy.budgetReport();
         result.totalCost = machine.totalCost();
         result.buckets = machine.buckets();
         result.stats.merge(machine.stats());

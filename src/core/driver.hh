@@ -10,6 +10,7 @@
 
 #include <array>
 
+#include "core/budget.hh"
 #include "core/governor.hh"
 #include "core/runmode.hh"
 #include "detector/report.hh"
@@ -45,6 +46,10 @@ struct RunConfig
      *  with an unconditional slow-path episode. Fault scenarios are
      *  configured separately via machine.faults. */
     GovernorConfig governor;
+    /** Monitor-mode overhead budget (TxRace modes only). Disabled by
+     *  default; txrace_run --monitor --budget-pct=N enables it and
+     *  turns the governor on alongside (they compose). */
+    BudgetConfig budget;
 };
 
 /** Results of one run. */
@@ -69,6 +74,9 @@ struct RunResult
     /** Abnormal-end report: deadlock or maxSteps truncation, with
      *  per-thread blocked-on state. error.ok() on a clean run. */
     sim::RunError error;
+    /** Monitor-mode budget summary (budget.enabled mirrors whether
+     *  the run had a budget at all). */
+    BudgetReport budget;
 
     /** Runtime overhead factor relative to a native run. */
     double

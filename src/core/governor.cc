@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/budget.hh"
 #include "support/log.hh"
 
 namespace txrace::core {
@@ -27,6 +28,7 @@ FallbackGovernor::bindMetrics(telemetry::MetricRegistry &reg)
         reg.counter("txrace.gov.livelock_escalations");
     met_.backoffRetries = reg.counter("txrace.gov.backoff_retries");
     met_.stallPromotions = reg.counter("txrace.gov.stall_promotions");
+    met_.budgetVetoes = reg.counter("txrace.gov.budget_vetoes");
 }
 
 void
@@ -119,7 +121,15 @@ FallbackGovernor::levelForRegion(Machine &m, Tid t)
         uint64_t delay = cfg_.reprobateAfterCost
                          << std::min(g.probeBackoffExp,
                                      cfg_.maxProbeBackoffExp);
-        if (n - g.lastTransition >= delay) {
+        if (n - g.lastTransition >= delay &&
+            budget_ && budget_->underPressure()) {
+            // Monitor mode composes on top of the ladder: a promotion
+            // means more instrumentation, and the budget controller
+            // says the current window cannot afford what it already
+            // runs. The budget wins; restart the cooldown.
+            g.lastTransition = n;
+            count(m, met_.budgetVetoes, "txrace.gov.budget_vetoes");
+        } else if (n - g.lastTransition >= delay) {
             --g.level;
             g.lastTransition = n;
             g.windowStart = n;
@@ -202,7 +212,11 @@ FallbackGovernor::onAbort(Machine &m, Tid t, Bucket reason,
         g.backoffsUsed < cfg_.maxBackoffRetries) {
         uint64_t stall = cfg_.backoffBaseCost << g.backoffsUsed;
         ++g.backoffsUsed;
-        m.addCost(t, stall, reason);
+        // The stall is degradation overhead, not fast-path work: the
+        // thread reads as "fast" (its transaction is being re-armed)
+        // but these cycles exist only because the governor chose to
+        // wait, so budget accounting files them under degraded.
+        m.addCost(t, stall, reason, telemetry::Phase::Degraded);
         count(m, met_.backoffRetries, "txrace.gov.backoff_retries");
         return GovernorAction::RetryBackoff;
     }

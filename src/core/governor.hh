@@ -42,6 +42,8 @@
 
 namespace txrace::core {
 
+class BudgetController;
+
 /** Tunables of the degradation ladder. */
 struct GovernorConfig
 {
@@ -118,6 +120,13 @@ class FallbackGovernor
      *  shorten anything, so demotions skip straight past it instead
      *  of wasting a window on a no-op level. */
     void setShortTxUseful(bool useful) { shortTxUseful_ = useful; }
+
+    /** Compose with monitor mode: while @p budget reports overhead
+     *  pressure, re-probation promotions are vetoed (counted as
+     *  txrace.gov.budget_vetoes) — the hard budget outranks the
+     *  ladder's optimism. Null (the default) restores pure ladder
+     *  behaviour. */
+    void setBudget(const BudgetController *budget) { budget_ = budget; }
 
     /** Intern the governor's counters in @p reg (the owning policy
      *  calls this at run start). Transition counting then goes through
@@ -201,6 +210,7 @@ class FallbackGovernor
     GovernorConfig cfg_;
     uint64_t seed_;
     bool shortTxUseful_ = true;
+    const BudgetController *budget_ = nullptr;
     std::vector<ThreadGov> threads_;
 
     /** Interned transition-counter ids (valid when reg_ is set). */
@@ -209,6 +219,7 @@ class FallbackGovernor
         telemetry::MetricId failedProbes, demotions, probeSuccesses;
         telemetry::MetricId reprobations, livelockEscalations;
         telemetry::MetricId backoffRetries, stallPromotions;
+        telemetry::MetricId budgetVetoes;
     };
     telemetry::MetricRegistry *reg_ = nullptr;
     Metrics met_{};

@@ -71,6 +71,50 @@ writePhases(JsonWriter &w, const telemetry::PhaseProfiler &phases)
         w.endObject();
     }
     w.endArray();
+    // The cost dimension of the same partition (step counts above,
+    // virtual-time units here), nested so the step keys — which CI's
+    // partition assertion sums — stay untouched.
+    w.key("cost");
+    w.beginObject();
+    w.field("total", phases.totalCost());
+    for (size_t p = 0; p < telemetry::kNumPhases; ++p)
+        w.field(telemetry::phaseName(static_cast<Phase>(p)),
+                phases.costOf(static_cast<Phase>(p)));
+    w.endObject();
+    w.endObject();
+}
+
+void
+writeMonitor(JsonWriter &w, const BudgetReport &b)
+{
+    w.beginObject();
+    w.field("budget_pct", b.budgetPct);
+    w.field("window_base", b.windowBase);
+    w.field("gated_regions", b.gatedRegions);
+    w.field("gated_checks", b.gatedChecks);
+    w.field("sampled_skips", b.sampledSkips);
+    w.field("site_cuts", b.siteCuts);
+    w.field("site_probes", b.siteProbes);
+    w.key("windows");
+    w.beginArray();
+    for (const BudgetWindow &win : b.windows) {
+        w.beginObject();
+        w.field("base", win.base);
+        w.field("overhead", win.overhead);
+        w.field("hard_over", win.hardOver);
+        w.field("refused", win.refused);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("site_rates");
+    w.beginArray();
+    for (const auto &[site, shift] : b.siteShifts) {
+        w.beginObject();
+        w.field("instr", static_cast<uint64_t>(site));
+        w.field("shift", static_cast<uint64_t>(shift));
+        w.endObject();
+    }
+    w.endArray();
     w.endObject();
 }
 
@@ -176,6 +220,15 @@ writeMetricsJson(std::ostream &os, const MetricsMeta &meta,
 
     w.key("conflicts");
     writeConflicts(w, prog, result.telemetry.conflicts, 10);
+
+    // Monitor-mode budget ledger: every complete window's overhead
+    // against the budget, plus the per-site sampling state. Absent
+    // entirely outside monitor mode, so existing consumers see a
+    // byte-identical document.
+    if (result.budget.enabled) {
+        w.key("monitor");
+        writeMonitor(w, result.budget);
+    }
 
     // Race list in fingerprint order: byte-stable across runs and
     // directly joinable with campaign findings (same fingerprints).

@@ -10,6 +10,7 @@
 
 #include <set>
 
+#include "core/budget.hh"
 #include "core/governor.hh"
 #include "core/loopcut.hh"
 #include "detector/lockset.hh"
@@ -152,6 +153,8 @@ class TxRacePolicy : public sim::ExecutionPolicy
      *        by default (the paper's unconditional-fallback runtime).
      * @param gov_seed seed for the governor's sampling stream (set
      *        from the machine seed by the driver).
+     * @param budget monitor-mode overhead budget; disabled by default.
+     *        The controller shares gov_seed for its sampling hash.
      */
     explicit TxRacePolicy(Scheme scheme,
                           const LoopCutTable *preloaded = nullptr,
@@ -159,9 +162,11 @@ class TxRacePolicy : public sim::ExecutionPolicy
                           uint32_t max_retries = 4,
                           bool addr_hints = false,
                           const GovernorConfig &gov = {},
-                          uint64_t gov_seed = 1);
+                          uint64_t gov_seed = 1,
+                          const BudgetConfig &budget = {});
 
     void onRunStart(sim::Machine &m) override;
+    void onRunEnd(sim::Machine &m) override;
     void onThreadExit(sim::Machine &m, Tid t) override;
     bool beforeStep(sim::Machine &m, Tid t) override;
     void onTxBegin(sim::Machine &m, Tid t,
@@ -190,6 +195,13 @@ class TxRacePolicy : public sim::ExecutionPolicy
     /** The adaptive fallback governor (read-only inspection). */
     const FallbackGovernor &governor() const { return governor_; }
 
+    /** The monitor-mode budget controller (read-only inspection). */
+    const BudgetController &budget() const { return budget_; }
+
+    /** End-of-run budget summary (the driver copies it into
+     *  RunResult when monitor mode is on). */
+    BudgetReport budgetReport() const { return budget_.report(); }
+
   private:
     /** Begin a fast-path transaction at the current point. */
     void enterFastTx(sim::Machine &m, Tid t, uint64_t segment_loop);
@@ -214,6 +226,7 @@ class TxRacePolicy : public sim::ExecutionPolicy
     uint32_t maxRetries_;
     bool addrHints_;
     FallbackGovernor governor_;
+    BudgetController budget_;
     /** Static loop ids that carry LoopCut instrumentation. */
     std::set<uint64_t> cutLoops_;
 

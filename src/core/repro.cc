@@ -140,6 +140,17 @@ configDigest(const RunConfig &cfg)
     d.u64(g.maxProbeBackoffExp);
     d.f64(g.sampleRate);
 
+    const BudgetConfig &b = cfg.budget;
+    d.u64(b.enabled ? 1 : 0);
+    d.f64(b.budgetPct);
+    d.u64(b.windowBase);
+    d.f64(b.softFactor);
+    d.u64(b.cutShift);
+    d.u64(b.floorShift);
+    d.u64(b.reprobeWindows);
+    d.u64(b.maxProbeBackoffExp);
+    d.u64(b.unsatisfiableWindows);
+
     const fault::FaultPlan &plan = m.faults;
     d.str(plan.name);
     d.u64(plan.episodes.size());
@@ -175,6 +186,11 @@ reproCommand(const RunIdentity &id)
     }
     if (id.governor)
         ss << " --governor";
+    if (id.monitor) {
+        ss << " --monitor";
+        if (id.budgetPct != 5.0)
+            ss << " --budget-pct " << id.budgetPct;
+    }
     if (!id.elide)
         ss << " --no-elide";
     if (id.irqScale != 1.0)

@@ -42,6 +42,10 @@ struct RunIdentity
     std::string fault;
     uint64_t faultHorizon = 0;
     bool governor = false;
+    /** Monitor mode (overhead budget); renders --monitor and, when
+     *  != 5.0, --budget-pct. */
+    bool monitor = false;
+    double budgetPct = 5.0;
     /** Whether the access-elision stack (static passes, HTM filter,
      *  detector fast paths) was on; false renders --no-elide. */
     bool elide = true;

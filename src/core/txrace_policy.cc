@@ -52,10 +52,10 @@ traceSlowEnd(Machine &m, Tid t, const char *outcome)
 TxRacePolicy::TxRacePolicy(Scheme scheme, const LoopCutTable *preloaded,
                            uint64_t dyn_initial, uint32_t max_retries,
                            bool addr_hints, const GovernorConfig &gov,
-                           uint64_t gov_seed)
+                           uint64_t gov_seed, const BudgetConfig &budget)
     : scheme_(scheme), loopcuts_(dyn_initial),
       maxRetries_(max_retries), addrHints_(addr_hints),
-      governor_(gov, gov_seed)
+      governor_(gov, gov_seed), budget_(budget, gov_seed)
 {
     if (preloaded) {
         for (const auto &[loop, entry] : preloaded->all())
@@ -106,6 +106,41 @@ TxRacePolicy::onRunStart(Machine &m)
     met_.accessUninstrumented =
         reg.counter("txrace.access.uninstrumented");
     governor_.bindMetrics(reg);
+    budget_.bindMetrics(reg);
+    if (budget_.enabled())
+        governor_.setBudget(&budget_);
+    budget_.onRunStart(m);
+}
+
+void
+TxRacePolicy::onRunEnd(Machine &m)
+{
+    if (!budget_.enabled())
+        return;
+    // Monitor-mode observability (exported through the registry after
+    // this hook returns): the ladder's final resting level per thread,
+    // the distribution of per-site sampling shifts, and how much of
+    // the last complete window's budget was left. Registration order
+    // here is fixed, so the dump stays deterministic.
+    auto &reg = m.tel().registry;
+    for (Tid t = 0; t < m.numThreads(); ++t)
+        reg.set(reg.gauge(strprintf("txrace.gov.level.t%u", t)),
+                governor_.level(t));
+    BudgetReport rep = budget_.report();
+    telemetry::MetricId shifts =
+        reg.histogram("budget.site_rate_shift");
+    for (const auto &[site, shift] : rep.siteShifts) {
+        (void)site;
+        reg.observe(shifts, shift);
+    }
+    uint64_t allowed = static_cast<uint64_t>(
+        rep.budgetPct / 100.0 * static_cast<double>(rep.windowBase));
+    uint64_t headroom = allowed;
+    if (!rep.windows.empty()) {
+        uint64_t oh = rep.windows.back().overhead;
+        headroom = oh >= allowed ? 0 : allowed - oh;
+    }
+    reg.set(reg.gauge("budget.headroom"), headroom);
 }
 
 void
@@ -143,6 +178,20 @@ TxRacePolicy::onTxBegin(Machine &m, Tid t, const ir::Instruction &ins)
     if (m.liveThreads() <= 1) {
         // Single-threaded mode: no races are possible; skip HTM.
         m.tel().registry.add(met_.elided);
+        return;
+    }
+    if (budget_.enabled() &&
+        !budget_.admitRegion(m, t, m.config().cost.txBeginCost +
+                                       m.config().cost.txEndCost)) {
+        // Out of budget for this window: the region runs entirely
+        // uninstrumented (the same shape as single-threaded elision —
+        // no transaction, no slow path, no checks). Recall is traded;
+        // precision cannot be (we only ever skip work).
+        if (budget_.unsatisfiable())
+            m.requestStop(sim::RunError::Kind::Budget);
+        if (m.events().enabled())
+            m.events().record(m.currentStep(), t, "budget-gate",
+                              "region admitted uninstrumented");
         return;
     }
     if (governor_.enabled()) {
@@ -503,6 +552,10 @@ TxRacePolicy::onMemAccess(Machine &m, Tid t, const ir::Instruction &ins,
         // sharing from false-sharing candidates (>1 granule per line).
         m.tel().conflicts.record(mem::lineOf(addr),
                                  mem::granuleOf(addr), ins.id);
+        // The same attribution feeds the budget controller: a site
+        // whose conflicts keep rolling transactions back is a spender
+        // just like a hot slow-path site, and gets cut first.
+        budget_.chargeSite(ins.id, cost.rollbackCost);
         handleConflictVictim(m, v);
     }
     if (res.selfCapacity) {
@@ -527,13 +580,27 @@ TxRacePolicy::onMemAccess(Machine &m, Tid t, const ir::Instruction &ins,
             m.tel().registry.add(met_.govSampleSkipped);
             return true;
         }
-        // Slow-path stall episodes inflate the software check cost.
+        // Slow-path stall episodes inflate the software check cost;
+        // computed before admission so the gate sees the true price.
         uint64_t check = cost.effectiveCheckCost();
         double stall = m.faults().slowPathCostMult();
         if (stall > 1.0)
             check = static_cast<uint64_t>(
                 static_cast<double>(check) * stall);
+        if (budget_.enabled() &&
+            !budget_.admitCheck(m, t, ins.id, check)) {
+            // Monitor mode: the window is out of admission budget,
+            // the check's (possibly storm-inflated) cost would cross
+            // the hard line, or this site's deterministic sampling
+            // draw missed. Either way the access pays only the gate
+            // branch.
+            if (budget_.unsatisfiable())
+                m.requestStop(sim::RunError::Kind::Budget);
+            m.addCost(t, 1, ctx.slowReason);
+            return true;
+        }
         m.addCost(t, check, ctx.slowReason);
+        budget_.chargeSite(ins.id, check);
         if (ctx.sampleMode)
             m.tel().registry.add(met_.govSampledChecks);
         else

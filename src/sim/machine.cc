@@ -27,6 +27,8 @@ runErrorKindName(RunError::Kind kind)
         return "deadlock";
       case RunError::Kind::Truncated:
         return "truncated";
+      case RunError::Kind::Budget:
+        return "budget";
     }
     return "?";
 }
@@ -98,8 +100,15 @@ Machine::context(Tid t) const
 void
 Machine::addCost(Tid t, uint64_t c, Bucket b)
 {
+    addCost(t, c, b, phaseOf(t));
+}
+
+void
+Machine::addCost(Tid t, uint64_t c, Bucket b, telemetry::Phase p)
+{
     totalCost_ += c;
     buckets_[static_cast<size_t>(b)] += c;
+    tel_.phases.noteCost(t, p, c);
     ThreadContext &ctx = contexts_[t];
     ctx.myCost += c;
     if (b == Bucket::Base && htm_.inTx(t))
@@ -237,6 +246,14 @@ Machine::run()
         ++steps_;
         if (!step())
             break;
+        if (stopRequest_ != RunError::Kind::None) {
+            error_.kind = stopRequest_;
+            captureUnfinishedThreads();
+            if (events_.enabled())
+                events_.record(steps_, 0, "stop-request",
+                               runErrorKindName(stopRequest_));
+            break;
+        }
     }
     error_.stepsExecuted = steps_;
     policy_.onRunEnd(*this);

@@ -98,6 +98,7 @@ struct RunError
         None,       ///< run completed normally
         Deadlock,   ///< no runnable thread but live_ > 0
         Truncated,  ///< maxSteps runaway guard tripped
+        Budget,     ///< monitor overhead budget unsatisfiable
     };
 
     Kind kind = Kind::None;
@@ -160,8 +161,21 @@ class Machine
      *  drives the oversubscription interrupt model. */
     uint32_t runnableThreads() const;
 
-    /** Charge @p c cost units to @p t under bucket @p b. */
+    /** Charge @p c cost units to @p t under bucket @p b, attributed
+     *  to the phase the profiler would assign @p t right now. */
     void addCost(Tid t, uint64_t c, Bucket b);
+
+    /** Charge @p c cost units to @p t under bucket @p b with an
+     *  explicit phase attribution (e.g. governor backoff stalls are
+     *  degradation overhead even while the thread reads as fast). */
+    void addCost(Tid t, uint64_t c, Bucket b, telemetry::Phase p);
+
+    /**
+     * Ask the run loop to end the run after the current step with the
+     * given structured error (used by the budget controller when the
+     * overhead budget is unsatisfiable even at floor sampling).
+     */
+    void requestStop(RunError::Kind kind) { stopRequest_ = kind; }
 
     /**
      * Commit @p t's transaction in the HTM engine and publish its
@@ -257,6 +271,7 @@ class Machine
     StatSet stats_;
     EventLog events_;
     RunError error_;
+    RunError::Kind stopRequest_ = RunError::Kind::None;
 
     telemetry::Telemetry tel_;
     /** Pre-interned ids of the machine's own hot-path metrics. */

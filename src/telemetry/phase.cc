@@ -29,4 +29,13 @@ PhaseProfiler::count(Phase p) const
     return n;
 }
 
+uint64_t
+PhaseProfiler::costOf(Phase p) const
+{
+    uint64_t n = 0;
+    for (const PerPhase &row : perThreadCost_)
+        n += row[static_cast<size_t>(p)];
+    return n;
+}
+
 } // namespace txrace::telemetry

@@ -36,6 +36,11 @@ const char *phaseName(Phase p);
  * Per-thread step attribution. One note() per executed scheduler
  * step; the counts over all threads and phases sum to exactly the
  * number of steps noted (total()), which the accounting tests assert.
+ *
+ * A second, independent dimension attributes virtual *cost* the same
+ * way (noteCost, fed from Machine::addCost): per-(thread, phase) cost
+ * cells partition the run's total cost exactly, so budget accounting
+ * can ask "how much was spent while degraded" and trust the answer.
  */
 class PhaseProfiler
 {
@@ -52,18 +57,43 @@ class PhaseProfiler
         ++total_;
     }
 
+    /** Attribute @p c cost units of thread @p t to phase @p p. */
+    void
+    noteCost(Tid t, Phase p, uint64_t c)
+    {
+        if (t >= perThreadCost_.size())
+            perThreadCost_.resize(t + 1);
+        perThreadCost_[t][static_cast<size_t>(p)] += c;
+        totalCost_ += c;
+    }
+
     /** Steps noted in total (== sum over threads and phases). */
     uint64_t total() const { return total_; }
 
     /** Steps attributed to @p p across all threads. */
     uint64_t count(Phase p) const;
 
+    /** Cost noted in total (== sum over threads and phases). */
+    uint64_t totalCost() const { return totalCost_; }
+
+    /** Cost attributed to @p p across all threads. */
+    uint64_t costOf(Phase p) const;
+
     /** Per-thread breakdown, indexed by tid. */
     const std::vector<PerPhase> &perThread() const { return perThread_; }
 
+    /** Per-thread cost breakdown, indexed by tid. */
+    const std::vector<PerPhase> &
+    perThreadCost() const
+    {
+        return perThreadCost_;
+    }
+
   private:
     std::vector<PerPhase> perThread_;
+    std::vector<PerPhase> perThreadCost_;
     uint64_t total_ = 0;
+    uint64_t totalCost_ = 0;
 };
 
 } // namespace txrace::telemetry

@@ -28,6 +28,7 @@ ir::Program buildStreamcluster(const WorkloadParams &p);
 ir::Program buildDedup(const WorkloadParams &p);
 ir::Program buildCanneal(const WorkloadParams &p);
 ir::Program buildApache(const WorkloadParams &p);
+ir::Program buildApacheStream(const WorkloadParams &p);
 
 } // namespace txrace::workloads
 

@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Unit tests for the monitor-mode budget controller: window
+ * accounting against the machine's cost buckets, prospective
+ * admission at the soft line, deepest-spender-first cuts, probe
+ * backoff doubling, deterministic sampling draws, and the
+ * unsatisfiable-budget declaration — driven against a machine that is
+ * never run, by adding bucket cost by hand.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/budget.hh"
+#include "core/policies.hh"
+#include "ir/builder.hh"
+
+using namespace txrace;
+using core::BudgetConfig;
+using core::BudgetController;
+using core::BudgetReport;
+using sim::Bucket;
+using sim::Machine;
+
+namespace {
+
+ir::Program
+tinyProgram()
+{
+    ir::ProgramBuilder b;
+    b.beginFunction("main");
+    b.compute(1);
+    b.endFunction();
+    return b.build();
+}
+
+/** A machine used only as a pair of cost-bucket clocks. */
+struct BudgetHarness
+{
+    ir::Program prog = tinyProgram();
+    core::NativePolicy policy;
+    sim::MachineConfig mcfg;
+    Machine m;
+
+    BudgetHarness() : m(prog, mcfg, policy) {}
+
+    void base(uint64_t c) { m.addCost(0, c, Bucket::Base); }
+    void overhead(uint64_t c) { m.addCost(0, c, Bucket::Check); }
+};
+
+/** windowBase 1000 at 5% -> hard 50, soft 30. */
+BudgetConfig
+smallConfig()
+{
+    BudgetConfig cfg;
+    cfg.enabled = true;
+    cfg.budgetPct = 5.0;
+    cfg.windowBase = 1000;
+    cfg.softFactor = 0.6;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Budget, DisabledAdmitsEverything)
+{
+    BudgetHarness h;
+    BudgetController b(BudgetConfig{}, 1);
+    EXPECT_FALSE(b.enabled());
+    h.overhead(100000);
+    EXPECT_TRUE(b.admitRegion(h.m, 0));
+    EXPECT_TRUE(b.admitCheck(h.m, 0, 7, 100000));
+    EXPECT_TRUE(b.report().windows.empty());
+}
+
+TEST(Budget, WindowsCloseOnBaseCrossingsOnly)
+{
+    BudgetHarness h;
+    BudgetController b(smallConfig(), 1);
+    b.onRunStart(h.m);
+
+    // Overhead alone never closes a window: the clock is native time.
+    h.overhead(500);
+    EXPECT_FALSE(b.admitRegion(h.m, 0, 0));  // way past soft, refused
+    EXPECT_TRUE(b.report().windows.empty());
+
+    // Two windows of base: both close, overhead lands in the first.
+    h.base(2000);
+    b.admitRegion(h.m, 0, 0);
+    BudgetReport r = b.report();
+    ASSERT_EQ(r.windows.size(), 2u);
+    EXPECT_EQ(r.windows[0].overhead, 500u);
+    EXPECT_TRUE(r.windows[0].hardOver);
+    EXPECT_EQ(r.windows[1].overhead, 0u);
+    EXPECT_FALSE(r.windows[1].hardOver);
+}
+
+TEST(Budget, TrailingPartialWindowIsNotRecorded)
+{
+    BudgetHarness h;
+    BudgetController b(smallConfig(), 1);
+    b.onRunStart(h.m);
+    h.base(999);
+    h.overhead(10000);
+    b.admitRegion(h.m, 0, 0);
+    EXPECT_TRUE(b.report().windows.empty());
+}
+
+TEST(Budget, AdmissionGatesAtTheSoftLine)
+{
+    BudgetHarness h;
+    BudgetController b(smallConfig(), 1);
+    b.onRunStart(h.m);
+
+    h.overhead(29);  // below soft (30)
+    EXPECT_TRUE(b.admitCheck(h.m, 0, 1, 0));
+    h.overhead(1);  // at soft
+    EXPECT_FALSE(b.admitCheck(h.m, 0, 1, 0));
+    EXPECT_FALSE(b.admitRegion(h.m, 0, 0));
+    EXPECT_TRUE(b.underPressure());
+
+    BudgetReport r = b.report();
+    EXPECT_EQ(r.gatedChecks, 1u);
+    EXPECT_EQ(r.gatedRegions, 1u);
+}
+
+TEST(Budget, AdmissionIsProspective)
+{
+    // The gate sees the price of the work it is about to admit — a
+    // storm-inflated check cannot ride a nearly-spent window over the
+    // line. The whole soft-to-hard gap stays reserved for overhead no
+    // gate can refuse.
+    BudgetHarness h;
+    BudgetController b(smallConfig(), 1);
+    b.onRunStart(h.m);
+
+    EXPECT_FALSE(b.admitCheck(h.m, 0, 1, 31));  // 0 + 31 > soft 30
+    EXPECT_TRUE(b.admitCheck(h.m, 0, 1, 30));
+    h.overhead(20);
+    EXPECT_FALSE(b.admitCheck(h.m, 0, 1, 11));  // 20 + 11 > 30
+    EXPECT_TRUE(b.admitCheck(h.m, 0, 1, 10));
+    EXPECT_FALSE(b.admitRegion(h.m, 0, 11));
+}
+
+TEST(Budget, CutsDeepestSpenderFirstUntilExcessCovered)
+{
+    BudgetHarness h;
+    BudgetConfig cfg = smallConfig();
+    BudgetController b(cfg, 1);
+    b.onRunStart(h.m);
+
+    // Window overhead 60: excess over soft is 30. Site 5 spent 40 (it
+    // alone covers the excess), site 9 spent 20: only 5 is cut.
+    h.overhead(60);
+    b.chargeSite(5, 40);
+    b.chargeSite(9, 20);
+    h.base(1000);
+    b.admitRegion(h.m, 0, 0);
+
+    EXPECT_EQ(b.siteShift(5), cfg.cutShift);
+    EXPECT_EQ(b.siteShift(9), 0u);
+    BudgetReport r = b.report();
+    EXPECT_EQ(r.siteCuts, 1u);
+    ASSERT_EQ(r.siteShifts.size(), 1u);
+    EXPECT_EQ(r.siteShifts[0].first, ir::InstrId{5});
+}
+
+TEST(Budget, RepeatedCutsClampAtTheFloor)
+{
+    BudgetHarness h;
+    BudgetConfig cfg = smallConfig();
+    BudgetController b(cfg, 1);
+    b.onRunStart(h.m);
+
+    for (int i = 0; i < 10; ++i) {
+        h.overhead(60);
+        b.chargeSite(5, 60);
+        h.base(1000);
+        b.admitRegion(h.m, 0, 0);
+    }
+    EXPECT_EQ(b.siteShift(5), cfg.floorShift);
+}
+
+TEST(Budget, ProbeIntervalDoublesPerFailureAndCaps)
+{
+    BudgetHarness h;
+    BudgetConfig cfg = smallConfig();
+    BudgetController b(cfg, 1);
+    b.onRunStart(h.m);
+
+    auto stormWindow = [&] {
+        h.overhead(60);
+        b.chargeSite(5, 60);
+        h.base(1000);
+        b.admitRegion(h.m, 0, 0);
+    };
+    auto cleanWindow = [&] {
+        h.base(1000);
+        b.admitRegion(h.m, 0, 0);
+    };
+    // Count the clean windows until the cut site is probed one step
+    // back up (its shift drops below @p from).
+    auto windowsUntilProbe = [&](uint32_t from) {
+        int n = 0;
+        while (b.siteShift(5) >= from) {
+            cleanWindow();
+            ++n;
+            EXPECT_LE(n, 200) << "probe never came";
+        }
+        return n;
+    };
+
+    // Drive the site to the floor, then let every probe fail against
+    // a persistent storm: the re-probe interval must double each time
+    // until the backoff cap, and hold there.
+    for (int i = 0; i < 3; ++i)
+        stormWindow();
+    ASSERT_EQ(b.siteShift(5), cfg.floorShift);
+
+    std::vector<int> gaps;
+    for (int probe = 0; probe < 6; ++probe) {
+        gaps.push_back(windowsUntilProbe(cfg.floorShift));
+        stormWindow();  // the probe window blows the budget: failure
+        ASSERT_EQ(b.siteShift(5), cfg.floorShift);
+    }
+    const int base = static_cast<int>(cfg.reprobeWindows);
+    std::vector<int> expected;
+    for (int probe = 0; probe < 6; ++probe) {
+        uint32_t exp = std::min(static_cast<uint32_t>(probe),
+                                cfg.maxProbeBackoffExp);
+        expected.push_back(base << exp);
+    }
+    EXPECT_EQ(gaps, expected);  // 3, 6, 12, 24, 48, 48
+
+    // Storm over: one clean probe resets the backoff entirely and the
+    // next probe comes at the base interval again.
+    windowsUntilProbe(cfg.floorShift);
+    ASSERT_EQ(b.siteShift(5), cfg.floorShift - 1);
+    cleanWindow();  // probe survives: backoff forgotten
+    int gap = windowsUntilProbe(cfg.floorShift - 1);
+    EXPECT_LE(gap, base + 1);
+}
+
+TEST(Budget, SamplingDrawsAreDeterministicPerSeed)
+{
+    BudgetHarness ha, hb, hc;
+    BudgetConfig cfg = smallConfig();
+    BudgetController a(cfg, 42), b(cfg, 42), c(cfg, 43);
+
+    // Cut site 5 once in each controller so draws actually happen.
+    auto cutOnce = [](BudgetHarness &h, BudgetController &ctl) {
+        h.overhead(60);
+        ctl.chargeSite(5, 60);
+        h.base(1000);
+        ctl.admitRegion(h.m, 0, 0);
+    };
+    cutOnce(ha, a);
+    cutOnce(hb, b);
+    cutOnce(hc, c);
+
+    int same = 0, diffMatches = 0, admitted = 0;
+    for (int i = 0; i < 512; ++i) {
+        bool da = a.admitCheck(ha.m, 0, 5, 0);
+        bool db = b.admitCheck(hb.m, 0, 5, 0);
+        bool dc = c.admitCheck(hc.m, 0, 5, 0);
+        same += da == db;
+        diffMatches += da == dc;
+        admitted += da;
+    }
+    EXPECT_EQ(same, 512);
+    EXPECT_LT(diffMatches, 512);  // different seed, different stream
+    // shift = cutShift (2): roughly one draw in four is admitted.
+    EXPECT_GT(admitted, 512 / 8);
+    EXPECT_LT(admitted, 512 / 2);
+}
+
+TEST(Budget, UnsatisfiableAfterConsecutiveHardRefusedWindows)
+{
+    BudgetHarness h;
+    BudgetConfig cfg = smallConfig();
+    BudgetController b(cfg, 1);
+    b.onRunStart(h.m);
+
+    // Un-gateable overhead alone blows the hard budget, window after
+    // window, while the gate refuses all it can.
+    for (uint32_t i = 0; i < cfg.unsatisfiableWindows; ++i) {
+        SCOPED_TRACE(i);
+        EXPECT_FALSE(b.unsatisfiable());
+        h.overhead(100);
+        EXPECT_FALSE(b.admitCheck(h.m, 0, 1, 0));  // refused
+        h.base(1000);
+        b.admitRegion(h.m, 0, 0);
+    }
+    EXPECT_TRUE(b.unsatisfiable());
+}
+
+TEST(Budget, HardOverWithoutRefusalIsNotUnsatisfiable)
+{
+    // Overruns with the gate never consulted mid-window (the only
+    // admit calls land right after a close, when the fresh window has
+    // spent nothing) do not declare defeat: the controller was never
+    // actually refusing work while the budget blew.
+    BudgetHarness h;
+    BudgetConfig cfg = smallConfig();
+    BudgetController b(cfg, 1);
+    b.onRunStart(h.m);
+
+    for (uint32_t i = 0; i < 3 * cfg.unsatisfiableWindows; ++i) {
+        h.overhead(100);
+        h.base(1000);
+        b.admitRegion(h.m, 0, 0);  // closes the window, then admits
+    }
+    BudgetReport r = b.report();
+    ASSERT_GE(r.windows.size(), cfg.unsatisfiableWindows);
+    for (const core::BudgetWindow &w : r.windows)
+        EXPECT_TRUE(w.hardOver);
+    EXPECT_FALSE(b.unsatisfiable());
+
+    // Refused-but-hard-over windows broken up by clean ones never
+    // accumulate the consecutive streak either.
+    BudgetHarness h2;
+    BudgetController b2(cfg, 1);
+    b2.onRunStart(h2.m);
+    for (uint32_t i = 0; i < 3 * cfg.unsatisfiableWindows; ++i) {
+        bool storm = i % 2 == 0;
+        if (storm) {
+            h2.overhead(100);
+            b2.admitCheck(h2.m, 0, 1, 0);
+        }
+        h2.base(1000);
+        b2.admitRegion(h2.m, 0, 0);
+    }
+    EXPECT_FALSE(b2.unsatisfiable());
+}

@@ -8,6 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "core/budget.hh"
 #include "core/governor.hh"
 #include "core/policies.hh"
 #include "ir/builder.hh"
@@ -334,6 +337,130 @@ TEST(Governor, SamplingDrawsAreDeterministicPerSeed)
     }
     EXPECT_EQ(same, 256);
     EXPECT_LT(diffMatches, 256);  // different seed, different stream
+}
+
+TEST(Governor, ProbeIntervalExactlyDoublesUnderPersistentStorm)
+{
+    // The full backoff staircase: every failed probe doubles the
+    // cooldown until maxProbeBackoffExp caps it, and the cap holds.
+    GovHarness h;
+    GovernorConfig cfg = enabledConfig();
+    cfg.maxBackoffRetries = 0;
+    FallbackGovernor gov(cfg, 1);
+
+    auto demoteOnce = [&] {
+        for (uint32_t i = 0; i < cfg.demoteAbortsPerWindow; ++i)
+            gov.onAbort(h.m, 0, Bucket::Capacity);
+    };
+    // Count the ticks until the next probe fires, advancing one cost
+    // unit at a time so the observed delay is exact.
+    auto ticksUntilProbe = [&] {
+        uint64_t n = 0;
+        uint64_t limit =
+            2 * (cfg.reprobateAfterCost << cfg.maxProbeBackoffExp);
+        while (gov.levelForRegion(h.m, 0) != FallbackGovernor::kFast) {
+            h.tick(1);
+            ++n;
+            if (n > limit)
+                break;
+        }
+        return n;
+    };
+
+    demoteOnce();
+    ASSERT_EQ(gov.level(0), FallbackGovernor::kShortTx);
+
+    std::vector<uint64_t> delays;
+    for (int probe = 0;
+         probe < static_cast<int>(cfg.maxProbeBackoffExp) + 2;
+         ++probe) {
+        delays.push_back(ticksUntilProbe());
+        demoteOnce();  // the storm is still raging: probe fails
+        ASSERT_EQ(gov.level(0), FallbackGovernor::kShortTx);
+    }
+    std::vector<uint64_t> expected;
+    for (int probe = 0;
+         probe < static_cast<int>(cfg.maxProbeBackoffExp) + 2;
+         ++probe) {
+        uint32_t exp = std::min(static_cast<uint32_t>(probe),
+                                cfg.maxProbeBackoffExp);
+        expected.push_back(cfg.reprobateAfterCost << exp);
+    }
+    EXPECT_EQ(delays, expected);  // 800, 1600, 3200, 6400, 6400
+}
+
+TEST(Governor, EscalationIsDeterministicAcrossSeeds)
+{
+    // The ladder reacts to abort sequences, not to the sampling seed:
+    // ten governors with ten different seeds, driven by the same
+    // abort trace, must walk the same level trajectory.
+    GovernorConfig cfg = enabledConfig();
+    std::vector<std::vector<uint32_t>> trajectories;
+    for (uint64_t seed = 1; seed <= 10; ++seed) {
+        GovHarness h;
+        FallbackGovernor gov(cfg, seed);
+        std::vector<uint32_t> levels;
+        for (int i = 0; i < 40; ++i) {
+            Bucket reason = i % 3 == 0 ? Bucket::Unknown
+                          : i % 3 == 1 ? Bucket::Capacity
+                                       : Bucket::Conflict;
+            gov.onAbort(h.m, 0, reason, /*primary=*/i % 2 == 0);
+            gov.onSlowCheckCost(h.m, 0, 40);
+            if (i % 7 == 0)
+                gov.onCommit(0);
+            h.tick(13);
+            levels.push_back(gov.levelForRegion(h.m, 0));
+        }
+        trajectories.push_back(std::move(levels));
+    }
+    for (size_t i = 1; i < trajectories.size(); ++i)
+        EXPECT_EQ(trajectories[i], trajectories[0])
+            << "seed " << i + 1 << " diverged";
+}
+
+TEST(Governor, BudgetPressureVetoesPromotions)
+{
+    // Monitor mode composes with the ladder: while the budget window
+    // is past its soft admission level, re-probation is deferred (and
+    // counted), and resumes once the pressure clears.
+    GovHarness h;
+    GovernorConfig cfg = enabledConfig();
+    cfg.maxBackoffRetries = 0;
+    FallbackGovernor gov(cfg, 1);
+
+    core::BudgetConfig bcfg;
+    bcfg.enabled = true;
+    bcfg.budgetPct = 5.0;
+    bcfg.windowBase = 1'000'000;  // one window spans the whole test
+    core::BudgetController budget(bcfg, 1);
+    budget.onRunStart(h.m);
+    gov.setBudget(&budget);
+
+    for (uint32_t i = 0; i < cfg.demoteAbortsPerWindow; ++i)
+        gov.onAbort(h.m, 0, Bucket::Capacity);
+    ASSERT_EQ(gov.level(0), FallbackGovernor::kShortTx);
+
+    // Refusing an over-budget check puts the window under pressure.
+    uint64_t soft = static_cast<uint64_t>(
+        bcfg.budgetPct / 100.0 * bcfg.windowBase * bcfg.softFactor);
+    EXPECT_FALSE(budget.admitCheck(h.m, 0, 1, soft + 1));
+    ASSERT_TRUE(budget.underPressure());
+
+    // Cooldown elapses, but the budget outranks the ladder: no
+    // promotion, and the veto restarts the cooldown.
+    h.tick(cfg.reprobateAfterCost + 1);
+    EXPECT_EQ(gov.levelForRegion(h.m, 0), FallbackGovernor::kShortTx);
+    EXPECT_EQ(h.m.stats().get("txrace.gov.budget_vetoes"), 1u);
+    EXPECT_EQ(h.m.stats().get("txrace.gov.reprobations"), 0u);
+
+    // Pressure clears with the next window roll (overhead stayed
+    // below the soft level), and the deferred probe goes through.
+    h.m.addCost(0, bcfg.windowBase, sim::Bucket::Base);
+    EXPECT_TRUE(budget.admitCheck(h.m, 0, 1, 0));
+    EXPECT_FALSE(budget.underPressure());
+    h.tick(cfg.reprobateAfterCost + 1);
+    EXPECT_EQ(gov.levelForRegion(h.m, 0), FallbackGovernor::kFast);
+    EXPECT_EQ(h.m.stats().get("txrace.gov.reprobations"), 1u);
 }
 
 TEST(Governor, ThreadsAreIndependent)

@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include "core/driver.hh"
+#include "core/governor.hh"
+#include "core/policies.hh"
 #include "ir/builder.hh"
 #include "telemetry/phase.hh"
 
@@ -110,6 +112,56 @@ TEST(PhaseProfiler, TxRaceSpendsStepsInFastPath)
     EXPECT_GT(r.telemetry.phases.count(Phase::Fast), 0u);
     // Spawning/joining happens outside any monitored region.
     EXPECT_GT(r.telemetry.phases.count(Phase::Native), 0u);
+}
+
+TEST(PhaseProfiler, CostCellsPartitionTotalCostUnderEveryMode)
+{
+    // The cost dimension mirrors the step dimension: every unit of
+    // virtual cost lands in exactly one (thread, phase) cell, so the
+    // cells sum to the run's total cost — the invariant monitor-mode
+    // budget accounting leans on.
+    ir::Program prog = contendedProgram();
+    for (core::RunMode mode :
+         {core::RunMode::Native, core::RunMode::TSan,
+          core::RunMode::TxRaceProfLoopcut, core::RunMode::TxRaceNoOpt}) {
+        core::RunResult r = core::runProgram(prog, config(mode));
+        ASSERT_TRUE(r.error.ok());
+        const auto &phases = r.telemetry.phases;
+        EXPECT_EQ(phases.totalCost(), r.totalCost)
+            << "mode " << core::runModeName(mode);
+        uint64_t cells = 0;
+        for (const auto &per : phases.perThreadCost())
+            for (uint64_t c : per)
+                cells += c;
+        EXPECT_EQ(cells, phases.totalCost());
+        uint64_t by_phase = 0;
+        for (size_t p = 0; p < telemetry::kNumPhases; ++p)
+            by_phase += phases.costOf(static_cast<Phase>(p));
+        EXPECT_EQ(by_phase, phases.totalCost());
+    }
+}
+
+TEST(PhaseProfiler, GovernorBackoffStallIsDegradedCost)
+{
+    // The in-place retry stall is time spent *because of* degradation
+    // management — it must land in the degraded cost bucket, not get
+    // mistaken for productive fast-path time.
+    ir::Program prog = contendedProgram();
+    core::NativePolicy policy;
+    sim::MachineConfig mcfg;
+    sim::Machine m(prog, mcfg, policy);
+
+    core::GovernorConfig cfg;
+    cfg.enabled = true;
+    cfg.maxBackoffRetries = 2;
+    core::FallbackGovernor gov(cfg, 1);
+
+    ASSERT_EQ(m.tel().phases.costOf(Phase::Degraded), 0u);
+    ASSERT_EQ(gov.onAbort(m, 0, sim::Bucket::Unknown),
+              core::GovernorAction::RetryBackoff);
+    EXPECT_EQ(m.tel().phases.costOf(Phase::Degraded),
+              cfg.backoffBaseCost);
+    EXPECT_EQ(m.tel().phases.costOf(Phase::Fast), 0u);
 }
 
 TEST(PhaseProfiler, NativeModeIsAllNative)

@@ -72,6 +72,12 @@ usage()
         "  --fault NAME   inject a named fault scenario\n"
         "  --fault-horizon N  scale episode times to N steps\n"
         "  --governor     enable the adaptive fallback governor\n"
+        "  --monitor      production-monitor mode: enforce a hard\n"
+        "                 overhead budget via per-site adaptive\n"
+        "                 sampling (TxRace modes only; implies\n"
+        "                 --governor)\n"
+        "  --budget-pct N overhead budget as % of native virtual time\n"
+        "                 per window (default 5)\n"
         "  --no-elide     disable the access-elision stack (static\n"
         "                 elision passes, the HTM owned-line filter,\n"
         "                 and the detector same-epoch fast paths);\n"
@@ -108,12 +114,19 @@ main(int argc, char **argv)
     std::string fault_name;
     uint64_t fault_horizon = 200'000;
     bool governor = false;
+    bool monitor = false;
+    double budget_pct = 5.0;
     bool elide = true;
     std::string metrics_json_path;
     std::string trace_json_path;
 
     for (int i = 1; i < argc; ++i) {
         auto value = [&](const char *flag) -> const char * {
+            size_t flen = std::strlen(flag);
+            // Both `--flag value` and `--flag=value` spellings work.
+            if (std::strncmp(argv[i], flag, flen) == 0 &&
+                argv[i][flen] == '=')
+                return argv[i] + flen + 1;
             if (std::strcmp(argv[i], flag) != 0)
                 return nullptr;
             if (i + 1 >= argc)
@@ -124,6 +137,8 @@ main(int argc, char **argv)
             std::cout << "applications:\n";
             for (const std::string &name : workloads::appNames())
                 std::cout << "  " << name << "\n";
+            std::cout << "scenarios (not in the paper tables):\n";
+            std::cout << "  apache-stream\n";
             std::cout << "patterns (--pattern):\n";
             for (const std::string &name : workloads::patternNames())
                 std::cout << "  " << name << "\n";
@@ -162,6 +177,12 @@ main(int argc, char **argv)
             fault_horizon = std::strtoull(v9, nullptr, 10);
         } else if (std::strcmp(argv[i], "--governor") == 0) {
             governor = true;
+        } else if (std::strcmp(argv[i], "--monitor") == 0) {
+            monitor = true;
+        } else if (const char *vb = value("--budget-pct")) {
+            budget_pct = std::strtod(vb, nullptr);
+            if (budget_pct <= 0.0)
+                fatal("--budget-pct must be positive");
         } else if (std::strcmp(argv[i], "--no-elide") == 0) {
             elide = false;
         } else if (std::strcmp(argv[i], "--no-calibrate") == 0) {
@@ -215,6 +236,18 @@ main(int argc, char **argv)
         cfg.machine.faults =
             fault::makeScenario(fault_name, fault_horizon);
     cfg.governor.enabled = governor;
+    if (monitor) {
+        if (cfg.mode != core::RunMode::TxRaceNoOpt &&
+            cfg.mode != core::RunMode::TxRaceDynLoopcut &&
+            cfg.mode != core::RunMode::TxRaceProfLoopcut)
+            fatal("--monitor requires a txrace mode");
+        // Monitor mode composes the budget controller on top of the
+        // ladder: the governor rides out storms, the budget caps what
+        // the ride may cost.
+        cfg.governor.enabled = true;
+        cfg.budget.enabled = true;
+        cfg.budget.budgetPct = budget_pct;
+    }
     if (!elide) {
         // All three elision layers off together: the ablation point is
         // "no redundancy removal anywhere", and the differential
@@ -238,6 +271,8 @@ main(int argc, char **argv)
     identity.fault = fault_name;
     identity.faultHorizon = fault_name.empty() ? 0 : fault_horizon;
     identity.governor = governor;
+    identity.monitor = monitor;
+    identity.budgetPct = budget_pct;
     identity.elide = elide;
     identity.irqScale = irq_scale;
     identity.calibrated = params.calibrate;
@@ -287,6 +322,17 @@ main(int argc, char **argv)
               << result.stats.get("tx.abort.capacity") << " capacity / "
               << result.stats.get("tx.abort.unknown")
               << " unknown aborts\n";
+    if (monitor) {
+        uint64_t over = 0;
+        for (const core::BudgetWindow &w : result.budget.windows)
+            if (w.hardOver)
+                ++over;
+        std::cout << "budget: " << result.budget.windows.size()
+                  << " window(s), " << over << " over the "
+                  << budget_pct << "% budget, "
+                  << result.budget.siteCuts << " site cut(s), "
+                  << result.budget.siteProbes << " probe(s)\n";
+    }
 
     if (trace > 0) {
         std::cout << "\nevent timeline (first " << trace << "):\n";
