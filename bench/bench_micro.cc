@@ -17,6 +17,7 @@
 #include "htm/htm.hh"
 #include "ir/builder.hh"
 #include "support/rng.hh"
+#include "workloads/workloads.hh"
 
 using namespace txrace;
 
@@ -345,6 +346,105 @@ BM_EndToEndNoElide(benchmark::State &state)
     runEndToEndElide(state, false);
 }
 BENCHMARK(BM_EndToEndNoElide);
+
+/**
+ * Flight-recorder overhead gate on the apache-stream scenario: the
+ * planted races mean every run takes the full pipeline including
+ * race-time forensics capture, and the streaming access pattern puts
+ * the recorder's masked store on the hottest path. The gate in
+ * BENCH_flightrec.json holds FlightRec ≥ 0.97x NoFlightRec (≤3%
+ * overhead); the compiled-out build (TXRACE_FLIGHTREC=OFF) is
+ * zero-delta by construction — record() is an empty inline body.
+ */
+void
+runEndToEndFlightRec(benchmark::State &state, bool flight)
+{
+    workloads::WorkloadParams params;
+    params.calibrate = false;
+    workloads::AppModel app =
+        workloads::makeApp("apache-stream", params);
+    core::RunConfig cfg;
+    cfg.mode = core::RunMode::TxRaceDynLoopcut;
+    cfg.machine = app.machine;
+    cfg.machine.recordFlight = flight;
+    uint64_t seed = 1;
+    for (auto _ : state) {
+        cfg.machine.seed = seed++;
+        core::RunResult r = core::runProgram(app.program, cfg);
+        benchmark::DoNotOptimize(r.totalCost);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_EndToEndFlightRec(benchmark::State &state)
+{
+    runEndToEndFlightRec(state, true);
+}
+BENCHMARK(BM_EndToEndFlightRec);
+
+void
+BM_EndToEndNoFlightRec(benchmark::State &state)
+{
+    runEndToEndFlightRec(state, false);
+}
+BENCHMARK(BM_EndToEndNoFlightRec);
+
+/**
+ * Same gate on the reuse-heavy probe (the elision benchmark's
+ * program): tight line reuse keeps per-access work minimal, which is
+ * the worst case for a per-access recorder — any overhead shows up
+ * largest here.
+ */
+void
+runReuseFlightRec(benchmark::State &state, bool flight)
+{
+    ir::ProgramBuilder b;
+    ir::Addr shared = b.alloc("s", 64, 64);
+    ir::Addr slots = b.alloc("slots", 10 * 64, 64);
+    ir::FuncId worker = b.beginFunction("worker");
+    b.loop(50, [&] {
+        b.loop(8, [&] {
+            b.load(ir::AddrExpr::absolute(shared));
+            b.load(ir::AddrExpr::absolute(shared));
+            b.store(ir::AddrExpr::perThread(slots, 64));
+            b.load(ir::AddrExpr::perThread(slots, 64));
+            b.compute(2);
+        });
+        b.syscall(1);
+    });
+    b.endFunction();
+    b.beginFunction("main");
+    b.spawn(worker, 8);
+    b.joinAll();
+    b.endFunction();
+    ir::Program prog = b.build();
+
+    core::RunConfig cfg;
+    cfg.mode = core::RunMode::TxRaceDynLoopcut;
+    cfg.machine.recordFlight = flight;
+    uint64_t seed = 1;
+    for (auto _ : state) {
+        cfg.machine.seed = seed++;
+        core::RunResult r = core::runProgram(prog, cfg);
+        benchmark::DoNotOptimize(r.totalCost);
+    }
+    state.SetItemsProcessed(state.iterations() * 50 * 8 * 8);
+}
+
+void
+BM_ReuseFlightRec(benchmark::State &state)
+{
+    runReuseFlightRec(state, true);
+}
+BENCHMARK(BM_ReuseFlightRec);
+
+void
+BM_ReuseNoFlightRec(benchmark::State &state)
+{
+    runReuseFlightRec(state, false);
+}
+BENCHMARK(BM_ReuseNoFlightRec);
 
 } // namespace
 

@@ -28,12 +28,19 @@ optional monitor-mode budget-compliance gate over txrace_run
    --budget-pct overrides the percentage recorded in the file (use it
    to pin the gate to the percentage CI asked for).
 
+4. Profile sanity gate (--profile-metrics FILE): the file is a
+   txrace_run/txrace_hunt --profile-out dump; it must carry the
+   txrace-profile-v1 schema, at least one app entry, and only
+   non-negative integer counters (the byte-determinism contract is
+   checked by `cmp` in CI; this gate checks the content contract).
+
 Usage:
   bench_compare.py [CURRENT.json] [--baseline BASELINE.json]
                    [--ratio-fast NAME] [--ratio-slow NAME]
                    [--calibration NAME]
                    [--min-ratio 1.05] [--max-regress 0.25] [--summary]
                    [--monitor-metrics METRICS.json] [--budget-pct N]
+                   [--profile-metrics PROFILE.json]
 
 Exit status 0 when all gates pass, 1 otherwise.
 """
@@ -145,6 +152,58 @@ def check_monitor(path, budget_pct):
     return ok
 
 
+PROFILE_APP_COUNTERS = (
+    "runs", "filter_hits", "tx_begins", "tx_committed", "slow_regions",
+    "monitor_site_cuts", "monitor_site_probes", "monitor_gated_checks",
+    "monitor_sampled_skips",
+)
+PROFILE_SITE_COUNTERS = (
+    "conflict_aborts", "capacity_aborts", "other_aborts",
+    "slow_checks", "slow_cost", "monitor_shift_max",
+)
+
+
+def check_profile(path):
+    """A --profile-out dump is well-formed txrace-profile-v1."""
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("schema") != "txrace-profile-v1":
+        print(f"profile gate: FAIL ({path}: schema is "
+              f"{data.get('schema')!r}, expected txrace-profile-v1)")
+        return False
+    apps = data.get("apps")
+    if not isinstance(apps, dict) or not apps:
+        print(f"profile gate: FAIL ({path}: no apps recorded)")
+        return False
+    sites = 0
+    for app, entry in apps.items():
+        for key in PROFILE_APP_COUNTERS:
+            v = entry.get(key)
+            if not isinstance(v, int) or v < 0:
+                print(f"profile gate: FAIL ({app}.{key} = {v!r}, "
+                      "expected non-negative integer)")
+                return False
+        if entry["runs"] == 0:
+            print(f"profile gate: FAIL ({app}: zero runs)")
+            return False
+        if entry["tx_committed"] > entry["tx_begins"]:
+            print(f"profile gate: FAIL ({app}: tx_committed "
+                  f"{entry['tx_committed']} > tx_begins "
+                  f"{entry['tx_begins']})")
+            return False
+        for site, counters in entry.get("sites", {}).items():
+            sites += 1
+            for key in PROFILE_SITE_COUNTERS:
+                v = counters.get(key)
+                if not isinstance(v, int) or v < 0:
+                    print(f"profile gate: FAIL ({app} site {site} "
+                          f"{key} = {v!r})")
+                    return False
+    print(f"profile gate: {len(apps)} app(s), {sites} site(s), "
+          f"{sum(e['runs'] for e in apps.values())} run(s) -> ok")
+    return True
+
+
 def print_summary(cur):
     print("\nbenchmark                                items/sec")
     for name in sorted(cur):
@@ -176,10 +235,15 @@ def main():
     ap.add_argument("--budget-pct", type=float,
                     help="expected --budget-pct of the monitor run "
                          "(default: trust the file)")
+    ap.add_argument("--profile-metrics",
+                    help="--profile-out dump to gate for "
+                         "txrace-profile-v1 well-formedness")
     args = ap.parse_args()
 
-    if not args.current and not args.monitor_metrics:
-        ap.error("need CURRENT.json and/or --monitor-metrics")
+    if (not args.current and not args.monitor_metrics
+            and not args.profile_metrics):
+        ap.error("need CURRENT.json, --monitor-metrics, and/or "
+                 "--profile-metrics")
 
     ok = True
     if args.current:
@@ -199,6 +263,8 @@ def main():
     if args.monitor_metrics:
         ok = check_monitor(args.monitor_metrics,
                            args.budget_pct) and ok
+    if args.profile_metrics:
+        ok = check_profile(args.profile_metrics) and ok
     return 0 if ok else 1
 
 

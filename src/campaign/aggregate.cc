@@ -49,6 +49,7 @@ Aggregator::add(const JobOutcome &outcome)
     ++va.runs;
     va.rawReports += outcome.races.size();
     rawReports_ += outcome.races.size();
+    profile_.merge(outcome.profile);
 
     for (const FoundRace &race : outcome.races) {
         Acc &acc = findings_[race.sig.key];
@@ -69,6 +70,15 @@ Aggregator::add(const JobOutcome &outcome)
             acc.firstRepro = outcome.repro;
         }
     }
+}
+
+std::vector<std::tuple<std::string, uint64_t, uint64_t>>
+Aggregator::variantCounters() const
+{
+    std::vector<std::tuple<std::string, uint64_t, uint64_t>> out;
+    for (const auto &[name, va] : variants_)
+        out.emplace_back(name, va.runs, va.rawReports);
+    return out;
 }
 
 CampaignResult
@@ -163,6 +173,7 @@ Aggregator::finalize(const CampaignConfig &cfg,
             ? 1.0
             : double(result.rawReports) /
                   double(result.findings.size());
+    result.profile = profile_;
 
     StatSet &st = result.stats;
     st.set("campaign.runs", result.runs);
@@ -284,6 +295,42 @@ writeCampaignJson(std::ostream &os, const CampaignConfig &cfg,
         w.field(name, value);
     w.endObject();
 
+    w.endObject();
+    os << "\n";
+}
+
+void
+writeCampaignTrace(std::ostream &os, const CampaignResult &result)
+{
+    // Chrome trace-event format: one complete ("X") event per job
+    // span, the pool worker id as the trace's thread lane.
+    telemetry::JsonWriter w(os, /*pretty=*/false);
+    w.beginObject();
+    w.key("traceEvents");
+    w.beginArray();
+    for (const JobSpan &s : result.timing.spans) {
+        std::ostringstream name;
+        name << s.app << " seed=" << s.seed;
+        if (s.variant != "base")
+            name << " [" << s.variant << "]";
+        w.beginObject();
+        w.field("name", name.str());
+        w.field("cat", "job");
+        w.field("ph", "X");
+        w.field("ts", s.startMicros);
+        w.field("dur", s.wallMicros);
+        w.field("pid", uint64_t(0));
+        w.field("tid", uint64_t(s.worker));
+        w.key("args");
+        w.beginObject();
+        w.field("job", s.job);
+        w.field("round", uint64_t(s.round));
+        w.field("raw_reports", s.rawReports);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.field("displayTimeUnit", "ms");
     w.endObject();
     os << "\n";
 }

@@ -19,9 +19,12 @@
 #include <map>
 #include <set>
 #include <string>
+#include <tuple>
+#include <vector>
 
 #include "campaign/campaign.hh"
 #include "campaign/job.hh"
+#include "telemetry/profile.hh"
 
 namespace txrace::campaign {
 
@@ -34,6 +37,19 @@ class Aggregator
 
     /** Outcomes folded so far. */
     uint64_t runs() const { return runs_; }
+
+    // Snapshot accessors for the progress stream: cheap, callable
+    // between add()s, and pure functions of the outcomes folded so
+    // far (hence deterministic at every round barrier).
+    /** Distinct deduplicated races so far. */
+    uint64_t findingCount() const { return findings_.size(); }
+    /** Pre-dedup race reports so far. */
+    uint64_t rawReports() const { return rawReports_; }
+    /** Abnormally-ended jobs so far. */
+    uint64_t errorCount() const { return errors_; }
+    /** Per-variant (runs, raw reports) so far, name-ordered. */
+    std::vector<std::tuple<std::string, uint64_t, uint64_t>>
+    variantCounters() const;
 
     /**
      * Produce the deterministic result (no timing filled in).
@@ -71,6 +87,9 @@ class Aggregator
         uint64_t rawReports = 0;
     };
     std::map<std::string, VariantAcc> variants_;
+
+    /** Fleet profile union (commutative merge ⇒ order-free). */
+    telemetry::Profile profile_;
 
     uint64_t runs_ = 0;
     uint64_t errors_ = 0;

@@ -1,6 +1,7 @@
 #include "campaign/campaign.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <map>
 #include <set>
@@ -11,8 +12,10 @@
 #include "campaign/queue.hh"
 #include "campaign/strategy.hh"
 #include "core/driver.hh"
+#include "core/metrics_export.hh"
 #include "core/repro.hh"
 #include "support/log.hh"
+#include "telemetry/json.hh"
 #include "workloads/workloads.hh"
 
 namespace txrace::campaign {
@@ -106,13 +109,67 @@ executeJob(const JobSpec &spec, WorkerCache &cache, bool calibrate)
         found.addr = race.addr;
         outcome.races.push_back(std::move(found));
     }
+    outcome.profile = core::buildRunProfile(spec.app, result);
     return outcome;
+}
+
+/**
+ * One NDJSON heartbeat record. Compact single-line JSON; cadence is
+ * decided by the caller (every cfg.progressEvery completions).
+ */
+void
+emitProgress(std::ostream &os, const char *event, uint64_t round,
+             uint64_t jobsTotal, uint64_t jobsDone,
+             const Aggregator &agg,
+             const std::vector<uint64_t> &workerDone,
+             const std::vector<std::atomic<uint8_t>> &workerBusy)
+{
+    telemetry::JsonWriter w(os, /*pretty=*/false);
+    w.beginObject();
+    w.field("schema", "txrace-progress-v1");
+    w.field("event", event);
+    w.field("round", round);
+    w.field("jobs_total", jobsTotal);
+    w.field("jobs_done", jobsDone);
+    w.field("in_flight", jobsTotal - jobsDone);
+    w.field("findings", agg.findingCount());
+    w.field("raw_reports", agg.rawReports());
+    w.field("dedup_ratio",
+            agg.findingCount()
+                ? double(agg.rawReports()) / double(agg.findingCount())
+                : 1.0);
+    w.field("errors", agg.errorCount());
+    w.key("variants");
+    w.beginObject();
+    for (const auto &[name, runs, raw] : agg.variantCounters()) {
+        w.key(name);
+        w.beginObject();
+        w.field("runs", runs);
+        w.field("raw_reports", raw);
+        w.endObject();
+    }
+    w.endObject();
+    w.key("workers");
+    w.beginArray();
+    for (size_t i = 0; i < workerDone.size(); ++i) {
+        w.beginObject();
+        w.field("worker", uint64_t(i));
+        w.field("done", workerDone[i]);
+        w.field("phase", workerBusy[i].load(std::memory_order_relaxed)
+                             ? "run"
+                             : "idle");
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n" << std::flush;
 }
 
 } // namespace
 
 CampaignResult
-runCampaign(const CampaignConfig &cfg, std::ostream *progress)
+runCampaign(const CampaignConfig &cfg, std::ostream *progress,
+            std::ostream *progressJson)
 {
     if (cfg.apps.empty())
         fatal("runCampaign: no apps selected");
@@ -132,10 +189,24 @@ runCampaign(const CampaignConfig &cfg, std::ostream *progress)
     std::vector<WorkerCache> caches(cfg.jobs);
     ResultQueue queue(cfg.queueCapacity);
     bool calibrate = cfg.calibrate;
+    // Live per-worker phase gauges for the heartbeat stream.
+    std::vector<std::atomic<uint8_t>> workerBusy(cfg.jobs);
+    auto wall0 = std::chrono::steady_clock::now();
     WorkStealingPool pool(
         cfg.jobs,
-        [&caches, calibrate](const JobSpec &spec, uint32_t worker) {
-            return executeJob(spec, caches[worker], calibrate);
+        [&caches, &workerBusy, calibrate, wall0](const JobSpec &spec,
+                                                 uint32_t worker) {
+            workerBusy[worker].store(1, std::memory_order_relaxed);
+            auto t0 = std::chrono::steady_clock::now();
+            JobOutcome outcome =
+                executeJob(spec, caches[worker], calibrate);
+            outcome.worker = worker;
+            outcome.startMicros = uint64_t(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    t0 - wall0)
+                    .count());
+            workerBusy[worker].store(0, std::memory_order_relaxed);
+            return outcome;
         },
         queue);
 
@@ -144,8 +215,10 @@ runCampaign(const CampaignConfig &cfg, std::ostream *progress)
     std::vector<JobOutcome> history;
     uint64_t nextId = 0;
     uint64_t rounds = 0;
+    uint64_t jobsTotal = 0;
+    uint64_t jobsDone = 0;
+    std::vector<uint64_t> workerDone(cfg.jobs, 0);
 
-    auto wall0 = std::chrono::steady_clock::now();
     for (;;) {
         std::vector<JobSpec> jobs =
             strategy->nextRound(cfg, history, nextId);
@@ -154,6 +227,7 @@ runCampaign(const CampaignConfig &cfg, std::ostream *progress)
         if (progress)
             *progress << "round " << rounds << ": " << jobs.size()
                       << " job(s) [" << strategy->name() << "]\n";
+        jobsTotal += jobs.size();
         pool.submit(jobs);
 
         // Round barrier: exactly one outcome per submitted job.
@@ -162,6 +236,16 @@ runCampaign(const CampaignConfig &cfg, std::ostream *progress)
             if (!queue.pop(outcome))
                 fatal("runCampaign: result queue closed early");
             aggregator.add(outcome);
+            if (outcome.worker < workerDone.size())
+                ++workerDone[outcome.worker];
+            ++jobsDone;
+            // Heartbeat on a job-count cadence — no wall clock, so
+            // the number of records depends only on the config.
+            if (progressJson && cfg.progressEvery > 0 &&
+                jobsDone % cfg.progressEvery == 0)
+                emitProgress(*progressJson, "progress", rounds,
+                             jobsTotal, jobsDone, aggregator,
+                             workerDone, workerBusy);
             history.push_back(std::move(outcome));
         }
         // Strategies see id order, never completion order.
@@ -172,6 +256,9 @@ runCampaign(const CampaignConfig &cfg, std::ostream *progress)
         ++rounds;
     }
     auto wall1 = std::chrono::steady_clock::now();
+    if (progressJson)
+        emitProgress(*progressJson, "end", rounds, jobsTotal, jobsDone,
+                     aggregator, workerDone, workerBusy);
 
     CampaignResult result = aggregator.finalize(cfg, groundTruth);
     result.timing.wallSeconds =
@@ -182,6 +269,22 @@ runCampaign(const CampaignConfig &cfg, std::ostream *progress)
             : 0.0;
     result.timing.jobs = cfg.jobs;
     result.timing.steals = pool.steals();
+    // History is already sorted by job id; the spans inherit that
+    // order so the trace is stable modulo the timing values.
+    result.timing.spans.reserve(history.size());
+    for (const JobOutcome &o : history) {
+        JobSpan span;
+        span.job = o.spec.id;
+        span.round = o.spec.round;
+        span.app = o.spec.app;
+        span.variant = o.spec.variant;
+        span.seed = o.spec.seed;
+        span.worker = o.worker;
+        span.startMicros = o.startMicros;
+        span.wallMicros = o.wallMicros;
+        span.rawReports = o.races.size();
+        result.timing.spans.push_back(std::move(span));
+    }
     return result;
 }
 

@@ -31,6 +31,7 @@
 
 #include "campaign/job.hh"
 #include "support/stats.hh"
+#include "telemetry/profile.hh"
 
 namespace txrace::campaign {
 
@@ -60,6 +61,12 @@ struct CampaignConfig
     bool calibrate = false;
     /** Aggregator queue bound (backpressure on the fleet). */
     size_t queueCapacity = 64;
+    /** Progress-stream cadence: one heartbeat record every N
+     *  completed jobs. Job-count based, never wall clock, so the
+     *  record *count* is a pure function of the config; the record
+     *  contents reflect live completion order (the stream is an
+     *  operational side channel, not part of the report). */
+    uint64_t progressEvery = 8;
 };
 
 /** One deduplicated race across the whole campaign. */
@@ -106,6 +113,22 @@ struct VariantYield
     uint64_t firstFound = 0;
 };
 
+/** One job's execution span, for the Chrome-trace timeline. Timing
+ *  and scheduling facts only — excluded from the deterministic
+ *  report. */
+struct JobSpan
+{
+    uint64_t job = 0;
+    uint32_t round = 0;
+    std::string app;
+    std::string variant;
+    uint64_t seed = 0;
+    uint32_t worker = 0;
+    uint64_t startMicros = 0;
+    uint64_t wallMicros = 0;
+    uint64_t rawReports = 0;
+};
+
 /** Wall-clock facts. Excluded from the deterministic report. */
 struct CampaignTiming
 {
@@ -113,6 +136,8 @@ struct CampaignTiming
     double runsPerSec = 0.0;
     uint32_t jobs = 0;
     uint64_t steals = 0;
+    /** Per-job spans in id order (`txrace_hunt --trace-json`). */
+    std::vector<JobSpan> spans;
 };
 
 /** The aggregate. Everything except `timing` is deterministic. */
@@ -131,6 +156,10 @@ struct CampaignResult
     uint64_t abortUnknown = 0;
     /** rawReports / findings.size() (1.0 when nothing found). */
     double dedupRatio = 1.0;
+    /** Fleet union of every job's site profile (txrace-profile-v1).
+     *  Deterministic: Profile::merge is commutative and associative,
+     *  so completion order and --jobs cannot change it. */
+    telemetry::Profile profile;
     /** campaign.* counters (deterministic subset only). */
     StatSet stats;
     CampaignTiming timing;
@@ -139,14 +168,26 @@ struct CampaignResult
 /**
  * Run the campaign. Blocks until complete; spawns cfg.jobs worker
  * threads internally. @p progress (optional) receives one line per
- * round — human chatter, not part of the report.
+ * round — human chatter, not part of the report. @p progressJson
+ * (optional) receives the NDJSON heartbeat stream: one compact
+ * txrace-progress-v1 record per cfg.progressEvery completed jobs
+ * plus a final `"event":"end"` record.
  */
 CampaignResult runCampaign(const CampaignConfig &cfg,
-                           std::ostream *progress = nullptr);
+                           std::ostream *progress = nullptr,
+                           std::ostream *progressJson = nullptr);
 
 /** Write the versioned deterministic report (txrace-campaign-v1). */
 void writeCampaignJson(std::ostream &os, const CampaignConfig &cfg,
                        const CampaignResult &result);
+
+/**
+ * Write the campaign's execution timeline as a Chrome trace-event
+ * document: one complete ("X") span per job, pool workers as the
+ * trace's thread lanes. Load in chrome://tracing or Perfetto.
+ */
+void writeCampaignTrace(std::ostream &os,
+                        const CampaignResult &result);
 
 } // namespace txrace::campaign
 

@@ -21,6 +21,7 @@
 #include "core/runmode.hh"
 #include "detector/report.hh"
 #include "ir/addr.hh"
+#include "telemetry/profile.hh"
 
 namespace txrace::campaign {
 
@@ -72,6 +73,15 @@ struct JobOutcome
     uint64_t configDigest = 0;
     /** Exact txrace_run command replaying this job. */
     std::string repro;
+    /** This run's site profile (txrace-profile-v1 contribution).
+     *  Merge is commutative, so the fleet union is deterministic
+     *  no matter which worker ran what. */
+    telemetry::Profile profile;
+    /** Pool worker that executed the job. Timing/attribution only —
+     *  never part of the deterministic report. */
+    uint32_t worker = 0;
+    /** Start offset from campaign begin, microseconds. Timing only. */
+    uint64_t startMicros = 0;
     /** Wall-clock cost of the run in microseconds. Timing only —
      *  never part of the deterministic report. */
     uint64_t wallMicros = 0;

@@ -151,6 +151,114 @@ writeConflicts(JsonWriter &w, const ir::Program *prog,
     w.endObject();
 }
 
+/** One flight event inside a forensics thread window. */
+void
+writeFlightEvent(JsonWriter &w, const telemetry::FrEvent &e)
+{
+    using telemetry::FrKind;
+    w.beginObject();
+    w.field("step", static_cast<uint64_t>(e.step));
+    w.field("kind", telemetry::frKindName(e.kind()));
+    if (e.site() != ir::kNoInstr)
+        w.field("site", static_cast<uint64_t>(e.site()));
+    switch (e.kind()) {
+      case FrKind::Access:
+        w.field("granule", e.arg);
+        w.field("write", e.isWrite());
+        break;
+      case FrKind::TxAbort:
+        w.field("reason", telemetry::frAbortName(
+                              static_cast<telemetry::FrAbort>(e.arg)));
+        break;
+      case FrKind::Budget:
+        w.field("detail", telemetry::frBudgetName(
+                              static_cast<telemetry::FrBudget>(e.arg)));
+        break;
+      case FrKind::SlowEnter:
+        w.field("reason",
+                sim::bucketName(static_cast<sim::Bucket>(e.arg)));
+        break;
+      case FrKind::Gov:
+        w.field("level", e.arg);
+        break;
+      case FrKind::TxCommit:
+        w.field("base_cost", e.arg);
+        break;
+      default:
+        break;
+    }
+    w.endObject();
+}
+
+/** The txrace-forensics-v1 block: every capture with its drained
+ *  windows, footprints, and last-writer chain. */
+void
+writeForensics(JsonWriter &w, const ir::Program *prog,
+               const std::vector<telemetry::ForensicsCapture> &caps)
+{
+    w.beginObject();
+    w.field("schema", "txrace-forensics-v1");
+    w.key("captures");
+    w.beginArray();
+    for (const auto &cap : caps) {
+        w.beginObject();
+        w.field("trigger", cap.trigger);
+        w.field("step", cap.step);
+        if (cap.siteA != ir::kNoInstr) {
+            w.field("kind", cap.kind);
+            w.field("granule", cap.granule);
+            w.field("site_a", static_cast<uint64_t>(cap.siteA));
+            w.field("site_b", static_cast<uint64_t>(cap.siteB));
+            if (prog) {
+                w.field("site_a_desc",
+                        siteDescription(prog, cap.siteA));
+                w.field("site_b_desc",
+                        siteDescription(prog, cap.siteB));
+            }
+        }
+        w.key("last_writers");
+        w.beginArray();
+        for (const auto &lw : cap.lastWriters) {
+            w.beginObject();
+            w.field("step", lw.step);
+            w.field("tid", static_cast<uint64_t>(lw.tid));
+            w.field("site", static_cast<uint64_t>(lw.site));
+            if (prog)
+                w.field("desc", siteDescription(prog, lw.site));
+            w.endObject();
+        }
+        w.endArray();
+        w.key("threads");
+        w.beginArray();
+        for (const auto &ft : cap.threads) {
+            w.beginObject();
+            w.field("tid", static_cast<uint64_t>(ft.tid));
+            w.field("gov_level", ft.govLevel);
+            w.field("site_shift", ft.siteShift);
+            w.key("read_granules");
+            w.beginArray();
+            for (uint64_t g : ft.readGranules)
+                w.value(g);
+            w.endArray();
+            w.key("write_granules");
+            w.beginArray();
+            for (uint64_t g : ft.writeGranules)
+                w.value(g);
+            w.endArray();
+            w.key("window");
+            w.beginArray();
+            for (const auto &e : ft.window)
+                writeFlightEvent(w, e);
+            w.endArray();
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
 } // namespace
 
 void
@@ -221,6 +329,27 @@ writeMetricsJson(std::ostream &os, const MetricsMeta &meta,
     w.key("conflicts");
     writeConflicts(w, prog, result.telemetry.conflicts, 10);
 
+    // Event-log accounting: stored vs offered (high-water) is the
+    // datum ring/log capacities are sized from.
+    w.key("events");
+    w.beginObject();
+    w.field("enabled", result.events.enabled());
+    w.field("capacity",
+            static_cast<uint64_t>(sim::EventLog::kMaxEvents));
+    w.field("stored",
+            static_cast<uint64_t>(result.events.events().size()));
+    w.field("dropped", result.events.dropped());
+    w.field("high_water", result.events.highWater());
+    w.endObject();
+
+    // Forensics captures (flight-recorder drains at race detections
+    // and abnormal run ends). Absent when nothing was captured, so
+    // recorder-off runs emit a byte-identical document.
+    if (!result.telemetry.forensics.empty()) {
+        w.key("forensics");
+        writeForensics(w, prog, result.telemetry.forensics);
+    }
+
     // Monitor-mode budget ledger: every complete window's overhead
     // against the budget, plus the per-site sampling state. Absent
     // entirely outside monitor mode, so existing consumers see a
@@ -255,6 +384,35 @@ writeMetricsJson(std::ostream &os, const MetricsMeta &meta,
 
     w.endObject();
     os << "\n";
+}
+
+telemetry::Profile
+buildRunProfile(const std::string &app, const RunResult &result)
+{
+    telemetry::Profile p;
+    telemetry::AppProfile &a = p.apps[app];
+    a.runs = 1;
+    a.filterHits = result.stats.get("htm.dir.filter_hit");
+    a.txBegins = result.stats.get("tx.begins");
+    a.txCommitted = result.stats.get("tx.committed");
+    a.slowRegions = result.stats.get("txrace.slow_regions");
+    if (result.budget.enabled) {
+        a.monitorSiteCuts = result.budget.siteCuts;
+        a.monitorSiteProbes = result.budget.siteProbes;
+        a.monitorGatedChecks = result.budget.gatedChecks;
+        a.monitorSampledSkips = result.budget.sampledSkips;
+    }
+    for (const auto &[site, ss] : result.telemetry.siteStats) {
+        telemetry::SiteProfile &sp = a.sites[site];
+        sp.conflictAborts = ss.conflictAborts;
+        sp.capacityAborts = ss.capacityAborts;
+        sp.otherAborts = ss.otherAborts;
+        sp.slowChecks = ss.slowChecks;
+        sp.slowCost = ss.slowCost;
+    }
+    for (const auto &[site, shift] : result.budget.siteShifts)
+        a.sites[site].monitorShiftMax = shift;
+    return p;
 }
 
 } // namespace txrace::core

@@ -14,6 +14,7 @@
 
 #include "core/driver.hh"
 #include "ir/program.hh"
+#include "telemetry/profile.hh"
 
 namespace txrace::core {
 
@@ -34,6 +35,17 @@ struct MetricsMeta
  */
 void writeMetricsJson(std::ostream &os, const MetricsMeta &meta,
                       const ir::Program *prog, const RunResult &result);
+
+/**
+ * Fold one run's observability state into a single-app
+ * telemetry::Profile keyed by @p app: per-site abort and slow-path
+ * counters from the telemetry bundle, owned-line filter hits and
+ * transaction totals from the merged stats, and monitor sampling
+ * state from the budget report. Callers accumulate runs (and fleets)
+ * with Profile::merge and serialize with Profile::write.
+ */
+telemetry::Profile buildRunProfile(const std::string &app,
+                                   const RunResult &result);
 
 } // namespace txrace::core
 

@@ -209,8 +209,15 @@ class TxRacePolicy : public sim::ExecutionPolicy
     /** Conflict-abort handling for a victim of a real data conflict. */
     void handleConflictVictim(sim::Machine &m, Tid v);
 
-    /** Capacity abort of @p t's own transaction. */
-    void handleSelfCapacity(sim::Machine &m, Tid t);
+    /** Capacity abort of @p t's own transaction; @p site is the
+     *  access instruction that overflowed (abort attribution for the
+     *  persistent profile). */
+    void handleSelfCapacity(sim::Machine &m, Tid t, ir::InstrId site);
+
+    /** Drain flight windows into a forensics capture for a freshly
+     *  detected static race. */
+    void captureRaceForensics(sim::Machine &m, const detector::Race &r,
+                              Tid current, Tid other);
 
     /** Walk @p t's loop stack for the innermost loop-cut loop;
      *  @p iters_in_tx receives that frame's in-transaction iteration

@@ -5,21 +5,12 @@
 
 #include "core/fingerprint.hh"
 #include "ir/printer.hh"
+#include "sim/costmodel.hh"
+#include "telemetry/flightrec.hh"
 
 namespace txrace::core {
 
 namespace {
-
-const char *
-kindName(detector::RaceKind kind)
-{
-    switch (kind) {
-      case detector::RaceKind::WriteWrite: return "write-write";
-      case detector::RaceKind::ReadWrite:  return "read-write";
-      case detector::RaceKind::WriteRead:  return "write-read";
-    }
-    return "?";
-}
 
 std::string
 describeInstr(const ir::Program &prog, ir::InstrId id)
@@ -37,7 +28,7 @@ std::string
 formatRace(const ir::Program &prog, const detector::Race &race)
 {
     std::ostringstream ss;
-    ss << "WARNING: data race (" << kindName(race.kind)
+    ss << "WARNING: data race (" << detector::raceKindName(race.kind)
        << ", first seen at address 0x" << std::hex << race.addr
        << std::dec << ", " << race.hits << " dynamic occurrence"
        << (race.hits == 1 ? "" : "s") << ")\n";
@@ -87,6 +78,106 @@ printRaceReport(const ir::Program &prog, const RunResult &result,
                 uint64_t configDigest)
 {
     printReport(prog, result, os, &identity, configDigest);
+}
+
+namespace {
+
+/** One flight event on one compact line. */
+void
+printFlightEvent(std::ostream &os, const telemetry::FrEvent &e)
+{
+    using telemetry::FrKind;
+    os << "[" << e.step << "] " << telemetry::frKindName(e.kind());
+    if (e.site() != ir::kNoInstr)
+        os << " #" << e.site();
+    switch (e.kind()) {
+      case FrKind::Access:
+        os << " g=0x" << std::hex << e.arg << std::dec
+           << (e.isWrite() ? " W" : " R");
+        break;
+      case FrKind::TxAbort:
+        os << " ("
+           << telemetry::frAbortName(
+                  static_cast<telemetry::FrAbort>(e.arg))
+           << ")";
+        break;
+      case FrKind::Budget:
+        os << " ("
+           << telemetry::frBudgetName(
+                  static_cast<telemetry::FrBudget>(e.arg))
+           << ")";
+        break;
+      case FrKind::SlowEnter:
+        os << " (" << sim::bucketName(static_cast<sim::Bucket>(e.arg))
+           << ")";
+        break;
+      case FrKind::Gov:
+        os << " level=" << e.arg;
+        break;
+      case FrKind::TxCommit:
+        os << " cost=" << e.arg;
+        break;
+      default:
+        break;
+    }
+}
+
+} // namespace
+
+void
+printForensics(const ir::Program &prog, const RunResult &result,
+               std::ostream &os)
+{
+    const auto &caps = result.telemetry.forensics;
+    if (caps.empty()) {
+        os << "forensics: no captures (flight recorder disabled, or "
+              "no race/run-error triggered)\n";
+        return;
+    }
+    os << "=== forensics (txrace-forensics-v1): " << caps.size()
+       << " capture(s) ===\n";
+    size_t n = 0;
+    for (const auto &cap : caps) {
+        os << "capture " << ++n << ": " << cap.trigger;
+        if (!cap.kind.empty())
+            os << " (" << cap.kind << ")";
+        os << " at step " << cap.step;
+        if (cap.siteA != ir::kNoInstr)
+            os << ", granule 0x" << std::hex << cap.granule
+               << std::dec;
+        os << "\n";
+        if (cap.siteA != ir::kNoInstr) {
+            os << "  racing sites:\n";
+            os << "    A: " << describeInstr(prog, cap.siteA) << "\n";
+            os << "    B: " << describeInstr(prog, cap.siteB) << "\n";
+        }
+        if (!cap.lastWriters.empty()) {
+            os << "  last-writer chain on granule 0x" << std::hex
+               << cap.granule << std::dec << ":\n";
+            for (const auto &lw : cap.lastWriters)
+                os << "    [step " << lw.step << "] t" << lw.tid
+                   << " wrote via " << describeInstr(prog, lw.site)
+                   << "\n";
+        }
+        for (const auto &ft : cap.threads) {
+            os << "  thread t" << ft.tid << ": gov level "
+               << ft.govLevel << ", sampling shift " << ft.siteShift
+               << ", window " << ft.window.size() << " event(s), read "
+               << ft.readGranules.size() << " / wrote "
+               << ft.writeGranules.size() << " granule(s)\n";
+            // The newest events are the causally interesting ones;
+            // the full window is in the JSON export.
+            constexpr size_t kShow = 12;
+            size_t start = ft.window.size() > kShow
+                ? ft.window.size() - kShow
+                : 0;
+            for (size_t i = start; i < ft.window.size(); ++i) {
+                os << "    ";
+                printFlightEvent(os, ft.window[i]);
+                os << "\n";
+            }
+        }
+    }
 }
 
 } // namespace txrace::core

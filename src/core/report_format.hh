@@ -41,6 +41,17 @@ void printRaceReport(const ir::Program &prog, const RunResult &result,
                      std::ostream &os, const RunIdentity &identity,
                      uint64_t configDigest);
 
+/**
+ * Render the run's forensics captures (txrace_run --explain): per
+ * capture the racing site pair, the last-writer chain on the racing
+ * granule, and each involved thread's recent flight window with its
+ * read/write footprint and governor/budget state. Prints a short
+ * notice when the run carried no captures (recorder off or nothing
+ * triggered).
+ */
+void printForensics(const ir::Program &prog, const RunResult &result,
+                    std::ostream &os);
+
 } // namespace txrace::core
 
 #endif // TXRACE_CORE_REPORT_FORMAT_HH

@@ -16,6 +16,17 @@ namespace {
 constexpr uint64_t kNoCutLoop = ~0ull;
 
 using SpanKind = telemetry::TraceBuffer::SpanKind;
+using telemetry::FrAbort;
+using telemetry::FrBudget;
+using telemetry::FrKind;
+
+/** Flight-record helper; note() itself no-ops when disabled. */
+void
+flightNote(Machine &m, Tid t, FrKind k, uint32_t site = ir::kNoInstr,
+           uint64_t arg = 0, uint8_t flags = 0)
+{
+    m.tel().flight.note(t, k, m.currentStep(), site, arg, flags);
+}
 
 /** Open the thread's transaction span in the telemetry trace. */
 void
@@ -110,6 +121,53 @@ TxRacePolicy::onRunStart(Machine &m)
     if (budget_.enabled())
         governor_.setBudget(&budget_);
     budget_.onRunStart(m);
+
+    // Forensics hook: when the flight recorder is live, drain the
+    // involved threads' event windows at the instant the detector
+    // reports a *new* static race. First-detection-only keeps the
+    // capture set deterministic and bounded.
+    if (m.tel().flight.enabled())
+        m.det().setRaceObserver(
+            [this, &m](const detector::Race &race, Tid cur, Tid other) {
+                captureRaceForensics(m, race, cur, other);
+            });
+}
+
+void
+TxRacePolicy::captureRaceForensics(Machine &m, const detector::Race &race,
+                                   Tid current, Tid other)
+{
+    auto &tel = m.tel();
+    if (tel.forensics.size() >= telemetry::Telemetry::kMaxForensics)
+        return;
+    telemetry::ForensicsCapture cap;
+    cap.trigger = "race";
+    cap.step = m.currentStep();
+    cap.siteA = race.first;
+    cap.siteB = race.second;
+    cap.kind = detector::raceKindName(race.kind);
+    cap.granule = mem::granuleOf(race.addr);
+    std::vector<Tid> tids{std::min(current, other)};
+    if (current != other)
+        tids.push_back(std::max(current, other));
+    for (Tid tid : tids) {
+        telemetry::ForensicsThread ft =
+            telemetry::drainThread(tel.flight, tid);
+        if (governor_.enabled())
+            ft.govLevel = governor_.level(tid);
+        if (budget_.enabled()) {
+            // The deepest sampling shift either racing site carries:
+            // how close monitor-mode sampling came to hiding this race.
+            for (const auto &[site, shift] : budget_.report().siteShifts)
+                if (site == race.first || site == race.second)
+                    ft.siteShift =
+                        std::max<uint64_t>(ft.siteShift, shift);
+        }
+        cap.threads.push_back(std::move(ft));
+    }
+    cap.lastWriters =
+        telemetry::lastWriterChain(cap.threads, cap.granule);
+    tel.forensics.push_back(std::move(cap));
 }
 
 void
@@ -157,6 +215,7 @@ TxRacePolicy::enterFastTx(Machine &m, Tid t, uint64_t segment_loop)
         ? ir::kNoInstr
         : static_cast<uint32_t>(segment_loop);
     traceTxBegin(m, t);
+    flightNote(m, t, FrKind::TxBegin);
 }
 
 void
@@ -173,6 +232,8 @@ TxRacePolicy::onTxBegin(Machine &m, Tid t, const ir::Instruction &ins)
         ctx.slowReason = Bucket::Txn;
         m.tel().registry.add(met_.smallSlowRegions);
         traceSlowBegin(m, t, "slow:small-region");
+        flightNote(m, t, FrKind::SlowEnter, ins.id,
+                   static_cast<uint64_t>(ctx.slowReason));
         return;
     }
     if (m.liveThreads() <= 1) {
@@ -187,8 +248,13 @@ TxRacePolicy::onTxBegin(Machine &m, Tid t, const ir::Instruction &ins)
         // uninstrumented (the same shape as single-threaded elision —
         // no transaction, no slow path, no checks). Recall is traded;
         // precision cannot be (we only ever skip work).
-        if (budget_.unsatisfiable())
+        flightNote(m, t, FrKind::Budget, ins.id,
+                   static_cast<uint64_t>(FrBudget::RegionGated));
+        if (budget_.unsatisfiable()) {
+            flightNote(m, t, FrKind::Budget, ins.id,
+                       static_cast<uint64_t>(FrBudget::Unsatisfiable));
             m.requestStop(sim::RunError::Kind::Budget);
+        }
         if (m.events().enabled())
             m.events().record(m.currentStep(), t, "budget-gate",
                               "region admitted uninstrumented");
@@ -209,6 +275,9 @@ TxRacePolicy::onTxBegin(Machine &m, Tid t, const ir::Instruction &ins)
                                      ? met_.govSampledRegions
                                      : met_.govForcedSlowRegions);
             traceSlowBegin(m, t, "slow:governor");
+            flightNote(m, t, FrKind::Gov, ins.id, level);
+            flightNote(m, t, FrKind::SlowEnter, ins.id,
+                       static_cast<uint64_t>(ctx.slowReason));
             if (m.events().enabled())
                 m.events().record(m.currentStep(), t, "slow-enter",
                                   ctx.sampleMode
@@ -228,6 +297,10 @@ TxRacePolicy::onTxBegin(Machine &m, Tid t, const ir::Instruction &ins)
         ctx.path = PathMode::Slow;
         ctx.slowReason = Bucket::Unknown;
         traceSlowBegin(m, t, "slow:hwlimit");
+        flightNote(m, t, FrKind::TxAbort, ins.id,
+                   static_cast<uint64_t>(FrAbort::HwLimit));
+        flightNote(m, t, FrKind::SlowEnter, ins.id,
+                   static_cast<uint64_t>(ctx.slowReason));
         return;
     }
     m.addCost(t, cost.txBeginCost, Bucket::Txn);
@@ -248,6 +321,8 @@ TxRacePolicy::onTxEnd(Machine &m, Tid t, const ir::Instruction &)
         m.addCost(t, m.config().cost.txEndCost, Bucket::Txn);
         m.tel().registry.add(met_.txCommitted);
         traceTxEnd(m, t, "commit");
+        flightNote(m, t, FrKind::TxCommit, ir::kNoInstr,
+                   ctx.baseSinceTxBegin);
         governor_.onCommit(t);
         if (m.events().enabled())
             m.events().record(m.currentStep(), t, "commit");
@@ -266,6 +341,7 @@ TxRacePolicy::onTxEnd(Machine &m, Tid t, const ir::Instruction &)
         ctx.slowHintLine = htm::HtmEngine::kNoLine;
         m.tel().registry.add(met_.slowRegions);
         traceSlowEnd(m, t, "region-end");
+        flightNote(m, t, FrKind::SlowExit);
         if (m.events().enabled())
             m.events().record(m.currentStep(), t, "slow-exit",
                               "region finished; back to fast path");
@@ -304,6 +380,7 @@ TxRacePolicy::onLoopCut(Machine &m, Tid t, const ir::Instruction &ins)
     m.tel().registry.add(met_.txCommitted);
     m.tel().registry.add(met_.loopCuts);
     traceTxEnd(m, t, "loop-cut");
+    flightNote(m, t, FrKind::TxCommit, ins.id, ctx.baseSinceTxBegin);
     m.tel().trace.instant(t, m.currentStep(), "loop-cut", "tx");
     debugLog("cut t%u loop=%llu at iters=%llu thr=%llu", t,
              (unsigned long long)ins.arg0,
@@ -323,6 +400,10 @@ TxRacePolicy::onLoopCut(Machine &m, Tid t, const ir::Instruction &ins)
         ctx.path = PathMode::Slow;
         ctx.slowReason = Bucket::Unknown;
         traceSlowBegin(m, t, "slow:hwlimit");
+        flightNote(m, t, FrKind::TxAbort, ins.id,
+                   static_cast<uint64_t>(FrAbort::HwLimit));
+        flightNote(m, t, FrKind::SlowEnter, ins.id,
+                   static_cast<uint64_t>(ctx.slowReason));
         return;
     }
     enterFastTx(m, t, ins.arg0);
@@ -351,6 +432,8 @@ TxRacePolicy::handleConflictVictim(Machine &m, Tid v)
 {
     m.tel().registry.add(met_.abortConflict);
     traceTxEnd(m, v, "conflict");
+    flightNote(m, v, FrKind::TxAbort, m.currentSite(v),
+               static_cast<uint64_t>(FrAbort::Conflict));
     m.tel().trace.instant(v, m.currentStep(), "conflict-abort",
                           "abort");
     if (m.events().enabled())
@@ -405,6 +488,8 @@ TxRacePolicy::beforeStep(Machine &m, Tid t)
         m.tel().registry.add(met_.abortConflict);
         m.tel().registry.add(met_.artificialAborts);
         traceTxEnd(m, v, "txfail");
+        flightNote(m, v, FrKind::TxAbort, m.currentSite(v),
+                   static_cast<uint64_t>(FrAbort::TxFail));
         m.rollback(v, Bucket::Conflict);
         // Collateral casualties of the broadcast: they feed the abort
         // window but not the livelock detector.
@@ -418,6 +503,8 @@ TxRacePolicy::beforeStep(Machine &m, Tid t)
         // The future-HTM protocol shares the conflicting address with
         // everyone forced into the slow path.
         vctx.slowHintLine = ctx.slowHintLine;
+        flightNote(m, v, FrKind::SlowEnter, m.currentSite(v),
+                   static_cast<uint64_t>(vctx.slowReason));
         if (m.events().enabled())
             m.events().record(m.currentStep(), v, "slow-enter",
                               "artificially aborted by TxFail");
@@ -426,14 +513,20 @@ TxRacePolicy::beforeStep(Machine &m, Tid t)
     ctx.path = PathMode::Slow;
     ctx.slowReason = Bucket::Conflict;
     traceSlowBegin(m, t, "slow:conflict");
+    flightNote(m, t, FrKind::SlowEnter, m.currentSite(t),
+               static_cast<uint64_t>(ctx.slowReason));
     return true;
 }
 
 void
-TxRacePolicy::handleSelfCapacity(Machine &m, Tid t)
+TxRacePolicy::handleSelfCapacity(Machine &m, Tid t, ir::InstrId site)
 {
     m.tel().registry.add(met_.abortCapacity);
+    if (site != ir::kNoInstr)
+        ++m.tel().siteStats[site].capacityAborts;
     traceTxEnd(m, t, "capacity");
+    flightNote(m, t, FrKind::TxAbort, site,
+               static_cast<uint64_t>(FrAbort::Capacity));
     m.tel().trace.instant(t, m.currentStep(), "capacity-abort",
                           "abort");
     // Attribute the abort to the innermost loop-cut loop *before*
@@ -464,6 +557,8 @@ TxRacePolicy::handleSelfCapacity(Machine &m, Tid t)
     ctx.path = PathMode::Slow;
     ctx.slowReason = Bucket::Capacity;
     traceSlowBegin(m, t, "slow:capacity");
+    flightNote(m, t, FrKind::SlowEnter, site,
+               static_cast<uint64_t>(ctx.slowReason));
     if (m.events().enabled())
         m.events().record(m.currentStep(), t, "capacity-abort",
                           "falling back to the slow path alone");
@@ -473,6 +568,8 @@ void
 TxRacePolicy::onInterruptAbort(Machine &m, Tid t)
 {
     m.tel().registry.add(met_.abortUnknown);
+    if (ir::InstrId site = m.currentSite(t); site != ir::kNoInstr)
+        ++m.tel().siteStats[site].otherAborts;
     m.rollback(t, Bucket::Unknown);
     auto &ctx = m.context(t);
     if (governor_.enabled() && m.htm().canBegin() &&
@@ -487,6 +584,7 @@ TxRacePolicy::onInterruptAbort(Machine &m, Tid t)
         m.htm().access(t, Machine::kTxFailAddr, false);
         ctx.baseSinceTxBegin = 0;
         traceTxBegin(m, t);
+        flightNote(m, t, FrKind::TxBegin);
         if (m.events().enabled())
             m.events().record(m.currentStep(), t, "gov-backoff",
                               "retrying after unknown abort");
@@ -498,6 +596,8 @@ TxRacePolicy::onInterruptAbort(Machine &m, Tid t)
     ctx.path = PathMode::Slow;
     ctx.slowReason = Bucket::Unknown;
     traceSlowBegin(m, t, "slow:interrupt");
+    flightNote(m, t, FrKind::SlowEnter, m.currentSite(t),
+               static_cast<uint64_t>(ctx.slowReason));
 }
 
 void
@@ -507,6 +607,8 @@ TxRacePolicy::onRetryAbort(Machine &m, Tid t)
     // place, a bounded number of times per region; then treat it like
     // an unknown abort and fall back to the slow path.
     m.tel().registry.add(met_.abortRetry);
+    if (ir::InstrId site = m.currentSite(t); site != ir::kNoInstr)
+        ++m.tel().siteStats[site].otherAborts;
     auto &ctx = m.context(t);
     m.rollback(t, Bucket::Txn);
     // Retry-bit glitches feed the abort-rate window: a sticky glitch
@@ -523,6 +625,7 @@ TxRacePolicy::onRetryAbort(Machine &m, Tid t)
         m.htm().access(t, Machine::kTxFailAddr, false);
         ctx.baseSinceTxBegin = 0;
         traceTxBegin(m, t);
+        flightNote(m, t, FrKind::TxBegin);
         return;
     }
     ctx.snap.valid = false;
@@ -531,6 +634,8 @@ TxRacePolicy::onRetryAbort(Machine &m, Tid t)
     ctx.slowReason = Bucket::Unknown;
     m.tel().registry.add(met_.retryExhausted);
     traceSlowBegin(m, t, "slow:retry-exhausted");
+    flightNote(m, t, FrKind::SlowEnter, m.currentSite(t),
+               static_cast<uint64_t>(ctx.slowReason));
 }
 
 bool
@@ -542,6 +647,13 @@ TxRacePolicy::onMemAccess(Machine &m, Tid t, const ir::Instruction &ins,
                                           : met_.accessUninstrumented);
     if (ins.instrumented && cost.fastHookCost > 0)
         m.addCost(t, cost.fastHookCost, Bucket::Txn);
+    // Flight window: instrumented accesses with site + granule. The
+    // access is logged before the HTM/detector verdict, so a window
+    // also shows accesses whose transaction later rolled back — what
+    // a real post-mortem ring contains.
+    if (ins.instrumented)
+        flightNote(m, t, FrKind::Access, ins.id, mem::granuleOf(addr),
+                   is_write ? 1 : 0);
 
     // Route through the HTM: conflict detection for transactional
     // accesses, strong isolation for non-transactional ones.
@@ -552,6 +664,7 @@ TxRacePolicy::onMemAccess(Machine &m, Tid t, const ir::Instruction &ins,
         // sharing from false-sharing candidates (>1 granule per line).
         m.tel().conflicts.record(mem::lineOf(addr),
                                  mem::granuleOf(addr), ins.id);
+        ++m.tel().siteStats[ins.id].conflictAborts;
         // The same attribution feeds the budget controller: a site
         // whose conflicts keep rolling transactions back is a spender
         // just like a hot slow-path site, and gets cut first.
@@ -559,7 +672,7 @@ TxRacePolicy::onMemAccess(Machine &m, Tid t, const ir::Instruction &ins,
         handleConflictVictim(m, v);
     }
     if (res.selfCapacity) {
-        handleSelfCapacity(m, t);
+        handleSelfCapacity(m, t, ins.id);
         return false;  // the access did not complete
     }
 
@@ -594,13 +707,24 @@ TxRacePolicy::onMemAccess(Machine &m, Tid t, const ir::Instruction &ins,
             // the hard line, or this site's deterministic sampling
             // draw missed. Either way the access pays only the gate
             // branch.
-            if (budget_.unsatisfiable())
+            flightNote(m, t, FrKind::Budget, ins.id,
+                       static_cast<uint64_t>(FrBudget::CheckGated));
+            if (budget_.unsatisfiable()) {
+                flightNote(m, t, FrKind::Budget, ins.id,
+                           static_cast<uint64_t>(
+                               FrBudget::Unsatisfiable));
                 m.requestStop(sim::RunError::Kind::Budget);
+            }
             m.addCost(t, 1, ctx.slowReason);
             return true;
         }
         m.addCost(t, check, ctx.slowReason);
         budget_.chargeSite(ins.id, check);
+        {
+            auto &ss = m.tel().siteStats[ins.id];
+            ++ss.slowChecks;
+            ss.slowCost += check;
+        }
         if (ctx.sampleMode)
             m.tel().registry.add(met_.govSampledChecks);
         else
@@ -643,6 +767,7 @@ TxRacePolicy::onSyncPerformed(Machine &m, Tid t,
     // Happens-before order of synchronization is tracked on both
     // paths, so slow-path episodes never report stale false warnings
     // (§5, Figure 6).
+    flightNote(m, t, FrKind::Sync, ins.id);
     trackSync(m, t, ins);
 }
 

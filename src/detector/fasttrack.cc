@@ -169,7 +169,8 @@ HbDetector::read(Tid t, ir::Addr addr, ir::InstrId instr)
 
     if (!cell.write.epoch.empty() && cell.write.epoch.tid != t &&
         !vc.covers(cell.write.epoch)) {
-        races_.record(cell.write.instr, instr, RaceKind::WriteRead, addr);
+        reportRace(cell.write.instr, instr, RaceKind::WriteRead, addr, t,
+                   cell.write.epoch.tid);
         ++counters_.raceHits;
     }
 
@@ -223,19 +224,31 @@ HbDetector::write(Tid t, ir::Addr addr, ir::InstrId instr)
 
     if (!cell.write.epoch.empty() && cell.write.epoch.tid != t &&
         !vc.covers(cell.write.epoch)) {
-        races_.record(cell.write.instr, instr, RaceKind::WriteWrite,
-                      addr);
+        reportRace(cell.write.instr, instr, RaceKind::WriteWrite, addr,
+                   t, cell.write.epoch.tid);
         ++counters_.raceHits;
     }
     for (const Access &r : cell.reads) {
         if (r.epoch.tid != t && !vc.covers(r.epoch)) {
-            races_.record(r.instr, instr, RaceKind::ReadWrite, addr);
+            reportRace(r.instr, instr, RaceKind::ReadWrite, addr, t,
+                       r.epoch.tid);
             ++counters_.raceHits;
         }
     }
 
     cell.write = {mine, instr};
     cell.reads.clear();
+}
+
+void
+HbDetector::reportRace(ir::InstrId a, ir::InstrId b, RaceKind kind,
+                       ir::Addr addr, Tid current, Tid other)
+{
+    bool isNew = races_.record(a, b, kind, addr);
+    if (isNew && observer_) {
+        Race race{std::min(a, b), std::max(a, b), kind, addr, 1};
+        observer_(race, current, other);
+    }
 }
 
 } // namespace txrace::detector

@@ -27,6 +27,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -119,6 +120,19 @@ class HbDetector
     const RaceSet &races() const { return races_; }
     RaceSet &races() { return races_; }
 
+    /**
+     * Callback fired on each *new* static race (not on hit-counter
+     * bumps): the recorded race, the thread whose access triggered the
+     * detection, and the other endpoint's thread (recovered from the
+     * shadow cell's epoch). The forensics layer hooks here to drain
+     * flight-recorder windows at the exact detection instant.
+     * First-detection-only keeps the hook deterministic and off the
+     * per-hit hot path.
+     */
+    using RaceObserver =
+        std::function<void(const Race &, Tid current, Tid other)>;
+    void setRaceObserver(RaceObserver obs) { observer_ = std::move(obs); }
+
     /** Current clock of thread @p t (tests, runtime diagnostics). */
     const VectorClock &clockOf(Tid t) const;
 
@@ -202,8 +216,13 @@ class HbDetector
     uint64_t cachedNo_ = kNoPage;
     ShadowPage *cachedPage_ = nullptr;
     std::vector<CellCache> cellCache_;
+    /** Record + notify helper shared by the three detection sites. */
+    void reportRace(ir::InstrId a, ir::InstrId b, RaceKind kind,
+                    ir::Addr addr, Tid current, Tid other);
+
     RaceSet races_;
     DetCounters counters_;
+    RaceObserver observer_;
 };
 
 } // namespace txrace::detector

@@ -4,7 +4,18 @@
 
 namespace txrace::detector {
 
-void
+const char *
+raceKindName(RaceKind kind)
+{
+    switch (kind) {
+      case RaceKind::WriteWrite: return "write-write";
+      case RaceKind::ReadWrite:  return "read-write";
+      case RaceKind::WriteRead:  return "write-read";
+    }
+    return "?";
+}
+
+bool
 RaceSet::record(ir::InstrId a, ir::InstrId b, RaceKind kind,
                 ir::Addr addr)
 {
@@ -12,9 +23,10 @@ RaceSet::record(ir::InstrId a, ir::InstrId b, RaceKind kind,
     auto it = races_.find(key);
     if (it != races_.end()) {
         ++it->second.hits;
-        return;
+        return false;
     }
     races_.emplace(key, Race{key.first, key.second, kind, addr, 1});
+    return true;
 }
 
 bool

@@ -26,6 +26,9 @@ enum class RaceKind : uint8_t {
     WriteRead,  ///< earlier write, later read
 };
 
+/** Display name of a race kind ("write-write" etc., stable in JSON). */
+const char *raceKindName(RaceKind kind);
+
 /** One deduplicated race: an unordered static instruction pair. */
 struct Race
 {
@@ -40,8 +43,11 @@ struct Race
 class RaceSet
 {
   public:
-    /** Record a race between static instructions @p a and @p b. */
-    void record(ir::InstrId a, ir::InstrId b, RaceKind kind,
+    /** Record a race between static instructions @p a and @p b.
+     *  Returns true when the pair is new (first static detection),
+     *  false when an existing race's hit counter was bumped — the
+     *  forensics layer captures only on first detections. */
+    bool record(ir::InstrId a, ir::InstrId b, RaceKind kind,
                 ir::Addr addr);
 
     /** Number of distinct static races. */

@@ -81,6 +81,12 @@ class EventLog
     /** Events rejected because the cap was reached. */
     uint64_t dropped() const { return dropped_; }
 
+    /** High-water mark: events ever offered (stored + dropped). The
+     *  log is append-only, so stored never shrinks; this is the demand
+     *  the cap was sized against — exported in the metrics JSON so
+     *  ring/log capacities can be tuned from data rather than guessed. */
+    uint64_t highWater() const { return events_.size() + dropped_; }
+
     /** Pretty-print up to @p limit events (0 = all). */
     void
     print(std::ostream &os, size_t limit = 0) const

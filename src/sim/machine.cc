@@ -65,6 +65,8 @@ Machine::Machine(const ir::Program &prog, const MachineConfig &cfg,
         events_.enable();
     if (cfg_.recordTrace)
         tel_.trace.enable();
+    if (cfg_.recordFlight)
+        tel_.flight.enable();
 
     // Intern the machine's hot-path metrics once; step-loop updates
     // are then plain vector indexing (no string map lookups).
@@ -147,6 +149,14 @@ Machine::rollback(Tid t, Bucket reason)
     addCost(t, cfg_.cost.rollbackCost, reason);
     tel_.registry.add(met_.rollbacks);
     tel_.registry.observe(met_.txWasted, wasted);
+}
+
+ir::InstrId
+Machine::currentSite(Tid t) const
+{
+    const ThreadContext &ctx = contexts_[t];
+    const auto &body = prog_.function(ctx.func).body;
+    return ctx.pc < body.size() ? body[ctx.pc].id : ir::kNoInstr;
 }
 
 telemetry::Phase
@@ -256,6 +266,20 @@ Machine::run()
         }
     }
     error_.stepsExecuted = steps_;
+    // Abnormal end: drain every thread's flight window into a capture
+    // so the structured error carries its own event context.
+    if (error_.kind != RunError::Kind::None &&
+        tel_.flight.enabled() &&
+        tel_.forensics.size() < telemetry::Telemetry::kMaxForensics) {
+        telemetry::ForensicsCapture cap;
+        cap.trigger = runErrorKindName(error_.kind);
+        cap.step = steps_;
+        for (uint32_t tid = 0; tid < tel_.flight.threads(); ++tid)
+            if (tel_.flight.offered(tid) > 0)
+                cap.threads.push_back(
+                    telemetry::drainThread(tel_.flight, tid));
+        tel_.forensics.push_back(std::move(cap));
+    }
     policy_.onRunEnd(*this);
     tel_.registry.set(met_.steps, steps_);
     tel_.trace.closeAll(steps_);
@@ -346,6 +370,12 @@ Machine::step()
         if (intrRng_.chance(p)) {
             htm_.abortTx(t, 0);
             tel_.registry.add(met_.interruptAborts);
+            if (tel_.flight.enabled())
+                tel_.flight.note(
+                    t, telemetry::FrKind::TxAbort, steps_,
+                    currentSite(t),
+                    static_cast<uint64_t>(
+                        telemetry::FrAbort::Interrupt));
             if (events_.enabled())
                 events_.record(steps_, t, "interrupt",
                                "unknown abort (preemption)");
@@ -359,6 +389,11 @@ Machine::step()
         if (pr > 0.0 && intrRng_.chance(pr)) {
             htm_.abortTx(t, htm::kAbortRetry);
             tel_.registry.add(met_.retryAborts);
+            if (tel_.flight.enabled())
+                tel_.flight.note(
+                    t, telemetry::FrKind::TxAbort, steps_,
+                    currentSite(t),
+                    static_cast<uint64_t>(telemetry::FrAbort::Retry));
             tel_.trace.endSpan(t, telemetry::TraceBuffer::SpanKind::Tx,
                                steps_, "retry");
             policy_.onRetryAbort(*this, t);

@@ -65,6 +65,11 @@ struct MachineConfig
     /** Record transaction/slow-path spans and abort instants into the
      *  telemetry trace buffer (txrace_run --trace-json). */
     bool recordTrace = false;
+    /** Enable the per-thread flight recorder (forensics captures on
+     *  race reports and structured run errors). Observe-only: never
+     *  changes scheduling, cost, or detection. No-op in builds made
+     *  with -DTXRACE_FLIGHTREC=OFF. */
+    bool recordFlight = false;
     /** Hard cap on scheduler steps (runaway guard). Exceeding it ends
      *  the run with RunError::Kind::Truncated, not process death. */
     uint64_t maxSteps = 500'000'000;
@@ -222,6 +227,11 @@ class Machine
     const EventLog &events() const { return events_; }
     /** Current scheduler step (for event stamping). */
     uint64_t currentStep() const { return steps_; }
+
+    /** Static instruction id thread @p t is parked on right now
+     *  (ir::kNoInstr past the end of its function) — abort/forensics
+     *  attribution. */
+    ir::InstrId currentSite(Tid t) const;
 
     /** Active fault-injection state (policies consult the modifiers
      *  that apply to them: TxFail delay, slow-path stall). */

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Per-thread flight recorder: a fixed-capacity, allocation-free ring
+ * buffer of recent execution events, recorded from the policy and
+ * scheduler hot paths, drained into a causal forensics block when a
+ * race is reported or a run ends with a structured RunError.
+ *
+ * The recorder exists to turn a detection into an explanation: a race
+ * report names two static instructions, but the *window* around the
+ * detection — the accesses that preceded it, the transaction that
+ * aborted, the governor/budget state at the instant — is what a
+ * developer (or the replay-based related work) needs to reconstruct
+ * cause. Rings are per-thread and bounded (kCapacity events), so the
+ * hot-path cost is one branch plus a masked store; nothing allocates
+ * after the first event of a thread.
+ *
+ * Compile-out gate: building with -DTXRACE_NO_FLIGHTREC reduces
+ * record() to an empty inline body, so production builds that do not
+ * want even the branch pay literally nothing (the bench row
+ * BM_EndToEndFlightRec / BM_EndToEndNoFlightRec holds the enabled
+ * cost ≤ 3% and the compiled-out cost at zero).
+ */
+
+#ifndef TXRACE_TELEMETRY_FLIGHTREC_HH
+#define TXRACE_TELEMETRY_FLIGHTREC_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace txrace::telemetry {
+
+/** Kind of one recorded flight event. */
+enum class FrKind : uint8_t {
+    Access,     ///< instrumented memory access (site + granule)
+    TxBegin,    ///< fast-path transaction began
+    TxCommit,   ///< transaction committed (arg = base cost inside)
+    TxAbort,    ///< transaction aborted (arg = FrAbort reason)
+    Sync,       ///< synchronization op performed (site)
+    SlowEnter,  ///< thread entered a slow-path episode (arg = reason)
+    SlowExit,   ///< slow-path episode ended
+    Gov,        ///< governor ladder transition (arg = new level)
+    Budget,     ///< budget gate fired (arg = FrBudget detail)
+};
+
+/** Abort reasons carried in FrKind::TxAbort's arg. */
+enum class FrAbort : uint8_t {
+    Conflict,   ///< real data conflict (victim of requester-wins)
+    TxFail,     ///< collateral abort of the TxFail broadcast
+    Capacity,   ///< own write/read set overflowed
+    Interrupt,  ///< timer interrupt / unknown status
+    Retry,      ///< transient retry-bit abort
+    HwLimit,    ///< xbegin refused: out of hardware threads
+};
+
+/** Budget-gate details carried in FrKind::Budget's arg. */
+enum class FrBudget : uint8_t {
+    RegionGated,  ///< region admitted uninstrumented
+    CheckGated,   ///< slow-path check refused by the window gate
+    Unsatisfiable ///< budget declared unsatisfiable
+};
+
+/** Display name of a flight-event kind (stable, used in JSON). */
+const char *frKindName(FrKind kind);
+/** Display name of an abort reason (stable, used in JSON). */
+const char *frAbortName(FrAbort reason);
+/** Display name of a budget-gate detail (stable, used in JSON). */
+const char *frBudgetName(FrBudget detail);
+
+/**
+ * One recorded event, packed to 16 bytes (4 per cache line) so a full
+ * ring stays small: per-thread ring traffic is the recorder's dominant
+ * cost, and it shows up as cache pressure on the simulator's own hot
+ * structures, not as store latency. Site/kind/flags share one word;
+ * the step is truncated to 32 bits (rings only ever hold a recent
+ * window, so relative order within a window is what matters).
+ */
+struct FrEvent
+{
+    /** Kind-dependent payload: Access = memory granule; TxAbort =
+     *  FrAbort; SlowEnter = sim cost-bucket reason; Gov = new level;
+     *  Budget = FrBudget; TxCommit = base cost inside the tx. */
+    uint64_t arg = 0;
+    /** Scheduler step of the event (low 32 bits). */
+    uint32_t step = 0;
+    /** site:24 | kind:4 | flags:4; site 0xffffff means "none". */
+    uint32_t meta = kNoSite;
+
+    static constexpr uint32_t kNoSite = 0xffffffu;
+
+    static FrEvent
+    make(uint64_t step, uint64_t arg, uint32_t site, FrKind kind,
+         uint8_t flags)
+    {
+        FrEvent e;
+        e.arg = arg;
+        e.step = static_cast<uint32_t>(step);
+        e.meta = (site & kNoSite) |
+                 (static_cast<uint32_t>(kind) << 24) |
+                 (static_cast<uint32_t>(flags & 0xf) << 28);
+        return e;
+    }
+
+    /** Static IR site (Access/Sync), ~0u when not applicable. */
+    uint32_t site() const
+    {
+        uint32_t s = meta & kNoSite;
+        return s == kNoSite ? ~0u : s;
+    }
+    FrKind kind() const
+    {
+        return static_cast<FrKind>((meta >> 24) & 0xf);
+    }
+    /** Bit 0: the access was a write (Access events only). */
+    bool isWrite() const { return (meta >> 28) & 1; }
+};
+static_assert(sizeof(FrEvent) == 16, "FrEvent must stay 16 bytes");
+
+/**
+ * The recorder. One instance per Machine (inside the Telemetry
+ * bundle); per-thread rings grow lazily on the first event of each
+ * thread and are fixed-size after that.
+ */
+class FlightRecorder
+{
+  public:
+    /** Ring capacity per thread (power of two; the window a
+     *  forensics capture can drain). */
+    static constexpr uint32_t kCapacity = 64;
+
+#ifdef TXRACE_NO_FLIGHTREC
+    static constexpr bool kCompiledIn = false;
+#else
+    static constexpr bool kCompiledIn = true;
+#endif
+
+    /** Turn recording on (MachineConfig::recordFlight). */
+    void enable() { enabled_ = kCompiledIn; }
+
+    /** True when record() stores events. */
+    bool enabled() const { return enabled_; }
+
+    /** Record one event for thread @p tid. Hot path: one branch, a
+     *  possible lazy ring allocation on a thread's first event, then
+     *  a masked store. Compiles to nothing under TXRACE_NO_FLIGHTREC. */
+    void
+    record(uint32_t tid, const FrEvent &e)
+    {
+#ifdef TXRACE_NO_FLIGHTREC
+        (void)tid;
+        (void)e;
+#else
+        if (!enabled_)
+            return;
+        if (tid >= rings_.size())
+            rings_.resize(tid + 1);
+        Ring &r = rings_[tid];
+        r.ev[r.n & (kCapacity - 1)] = e;
+        ++r.n;
+#endif
+    }
+
+    /** Convenience spelling of record() for call sites. */
+    void
+    note(uint32_t tid, FrKind kind, uint64_t step, uint32_t site = ~0u,
+         uint64_t arg = 0, uint8_t flags = 0)
+    {
+#ifdef TXRACE_NO_FLIGHTREC
+        (void)tid; (void)kind; (void)step; (void)site; (void)arg;
+        (void)flags;
+#else
+        if (!enabled_)
+            return;
+        record(tid, FrEvent::make(step, arg, site, kind, flags));
+#endif
+    }
+
+    /** Number of threads that ever recorded an event. */
+    size_t threads() const { return rings_.size(); }
+
+    /** Events ever offered by thread @p tid (≥ kept: the ring keeps
+     *  the newest kCapacity). */
+    uint64_t offered(uint32_t tid) const
+    {
+        return tid < rings_.size() ? rings_[tid].n : 0;
+    }
+
+    /** The retained window of thread @p tid, oldest first. */
+    std::vector<FrEvent> window(uint32_t tid) const;
+
+    /** Drop all recorded state (rings stay allocated). */
+    void clear();
+
+  private:
+    struct Ring
+    {
+        std::array<FrEvent, kCapacity> ev{};
+        uint64_t n = 0;  ///< events ever offered; head = n % kCapacity
+    };
+
+    bool enabled_ = false;
+    /** vector, not deque: operator[] is on the per-access hot path
+     *  and no caller holds a Ring reference across record() calls,
+     *  so the cheaper indexing wins and growth may relocate. */
+    std::vector<Ring> rings_;
+};
+
+/** One thread's contribution to a forensics capture. */
+struct ForensicsThread
+{
+    uint32_t tid = 0;
+    /** Governor ladder level at capture time (0 = full fast path). */
+    uint64_t govLevel = 0;
+    /** Budget sampling shift of the racing site for this thread's
+     *  endpoint (0 when monitor mode is off). */
+    uint64_t siteShift = 0;
+    /** The drained ring, oldest first. */
+    std::vector<FrEvent> window;
+    /** Distinct granules read / written inside the window (the
+     *  aborting transaction's footprint, over-approximated to the
+     *  whole retained window). Sorted ascending. */
+    std::vector<uint64_t> readGranules;
+    std::vector<uint64_t> writeGranules;
+};
+
+/** One entry of a capture's last-writer chain. */
+struct ForensicsWrite
+{
+    uint64_t step = 0;
+    uint32_t tid = 0;
+    uint32_t site = ~0u;
+    uint64_t granule = 0;
+};
+
+/**
+ * A causal snapshot taken at the instant a race was reported or a
+ * structured RunError ended the run: the involved threads' retained
+ * windows plus the write chain on the racing granule. Serialized as
+ * the txrace-forensics-v1 block of the metrics JSON and rendered by
+ * `txrace_run --explain`.
+ */
+struct ForensicsCapture
+{
+    /** "race" or a RunError kind name (deadlock/truncated/budget). */
+    std::string trigger;
+    /** Scheduler step of the capture. */
+    uint64_t step = 0;
+    /** Racing static sites (race trigger only; ~0u otherwise). */
+    uint32_t siteA = ~0u;
+    uint32_t siteB = ~0u;
+    /** Race kind name at detection ("" for RunError triggers). */
+    std::string kind;
+    /** Racing memory granule (race trigger only). */
+    uint64_t granule = 0;
+    /** Involved threads' windows, ordered by tid. */
+    std::vector<ForensicsThread> threads;
+    /** Write events on the racing granule across the drained windows,
+     *  step-ordered (the last-writer chain; newest last). */
+    std::vector<ForensicsWrite> lastWriters;
+};
+
+/**
+ * Assemble the per-thread half of a capture from @p rec: drain
+ * @p tid's window and compute its read/write footprints.
+ */
+ForensicsThread drainThread(const FlightRecorder &rec, uint32_t tid);
+
+/**
+ * Compute the last-writer chain over already-drained @p threads:
+ * every Access-write event on @p granule, step-ordered, capped to the
+ * newest @p limit entries.
+ */
+std::vector<ForensicsWrite>
+lastWriterChain(const std::vector<ForensicsThread> &threads,
+                uint64_t granule, size_t limit = 8);
+
+} // namespace txrace::telemetry
+
+#endif // TXRACE_TELEMETRY_FLIGHTREC_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Conflict-heatmap tests, focused on the false-sharing classifier:
+ * a line whose conflicts span distinct sub-line granules is flagged
+ * as a false-sharing candidate, a line hammered on one granule is
+ * not, and the exported top-N carries the verdict.
+ */
+
+#include <gtest/gtest.h>
+
+#include "telemetry/conflictmap.hh"
+
+using namespace txrace;
+using telemetry::ConflictHotLine;
+using telemetry::ConflictMap;
+
+TEST(ConflictMap, DistinctGranulesFlagFalseSharing)
+{
+    ConflictMap map;
+    // Two different variables packed into line 5 (granules 0x140 and
+    // 0x148): the classic false-sharing shape.
+    map.record(5, 0x140, 10);
+    map.record(5, 0x148, 11);
+    const auto &line = map.lines().at(5);
+    EXPECT_EQ(line.conflicts, 2u);
+    EXPECT_EQ(line.granules.size(), 2u);
+    EXPECT_TRUE(line.falseSharingCandidate());
+}
+
+TEST(ConflictMap, SameGranuleIsNotFlagged)
+{
+    ConflictMap map;
+    // Many conflicts, all on ONE granule of line 9: true sharing on a
+    // single variable, however hot — never a false-sharing candidate.
+    for (int i = 0; i < 50; ++i)
+        map.record(9, 0x240, 10 + (i % 3));
+    const auto &line = map.lines().at(9);
+    EXPECT_EQ(line.conflicts, 50u);
+    EXPECT_EQ(line.granules.size(), 1u);
+    EXPECT_FALSE(line.falseSharingCandidate());
+}
+
+TEST(ConflictMap, VerdictIsPerLine)
+{
+    ConflictMap map;
+    map.record(1, 0x40, 1);   // line 1: single granule
+    map.record(1, 0x40, 2);
+    map.record(2, 0x80, 3);   // line 2: two granules
+    map.record(2, 0x88, 3);
+    EXPECT_FALSE(map.lines().at(1).falseSharingCandidate());
+    EXPECT_TRUE(map.lines().at(2).falseSharingCandidate());
+    EXPECT_EQ(map.total(), 4u);
+    EXPECT_EQ(map.lineCount(), 2u);
+}
+
+TEST(ConflictMap, TopNCarriesVerdictAndGranuleCount)
+{
+    ConflictMap map;
+    for (int i = 0; i < 5; ++i)
+        map.record(7, 0x1c0, 20);        // hottest, true sharing
+    map.record(3, 0xc0, 21);
+    map.record(3, 0xc8, 22);             // cooler, false sharing
+    std::vector<ConflictHotLine> top = map.topN(2);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_EQ(top[0].line, 7u);
+    EXPECT_EQ(top[0].conflicts, 5u);
+    EXPECT_EQ(top[0].distinctGranules, 1u);
+    EXPECT_FALSE(top[0].falseSharingCandidate);
+    EXPECT_EQ(top[1].line, 3u);
+    EXPECT_EQ(top[1].distinctGranules, 2u);
+    EXPECT_TRUE(top[1].falseSharingCandidate);
+}

@@ -40,8 +40,30 @@ usage()
         "  --scale N        work multiplier per run (default 1)\n"
         "  --master-seed N  campaign master seed (default 1)\n"
         "  --out FILE       write the txrace-campaign-v1 JSON report\n"
-        "  --quiet          no per-round progress chatter\n";
+        "  --profile-out FILE  write the fleet's txrace-profile-v1\n"
+        "                   union (byte-identical across --jobs)\n"
+        "  --progress-json FILE  stream NDJSON heartbeat records\n"
+        "                   (txrace-progress-v1) while the fleet runs\n"
+        "  --progress-every N  heartbeat cadence in completed jobs\n"
+        "                   (default 8)\n"
+        "  --trace-json FILE  write a Chrome trace-event timeline of\n"
+        "                   per-job spans (worker lanes)\n"
+        "  --quiet          no per-round progress chatter\n"
+        "\n"
+        "FILE may be '-' for stdout on any of the JSON exports.\n";
     std::exit(0);
+}
+
+/** "-" means stdout; anything else opens @p file for writing. */
+std::ostream &
+openOut(const std::string &path, std::ofstream &file)
+{
+    if (path == "-")
+        return std::cout;
+    file.open(path);
+    if (!file)
+        fatal("cannot write %s", path.c_str());
+    return file;
 }
 
 std::vector<std::string>
@@ -83,6 +105,9 @@ main(int argc, char **argv)
     campaign::CampaignConfig cfg;
     std::string apps_arg;
     std::string out_path;
+    std::string profile_out_path;
+    std::string progress_json_path;
+    std::string trace_json_path;
     bool quiet = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -115,6 +140,16 @@ main(int argc, char **argv)
             cfg.masterSeed = std::strtoull(v7, nullptr, 10);
         } else if (const char *v8 = value("--out")) {
             out_path = v8;
+        } else if (const char *v9 = value("--profile-out")) {
+            profile_out_path = v9;
+        } else if (const char *v10 = value("--progress-json")) {
+            progress_json_path = v10;
+        } else if (const char *v11 = value("--progress-every")) {
+            cfg.progressEvery = std::strtoull(v11, nullptr, 10);
+            if (cfg.progressEvery == 0)
+                fatal("--progress-every must be positive");
+        } else if (const char *v12 = value("--trace-json")) {
+            trace_json_path = v12;
         } else if (std::strcmp(argv[i], "--quiet") == 0) {
             quiet = true;
         } else {
@@ -125,8 +160,13 @@ main(int argc, char **argv)
         usage();
     cfg.apps = parseApps(apps_arg);
 
-    campaign::CampaignResult result =
-        campaign::runCampaign(cfg, quiet ? nullptr : &std::cout);
+    std::ofstream progress_file;
+    std::ostream *progress_json = nullptr;
+    if (!progress_json_path.empty())
+        progress_json = &openOut(progress_json_path, progress_file);
+
+    campaign::CampaignResult result = campaign::runCampaign(
+        cfg, quiet ? nullptr : &std::cout, progress_json);
 
     std::cout << "campaign: " << result.runs << " runs, "
               << result.rounds << " round(s), " << result.errors
@@ -163,11 +203,31 @@ main(int argc, char **argv)
               << result.timing.steals << " steal(s)\n";
 
     if (!out_path.empty()) {
-        std::ofstream out(out_path);
-        if (!out)
-            fatal("cannot write %s", out_path.c_str());
+        std::ofstream file;
+        std::ostream &out = openOut(out_path, file);
         campaign::writeCampaignJson(out, cfg, result);
-        std::cout << "report written to " << out_path << "\n";
+        if (out_path != "-")
+            std::cout << "report written to " << out_path << "\n";
+    }
+
+    if (!profile_out_path.empty()) {
+        std::ofstream file;
+        std::ostream &out = openOut(profile_out_path, file);
+        result.profile.write(out);
+        if (profile_out_path != "-")
+            std::cout << "profile written to " << profile_out_path
+                      << "\n";
+    }
+
+    if (!trace_json_path.empty()) {
+        std::ofstream file;
+        std::ostream &out = openOut(trace_json_path, file);
+        campaign::writeCampaignTrace(out, result);
+        if (trace_json_path != "-")
+            std::cout << "trace written to " << trace_json_path
+                      << " (" << result.timing.spans.size()
+                      << " job span(s); open in chrome://tracing or "
+                         "Perfetto)\n";
     }
     return result.errors == 0 ? 0 : 2;
 }

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "core/metrics_export.hh"
 #include "core/report_format.hh"
@@ -46,6 +47,21 @@ parseMode(const std::string &name)
         return core::RunMode::TxRaceNoOpt;
     fatal("unknown mode '%s' (native, tsan, sampling, eraser, racetm, "
           "txrace, txrace-dyn, txrace-noopt)", name.c_str());
+}
+
+/**
+ * Resolve an output path for the JSON exporters: "-" means stdout,
+ * anything else opens @p file for writing (fatal on failure).
+ */
+std::ostream &
+openOut(const std::string &path, std::ofstream &file)
+{
+    if (path == "-")
+        return std::cout;
+    file.open(path);
+    if (!file)
+        fatal("cannot write %s", path.c_str());
+    return file;
 }
 
 [[noreturn]] void
@@ -89,7 +105,16 @@ usage()
         "  --metrics-json FILE  write the txrace-metrics-v1 document\n"
         "  --trace-json FILE    write a Chrome trace-event timeline\n"
         "                 (load in chrome://tracing or Perfetto)\n"
-        "  --no-overhead  skip the native reference run\n";
+        "  --profile-out FILE   write the txrace-profile-v1 site\n"
+        "                 profile accumulated over this invocation\n"
+        "  --profile-in FILE    seed the profile with a previous\n"
+        "                 --profile-out document (cross-run merge)\n"
+        "  --explain      render the forensics captures (flight\n"
+        "                 windows, last-writer chain) after the report\n"
+        "  --no-flightrec disable the per-thread flight recorder\n"
+        "  --no-overhead  skip the native reference run\n"
+        "\n"
+        "FILE may be '-' for stdout on any of the JSON exports.\n";
     std::exit(0);
 }
 
@@ -117,8 +142,12 @@ main(int argc, char **argv)
     bool monitor = false;
     double budget_pct = 5.0;
     bool elide = true;
+    bool explain = false;
+    bool flightrec = true;
     std::string metrics_json_path;
     std::string trace_json_path;
+    std::string profile_out_path;
+    std::string profile_in_path;
 
     for (int i = 1; i < argc; ++i) {
         auto value = [&](const char *flag) -> const char * {
@@ -191,6 +220,14 @@ main(int argc, char **argv)
             metrics_json_path = vm;
         } else if (const char *vt = value("--trace-json")) {
             trace_json_path = vt;
+        } else if (const char *vpo = value("--profile-out")) {
+            profile_out_path = vpo;
+        } else if (const char *vpi = value("--profile-in")) {
+            profile_in_path = vpi;
+        } else if (std::strcmp(argv[i], "--explain") == 0) {
+            explain = true;
+        } else if (std::strcmp(argv[i], "--no-flightrec") == 0) {
+            flightrec = false;
         } else if (std::strcmp(argv[i], "--stats") == 0) {
             dump_stats = true;
             // Optional value: a name filter (substring match, so
@@ -232,6 +269,7 @@ main(int argc, char **argv)
     cfg.machine.interruptPerStep *= irq_scale;
     cfg.machine.recordEvents = trace > 0;
     cfg.machine.recordTrace = !trace_json_path.empty();
+    cfg.machine.recordFlight = flightrec;
     if (!fault_name.empty())
         cfg.machine.faults =
             fault::makeScenario(fault_name, fault_horizon);
@@ -281,6 +319,20 @@ main(int argc, char **argv)
     if (!seed_list.empty())
         seeds = core::parseSeedList(seed_list);
 
+    // Cross-run profile: start from --profile-in (if any), fold in
+    // every run of this invocation, write with --profile-out.
+    telemetry::Profile profile;
+    if (!profile_in_path.empty()) {
+        std::ifstream in(profile_in_path);
+        if (!in)
+            fatal("cannot read %s", profile_in_path.c_str());
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        std::string err;
+        if (!telemetry::Profile::parse(buf.str(), profile, err))
+            fatal("%s: %s", profile_in_path.c_str(), err.c_str());
+    }
+
     detector::RaceSet union_races;
     core::RunResult result;
     for (uint64_t s : seeds) {
@@ -291,6 +343,9 @@ main(int argc, char **argv)
         result = core::runProgram(prog, cfg);
         core::printRaceReport(prog, result, std::cout, identity,
                               core::configDigest(cfg));
+        if (explain)
+            core::printForensics(prog, result, std::cout);
+        profile.merge(core::buildRunProfile(identity.name, result));
 
         if (!result.error.ok()) {
             std::cout << "abnormal end: "
@@ -353,9 +408,8 @@ main(int argc, char **argv)
     }
 
     if (!metrics_json_path.empty()) {
-        std::ofstream out(metrics_json_path);
-        if (!out)
-            fatal("cannot write %s", metrics_json_path.c_str());
+        std::ofstream file;
+        std::ostream &out = openOut(metrics_json_path, file);
         core::MetricsMeta meta;
         meta.app = !app_name.empty() ? app_name
                    : !pattern_name.empty() ? pattern_name
@@ -365,17 +419,30 @@ main(int argc, char **argv)
         meta.workers = params.nWorkers;
         meta.scale = params.scale;
         core::writeMetricsJson(out, meta, &prog, result);
-        std::cout << "metrics written to " << metrics_json_path << "\n";
+        if (metrics_json_path != "-")
+            std::cout << "metrics written to " << metrics_json_path
+                      << "\n";
     }
 
     if (!trace_json_path.empty()) {
-        std::ofstream out(trace_json_path);
-        if (!out)
-            fatal("cannot write %s", trace_json_path.c_str());
+        std::ofstream file;
+        std::ostream &out = openOut(trace_json_path, file);
         result.telemetry.trace.writeChromeTrace(out);
-        std::cout << "trace written to " << trace_json_path
-                  << " (" << result.telemetry.trace.events().size()
-                  << " events; open in chrome://tracing or Perfetto)\n";
+        if (trace_json_path != "-")
+            std::cout << "trace written to " << trace_json_path
+                      << " ("
+                      << result.telemetry.trace.events().size()
+                      << " events; open in chrome://tracing or "
+                         "Perfetto)\n";
+    }
+
+    if (!profile_out_path.empty()) {
+        std::ofstream file;
+        std::ostream &out = openOut(profile_out_path, file);
+        profile.write(out);
+        if (profile_out_path != "-")
+            std::cout << "profile written to " << profile_out_path
+                      << "\n";
     }
     return result.error.ok() ? 0 : 2;
 }
