@@ -154,12 +154,13 @@ def check_monitor(path, budget_pct):
 
 PROFILE_APP_COUNTERS = (
     "runs", "filter_hits", "tx_begins", "tx_committed", "slow_regions",
+    "window_replays", "window_fallbacks",
     "monitor_site_cuts", "monitor_site_probes", "monitor_gated_checks",
     "monitor_sampled_skips",
 )
 PROFILE_SITE_COUNTERS = (
     "conflict_aborts", "capacity_aborts", "other_aborts",
-    "slow_checks", "slow_cost", "monitor_shift_max",
+    "slow_checks", "slow_cost", "window_replays", "monitor_shift_max",
 )
 
 

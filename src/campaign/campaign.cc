@@ -53,7 +53,8 @@ class WorkerCache
 };
 
 JobOutcome
-executeJob(const JobSpec &spec, WorkerCache &cache, bool calibrate)
+executeJob(const JobSpec &spec, WorkerCache &cache, bool calibrate,
+           core::SlowPathKind slowpath)
 {
     const workloads::AppModel &app =
         cache.get(spec.app, spec.workers, spec.scale, calibrate);
@@ -64,6 +65,7 @@ executeJob(const JobSpec &spec, WorkerCache &cache, bool calibrate)
     rc.machine.seed = spec.seed;
     rc.machine.interruptPerStep *= spec.interruptScale;
     rc.governor.enabled = spec.governor;
+    rc.slowpath = slowpath;
 
     core::RunIdentity identity;
     identity.target = core::RunTarget::App;
@@ -75,6 +77,7 @@ executeJob(const JobSpec &spec, WorkerCache &cache, bool calibrate)
     identity.governor = spec.governor;
     identity.irqScale = spec.interruptScale;
     identity.calibrated = calibrate;
+    identity.slowpath = slowpath;
 
     JobOutcome outcome;
     outcome.spec = spec;
@@ -189,17 +192,18 @@ runCampaign(const CampaignConfig &cfg, std::ostream *progress,
     std::vector<WorkerCache> caches(cfg.jobs);
     ResultQueue queue(cfg.queueCapacity);
     bool calibrate = cfg.calibrate;
+    core::SlowPathKind slowpath = cfg.slowpath;
     // Live per-worker phase gauges for the heartbeat stream.
     std::vector<std::atomic<uint8_t>> workerBusy(cfg.jobs);
     auto wall0 = std::chrono::steady_clock::now();
     WorkStealingPool pool(
         cfg.jobs,
-        [&caches, &workerBusy, calibrate, wall0](const JobSpec &spec,
-                                                 uint32_t worker) {
+        [&caches, &workerBusy, calibrate, slowpath,
+         wall0](const JobSpec &spec, uint32_t worker) {
             workerBusy[worker].store(1, std::memory_order_relaxed);
             auto t0 = std::chrono::steady_clock::now();
             JobOutcome outcome =
-                executeJob(spec, caches[worker], calibrate);
+                executeJob(spec, caches[worker], calibrate, slowpath);
             outcome.worker = worker;
             outcome.startMicros = uint64_t(
                 std::chrono::duration_cast<std::chrono::microseconds>(

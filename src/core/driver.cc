@@ -98,6 +98,12 @@ runProgram(const ir::Program &prog, const RunConfig &cfg)
         else if (cfg.mode == RunMode::TxRaceProfLoopcut)
             scheme = TxRacePolicy::Scheme::Prof;
 
+        // Windowed slow path needs the engine-side version log; the
+        // flag is part of the run's identity (capacity model changes),
+        // so it is set from the slowpath choice, never independently.
+        sim::MachineConfig mcfg = cfg.machine;
+        mcfg.htm.versionLog = cfg.slowpath == SlowPathKind::Window;
+
         LoopCutTable profiled(cfg.dynLoopcutInitial);
         if (scheme == TxRacePolicy::Scheme::Prof) {
             // Offline profiling run on a "representative input"
@@ -105,8 +111,9 @@ runProgram(const ir::Program &prog, const RunConfig &cfg)
             // only the table. Profiling cost is not part of the
             // measured run, as in the paper.
             TxRacePolicy profiler(TxRacePolicy::Scheme::Dyn, nullptr,
-                                  cfg.dynLoopcutInitial);
-            sim::MachineConfig prof_cfg = cfg.machine;
+                                  cfg.dynLoopcutInitial, 4, false, {},
+                                  1, {}, cfg.slowpath);
+            sim::MachineConfig prof_cfg = mcfg;
             prof_cfg.seed ^= cfg.profileSeedDelta;
             sim::Machine machine(prepared, prof_cfg, profiler);
             machine.run();
@@ -120,8 +127,8 @@ runProgram(const ir::Program &prog, const RunConfig &cfg)
                             cfg.dynLoopcutInitial, 4,
                             cfg.conflictAddressHints, cfg.governor,
                             cfg.machine.seed ^ 0x9075ea1ULL,
-                            cfg.budget);
-        sim::Machine machine(prepared, cfg.machine, policy);
+                            cfg.budget, cfg.slowpath);
+        sim::Machine machine(prepared, mcfg, policy);
         result.error = machine.run();
         result.budget = policy.budgetReport();
         result.totalCost = machine.totalCost();

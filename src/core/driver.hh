@@ -50,6 +50,12 @@ struct RunConfig
      *  default; txrace_run --monitor --budget-pct=N enables it and
      *  turns the governor on alongside (they compose). */
     BudgetConfig budget;
+    /** Conflict-abort repair (TxRace modes only). Window records a
+     *  per-line version log in the fast path and replays only the
+     *  aborting window through the detector; Region is the paper's
+     *  TxFail-broadcast whole-region re-execution, kept as the
+     *  differential oracle (txrace_run --slowpath=region). */
+    SlowPathKind slowpath = SlowPathKind::Window;
 };
 
 /** Results of one run. */

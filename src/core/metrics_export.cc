@@ -184,6 +184,9 @@ writeFlightEvent(JsonWriter &w, const telemetry::FrEvent &e)
       case FrKind::TxCommit:
         w.field("base_cost", e.arg);
         break;
+      case FrKind::WindowReplay:
+        w.field("entries", e.arg);
+        break;
       default:
         break;
     }
@@ -396,6 +399,8 @@ buildRunProfile(const std::string &app, const RunResult &result)
     a.txBegins = result.stats.get("tx.begins");
     a.txCommitted = result.stats.get("tx.committed");
     a.slowRegions = result.stats.get("txrace.slow_regions");
+    a.windowReplays = result.stats.get("txrace.window.replays");
+    a.windowFallbacks = result.stats.get("txrace.window.fallbacks");
     if (result.budget.enabled) {
         a.monitorSiteCuts = result.budget.siteCuts;
         a.monitorSiteProbes = result.budget.siteProbes;
@@ -409,6 +414,7 @@ buildRunProfile(const std::string &app, const RunResult &result)
         sp.otherAborts = ss.otherAborts;
         sp.slowChecks = ss.slowChecks;
         sp.slowCost = ss.slowCost;
+        sp.windowReplays = ss.windowReplays;
     }
     for (const auto &[site, shift] : result.budget.siteShifts)
         a.sites[site].monitorShiftMax = shift;

@@ -9,6 +9,7 @@
 #define TXRACE_CORE_POLICIES_HH
 
 #include <set>
+#include <unordered_set>
 
 #include "core/budget.hh"
 #include "core/governor.hh"
@@ -155,6 +156,13 @@ class TxRacePolicy : public sim::ExecutionPolicy
      *        from the machine seed by the driver).
      * @param budget monitor-mode overhead budget; disabled by default.
      *        The controller shares gov_seed for its sampling hash.
+     * @param slowpath conflict-abort repair scheme. Window replays
+     *        only the aborting window from the version logs (the
+     *        machine's HtmConfig::versionLog must be on); Region is
+     *        the paper's TxFail-broadcast whole-region re-execution,
+     *        kept as the differential oracle. Defaults to Region so
+     *        directly-constructed policies (tests) keep the original
+     *        behavior; the driver selects Window.
      */
     explicit TxRacePolicy(Scheme scheme,
                           const LoopCutTable *preloaded = nullptr,
@@ -163,7 +171,15 @@ class TxRacePolicy : public sim::ExecutionPolicy
                           bool addr_hints = false,
                           const GovernorConfig &gov = {},
                           uint64_t gov_seed = 1,
-                          const BudgetConfig &budget = {});
+                          const BudgetConfig &budget = {},
+                          SlowPathKind slowpath = SlowPathKind::Region);
+
+    /** Windowed replays one transaction attempt may pay before the
+     *  policy surrenders the region to a solo slow episode. One: a
+     *  re-begun window that conflicts again is contending on a hot
+     *  line, and each further replay costs a rollback re-execution —
+     *  at that point a solo slow episode is strictly cheaper. */
+    static constexpr uint32_t kMaxWindowReplays = 1;
 
     void onRunStart(sim::Machine &m) override;
     void onRunEnd(sim::Machine &m) override;
@@ -206,8 +222,21 @@ class TxRacePolicy : public sim::ExecutionPolicy
     /** Begin a fast-path transaction at the current point. */
     void enterFastTx(sim::Machine &m, Tid t, uint64_t segment_loop);
 
-    /** Conflict-abort handling for a victim of a real data conflict. */
+    /** Conflict-abort handling for a victim of a real data conflict
+     *  (region mode: roll back, then publish TxFail next step). */
     void handleConflictVictim(sim::Machine &m, Tid v);
+
+    /** Windowed mode: merge the victim's and requester's pending
+     *  version-log windows, replay them through the detector, roll
+     *  the victim back, and re-begin its transaction in place — no
+     *  TxFail broadcast, no region demotion. Past kMaxWindowReplays
+     *  (or without a version log) the victim falls back to a solo
+     *  slow region instead. @p req_site attributes the replay and
+     *  @p conflict_line joins the watched-line set either way. */
+    void handleConflictVictimWindowed(sim::Machine &m, Tid v,
+                                      Tid requester,
+                                      ir::InstrId req_site,
+                                      uint64_t conflict_line);
 
     /** Capacity abort of @p t's own transaction; @p site is the
      *  access instruction that overflowed (abort attribution for the
@@ -232,10 +261,20 @@ class TxRacePolicy : public sim::ExecutionPolicy
     LoopCutTable loopcuts_;
     uint32_t maxRetries_;
     bool addrHints_;
+    SlowPathKind slowpath_;
     FallbackGovernor governor_;
     BudgetController budget_;
     /** Static loop ids that carry LoopCut instrumentation. */
     std::set<uint64_t> cutLoops_;
+    /** Windowed mode: cache lines that ever produced a conflict
+     *  abort. The replay covers the aborting window itself; keeping
+     *  the line software-checked afterwards covers the accesses that
+     *  region mode would have caught via its broadcast demotion —
+     *  third threads touching the same line after the conflicting
+     *  transaction committed. Lines never leave the set: a line that
+     *  conflicted once is exactly where a detector should keep
+     *  looking, and the set stays tiny (contended lines only). */
+    std::unordered_set<uint64_t> watchedLines_;
 
     /** Interned ids of the policy's hot-path counters (onRunStart
      *  registers them in the machine's metric registry; updates are
@@ -257,6 +296,12 @@ class TxRacePolicy : public sim::ExecutionPolicy
          *  the static elision pipeline demoted — the "fraction of
          *  accesses monitored" statistic HardRace reports. */
         telemetry::MetricId accessInstrumented, accessUninstrumented;
+        /** Windowed slow path: replays performed, replay-cap (or
+         *  missing-log) fallbacks to a solo slow region, and the
+         *  window length / replay cost distributions. */
+        telemetry::MetricId windowReplays, windowFallbacks;
+        telemetry::MetricId windowWatchChecks;
+        telemetry::MetricId windowLen, windowReplayCost;
     };
     Metrics met_{};
 };

@@ -117,6 +117,9 @@ printFlightEvent(std::ostream &os, const telemetry::FrEvent &e)
       case FrKind::TxCommit:
         os << " cost=" << e.arg;
         break;
+      case FrKind::WindowReplay:
+        os << " entries=" << e.arg;
+        break;
       default:
         break;
     }

@@ -81,6 +81,7 @@ configDigest(const RunConfig &cfg)
     d.f64(cfg.mode == RunMode::TSanSampling ? cfg.sampleRate : 1.0);
     d.u64(cfg.dynLoopcutInitial);
     d.u64(cfg.conflictAddressHints ? 1 : 0);
+    d.u64(static_cast<uint64_t>(cfg.slowpath));
     d.u64(cfg.profileSeedDelta);
 
     const sim::MachineConfig &m = cfg.machine;
@@ -104,6 +105,7 @@ configDigest(const RunConfig &cfg)
     d.u64(c.syncTrackCost);
     d.u64(c.checkCost);
     d.f64(c.checkScale);
+    d.u64(c.windowReplaySetupCost);
 
     const htm::HtmConfig &h = m.htm;
     d.u64(h.l1Sets);
@@ -114,6 +116,8 @@ configDigest(const RunConfig &cfg)
     d.u64(h.trackInstructions ? 1 : 0);
     d.u64(static_cast<uint64_t>(h.engine));
     d.u64(h.accessFilter ? 1 : 0);
+    d.u64(h.versionLog ? 1 : 0);
+    d.u64(h.versionLogEntries);
 
     const detector::DetectorConfig &det = m.det;
     d.u64(det.maxShadowCells);
@@ -197,6 +201,8 @@ reproCommand(const RunIdentity &id)
         ss << " --irq-scale " << id.irqScale;
     if (!id.calibrated && id.target == RunTarget::App)
         ss << " --no-calibrate";
+    if (id.slowpath == SlowPathKind::Region)
+        ss << " --slowpath region";
     return ss.str();
 }
 

@@ -6,6 +6,8 @@
 #ifndef TXRACE_CORE_RUNMODE_HH
 #define TXRACE_CORE_RUNMODE_HH
 
+#include <cstdint>
+
 namespace txrace::core {
 
 /** Which tool monitors the execution. */
@@ -22,6 +24,23 @@ enum class RunMode {
 
 /** Display name, matching the paper's legends. */
 const char *runModeName(RunMode mode);
+
+/** How a conflict abort is repaired before the fast path resumes. */
+enum class SlowPathKind : uint8_t {
+    /** Replay only the aborting window (victim + requester version
+     *  logs) through the detector, then re-begin in place. */
+    Window,
+    /** Globally abort all in-flight transactions via the TxFail flag
+     *  and re-execute the whole region under FastTrack (the paper's
+     *  original scheme; kept as the differential oracle). */
+    Region,
+};
+
+constexpr const char *
+slowPathKindName(SlowPathKind k)
+{
+    return k == SlowPathKind::Window ? "window" : "region";
+}
 
 /** True for the three TxRace variants. */
 constexpr bool

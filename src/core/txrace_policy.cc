@@ -63,9 +63,11 @@ traceSlowEnd(Machine &m, Tid t, const char *outcome)
 TxRacePolicy::TxRacePolicy(Scheme scheme, const LoopCutTable *preloaded,
                            uint64_t dyn_initial, uint32_t max_retries,
                            bool addr_hints, const GovernorConfig &gov,
-                           uint64_t gov_seed, const BudgetConfig &budget)
+                           uint64_t gov_seed, const BudgetConfig &budget,
+                           SlowPathKind slowpath)
     : scheme_(scheme), loopcuts_(dyn_initial),
       maxRetries_(max_retries), addrHints_(addr_hints),
+      slowpath_(slowpath),
       governor_(gov, gov_seed), budget_(budget, gov_seed)
 {
     if (preloaded) {
@@ -116,6 +118,12 @@ TxRacePolicy::onRunStart(Machine &m)
         reg.counter("txrace.access.instrumented");
     met_.accessUninstrumented =
         reg.counter("txrace.access.uninstrumented");
+    met_.windowReplays = reg.counter("txrace.window.replays");
+    met_.windowFallbacks = reg.counter("txrace.window.fallbacks");
+    met_.windowWatchChecks = reg.counter("txrace.window.watch_checks");
+    met_.windowLen = reg.histogram("slowpath.window.len");
+    met_.windowReplayCost =
+        reg.histogram("slowpath.window.replay_cost");
     governor_.bindMetrics(reg);
     budget_.bindMetrics(reg);
     if (budget_.enabled())
@@ -214,6 +222,14 @@ TxRacePolicy::enterFastTx(Machine &m, Tid t, uint64_t segment_loop)
     ctx.lastLoopCutId = segment_loop == kNoCutLoop
         ? ir::kNoInstr
         : static_cast<uint32_t>(segment_loop);
+    // Fresh segment, fresh windowed-replay allowance (the in-place
+    // re-begin after a replay deliberately does NOT go through here,
+    // so repeated conflicts on one attempt still hit the cap).
+    ctx.windowReplays = 0;
+    // tx.begins counts every xbegin issued — region entries, loop-cut
+    // segments, and the in-place re-begins below — so it can never
+    // undercount tx.committed (the profile invariant).
+    m.tel().registry.add(met_.txBegins);
     traceTxBegin(m, t);
     flightNote(m, t, FrKind::TxBegin);
 }
@@ -307,7 +323,6 @@ TxRacePolicy::onTxBegin(Machine &m, Tid t, const ir::Instruction &ins)
     enterFastTx(m, t, kNoCutLoop);
     ctx.takeSnapshot(ctx.pc + 1);
     ctx.retryCount = 0;
-    m.tel().registry.add(met_.txBegins);
     if (m.events().enabled())
         m.events().record(m.currentStep(), t, "xbegin");
 }
@@ -458,6 +473,113 @@ TxRacePolicy::handleConflictVictim(Machine &m, Tid v)
     vctx.txFailDelay = m.faults().txFailDelaySteps();
 }
 
+void
+TxRacePolicy::handleConflictVictimWindowed(Machine &m, Tid v,
+                                           Tid requester,
+                                           ir::InstrId req_site,
+                                           uint64_t conflict_line)
+{
+    auto &vctx = m.context(v);
+    htm::VersionLog *vl = m.htm().versionLog();
+    // The conflicting line stays software-checked from here on (see
+    // watchedLines_): that is the scoped stand-in for region mode's
+    // broadcast demotion, catching third threads that touch the line
+    // after the conflicting transaction commits.
+    watchedLines_.insert(conflict_line);
+    m.tel().registry.add(met_.abortConflict);
+    traceTxEnd(m, v, "conflict");
+    flightNote(m, v, FrKind::TxAbort, m.currentSite(v),
+               static_cast<uint64_t>(FrAbort::Conflict));
+    m.tel().trace.instant(v, m.currentStep(), "conflict-abort",
+                          "abort");
+
+    if (!vl || vctx.windowReplays >= kMaxWindowReplays) {
+        // No version log, or this attempt keeps getting hit: replaying
+        // the same window over and over is livelock, not repair.
+        // Surrender only THIS region to a solo slow episode — still no
+        // TxFail broadcast, the concurrent fast+slow shape of Fig. 5.
+        m.tel().registry.add(met_.windowFallbacks);
+        if (m.events().enabled())
+            m.events().record(m.currentStep(), v, "window-fallback",
+                              "replay cap hit; region goes slow");
+        uint64_t hint = addrHints_ ? m.htm().lastConflictLine(v)
+                                   : htm::HtmEngine::kNoLine;
+        if (vl)
+            vl->clear(v);
+        m.rollback(v, Bucket::Conflict);
+        governor_.onAbort(m, v, Bucket::Conflict, /*primary=*/true);
+        vctx.slowHintLine = hint;
+        vctx.snap.valid = false;
+        vctx.lastLoopCutId = ir::kNoInstr;
+        vctx.path = PathMode::Slow;
+        vctx.slowReason = Bucket::Conflict;
+        traceSlowBegin(m, v, "slow:window-fallback");
+        flightNote(m, v, FrKind::SlowEnter, m.currentSite(v),
+                   static_cast<uint64_t>(vctx.slowReason));
+        return;
+    }
+
+    // Reconstruct the inter-thread order of the aborting window: the
+    // victim's pending (not-yet-replayed) log merged with the
+    // requester's — which already contains the conflicting access
+    // itself, logged before victim handling. Sorting by (step, tid)
+    // is the offline infer-style merge; it is exact here because the
+    // scheduler serializes accesses, and the per-entry version stamps
+    // let offline consumers cross-check it.
+    std::vector<htm::VersionLogEntry> window = vl->pendingWindow(v);
+    const bool reqLogged = m.htm().inTx(requester);
+    if (reqLogged) {
+        auto rw = vl->pendingWindow(requester);
+        window.insert(window.end(), rw.begin(), rw.end());
+    }
+    std::sort(window.begin(), window.end(),
+              [](const htm::VersionLogEntry &a,
+                 const htm::VersionLogEntry &b) {
+                  return a.step != b.step ? a.step < b.step
+                                          : a.tid < b.tid;
+              });
+
+    // Replay only that window under the happens-before detector.
+    // Replayed checks feed the same persistent shadow state as slow-
+    // path checks, so detection accumulates across replays exactly as
+    // across regions. The victim pays the replay (its abort handler
+    // does the work), under the Conflict bucket.
+    uint64_t replay_cost = m.replayWindow(v, window);
+    m.tel().registry.add(met_.windowReplays);
+    m.tel().registry.observe(met_.windowLen, window.size());
+    m.tel().registry.observe(met_.windowReplayCost, replay_cost);
+    if (req_site != ir::kNoInstr)
+        ++m.tel().siteStats[req_site].windowReplays;
+    flightNote(m, v, FrKind::WindowReplay, req_site, window.size());
+    if (m.events().enabled())
+        m.events().record(m.currentStep(), v, "window-replay",
+                          strprintf("%zu entries replayed",
+                                    window.size()));
+
+    m.rollback(v, Bucket::Conflict);
+    governor_.onAbort(m, v, Bucket::Conflict, /*primary=*/true);
+
+    // The requester's entries (including the conflicting access) are
+    // now in the shadow; don't replay them again on a later abort.
+    // The victim's log restarts with its re-begun transaction.
+    if (reqLogged)
+        vl->markReplayed(requester);
+    vl->clear(v);
+
+    // Re-begin in place: the snapshot still describes the resume
+    // point, the region stays fast, and lastLoopCutId survives (the
+    // same segment re-executes). The victim's directory slot was
+    // freed by its abort, so begin() cannot hit the hardware limit.
+    ++vctx.windowReplays;
+    m.addCost(v, m.config().cost.txBeginCost, Bucket::Txn);
+    m.htm().begin(v);
+    m.htm().access(v, Machine::kTxFailAddr, false);
+    vctx.baseSinceTxBegin = 0;
+    m.tel().registry.add(met_.txBegins);
+    traceTxBegin(m, v);
+    flightNote(m, v, FrKind::TxBegin);
+}
+
 bool
 TxRacePolicy::beforeStep(Machine &m, Tid t)
 {
@@ -583,6 +705,7 @@ TxRacePolicy::onInterruptAbort(Machine &m, Tid t)
         m.htm().begin(t);
         m.htm().access(t, Machine::kTxFailAddr, false);
         ctx.baseSinceTxBegin = 0;
+        m.tel().registry.add(met_.txBegins);
         traceTxBegin(m, t);
         flightNote(m, t, FrKind::TxBegin);
         if (m.events().enabled())
@@ -624,6 +747,7 @@ TxRacePolicy::onRetryAbort(Machine &m, Tid t)
         m.htm().begin(t);
         m.htm().access(t, Machine::kTxFailAddr, false);
         ctx.baseSinceTxBegin = 0;
+        m.tel().registry.add(met_.txBegins);
         traceTxBegin(m, t);
         flightNote(m, t, FrKind::TxBegin);
         return;
@@ -658,6 +782,17 @@ TxRacePolicy::onMemAccess(Machine &m, Tid t, const ir::Instruction &ins,
     // Route through the HTM: conflict detection for transactional
     // accesses, strong isolation for non-transactional ones.
     auto res = m.htm().access(t, addr, is_write);
+    // Windowed slow path: record the access into the requester's
+    // version log BEFORE victim handling, so the conflicting access
+    // itself is part of the merged replay window. The log's cache
+    // footprint counts against capacity; an overflow aborts this
+    // transaction exactly like a data-line overflow.
+    bool log_overflow = false;
+    if (slowpath_ == SlowPathKind::Window && !res.selfCapacity &&
+        ins.instrumented && m.htm().versionLog() && m.htm().inTx(t)) {
+        log_overflow = !m.htm().logAccess(t, addr, ins.id,
+                                          m.currentStep(), is_write);
+    }
     for (Tid v : res.victims) {
         // Attribute the conflict to the requester's cache line,
         // granule, and instruction: the top-N heatmap separates true
@@ -669,9 +804,13 @@ TxRacePolicy::onMemAccess(Machine &m, Tid t, const ir::Instruction &ins,
         // whose conflicts keep rolling transactions back is a spender
         // just like a hot slow-path site, and gets cut first.
         budget_.chargeSite(ins.id, cost.rollbackCost);
-        handleConflictVictim(m, v);
+        if (slowpath_ == SlowPathKind::Window)
+            handleConflictVictimWindowed(m, v, t, ins.id,
+                                         mem::lineOf(addr));
+        else
+            handleConflictVictim(m, v);
     }
-    if (res.selfCapacity) {
+    if (res.selfCapacity || log_overflow) {
         handleSelfCapacity(m, t, ins.id);
         return false;  // the access did not complete
     }
@@ -729,6 +868,35 @@ TxRacePolicy::onMemAccess(Machine &m, Tid t, const ir::Instruction &ins,
             m.tel().registry.add(met_.govSampledChecks);
         else
             governor_.onSlowCheckCost(m, t, check);
+        if (is_write)
+            m.det().write(t, addr, ins.id);
+        else
+            m.det().read(t, addr, ins.id);
+    } else if (slowpath_ == SlowPathKind::Window && ins.instrumented &&
+               !watchedLines_.empty() &&
+               watchedLines_.count(mem::lineOf(addr)) != 0) {
+        // Watched-line check: this line produced a conflict abort
+        // earlier, so fast-path accesses to it keep feeding the
+        // detector. Replays cover the aborting window; the watch
+        // covers everything after it — together they match region
+        // mode's coverage at O(accesses-to-hot-lines) instead of
+        // O(region) cost. Off-watch accesses (the common case) pay
+        // nothing here.
+        uint64_t check = cost.effectiveCheckCost();
+        double stall = m.faults().slowPathCostMult();
+        if (stall > 1.0)
+            check = static_cast<uint64_t>(
+                static_cast<double>(check) * stall);
+        if (budget_.enabled() &&
+            !budget_.admitCheck(m, t, ins.id, check)) {
+            flightNote(m, t, FrKind::Budget, ins.id,
+                       static_cast<uint64_t>(FrBudget::CheckGated));
+            m.addCost(t, 1, Bucket::Conflict);
+            return true;
+        }
+        m.addCost(t, check, Bucket::Conflict);
+        budget_.chargeSite(ins.id, check);
+        m.tel().registry.add(met_.windowWatchChecks);
         if (is_write)
             m.det().write(t, addr, ins.id);
         else

@@ -141,6 +141,7 @@ HbDetector::stats() const
     put("detector.read_vc_promoted", counters_.readVcPromoted);
     put("detector.evictions", counters_.evictions);
     put("detector.epoch_fast_hits", counters_.epochFastHits);
+    put("detector.replay_checks", counters_.replayChecks);
     return out;
 }
 

@@ -78,6 +78,9 @@ struct DetCounters
     uint64_t evictions = 0;
     /** Checks answered by the same-epoch fast path (scan skipped). */
     uint64_t epochFastHits = 0;
+    /** Checks performed through the windowed-replay entry (also
+     *  counted in reads/writes; this isolates replay volume). */
+    uint64_t replayChecks = 0;
 };
 
 /** Sound (configurable) and complete happens-before detector. */
@@ -114,6 +117,25 @@ class HbDetector
     void read(Tid t, ir::Addr addr, ir::InstrId instr);
     /** Check+record a write of the granule containing @p addr. */
     void write(Tid t, ir::Addr addr, ir::InstrId instr);
+    /**
+     * Window-scoped entry: check one access replayed from a version
+     * log. Detection semantics are identical to read()/write() — the
+     * replaying thread's clock is its live clock, which is exact
+     * because transactional regions are synchronization-free (the
+     * clock cannot have advanced between the logged access and the
+     * replay) — but the volume is counted separately
+     * (detector.replay_checks) so telemetry can attribute it.
+     */
+    void
+    replayAccess(Tid t, ir::Addr addr, ir::InstrId instr,
+                 bool is_write)
+    {
+        ++counters_.replayChecks;
+        if (is_write)
+            write(t, addr, instr);
+        else
+            read(t, addr, instr);
+    }
     /** @} */
 
     /** Races found so far. */

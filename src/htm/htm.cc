@@ -36,8 +36,12 @@ abortToString(AbortStatus s)
 HtmEngine::HtmEngine(const HtmConfig &cfg)
     : cfg_(cfg),
       filterEnabled_(cfg.accessFilter),
-      rng_(cfg.seed ^ 0xca9ac117ULL)
+      rng_(cfg.seed ^ 0xca9ac117ULL),
+      vlog_(cfg.versionLogEntries)
 {
+    if (cfg_.versionLog && cfg_.versionLogEntries == 0)
+        fatal("HtmEngine: versionLogEntries must be nonzero when the "
+              "version log is enabled");
     if (cfg_.engine != ConflictEngine::Directory)
         fatal("HtmEngine: the LegacyScan engine was removed; use "
               "ConflictEngine::Directory");
@@ -60,6 +64,7 @@ HtmEngine::reset()
     slotsUsed_ = 0;
     inFlight_ = 0;
     counters_ = HtmCounters{};
+    vlog_.reset();
 }
 
 StatSet
@@ -134,6 +139,8 @@ HtmEngine::begin(Tid t)
     s.readLineCount = 0;
     s.writeLineCount = 0;
     beginOccupancy(s);
+    if (cfg_.versionLog)
+        vlog_.beginTx(t);
     ++inFlight_;
     ++counters_.begins;
 }
@@ -276,7 +283,31 @@ HtmEngine::commit(Tid t)
         panic("HtmEngine::commit: thread %u not transactional", t);
     s.active = false;
     release(s);
+    if (cfg_.versionLog)
+        vlog_.commitTx(t);
     ++counters_.commits;
+}
+
+bool
+HtmEngine::logAccess(Tid t, Addr addr, ir::InstrId site,
+                     uint64_t step, bool is_write)
+{
+    TxState &s = state(t);
+    if (!s.active)
+        panic("HtmEngine::logAccess: thread %u not transactional", t);
+    // The log rides in a dedicated per-thread ring (mem-record
+    // style), not in the transactional write set: log lines are
+    // write-only streaming stores the cache can retire without
+    // holding them for conflict detection. The ring is still a hard
+    // capacity bound — filling it aborts the transaction exactly
+    // like an overflowing write set. It must never truncate: a
+    // truncated window would replay an incomplete access order and
+    // silently miss races.
+    if (!vlog_.append(t, addr, site, step, is_write)) {
+        abortTx(t, kAbortCapacity);
+        return false;
+    }
+    return true;
 }
 
 void

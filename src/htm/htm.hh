@@ -53,6 +53,7 @@
 
 #include "htm/abort.hh"
 #include "htm/linedir.hh"
+#include "htm/versionlog.hh"
 #include "ir/instruction.hh"
 #include "mem/layout.hh"
 #include "support/rng.hh"
@@ -121,6 +122,17 @@ struct HtmConfig
      * for ablation (txrace_run --no-elide) and differential tests.
      */
     bool accessFilter = true;
+    /**
+     * Record a per-thread version log inside transactions (the
+     * windowed slow path's replay substrate). The log streams into a
+     * dedicated per-thread ring — see logAccess() — whose fixed bound
+     * (versionLogEntries) is a capacity limit of its own: overflowing
+     * it aborts the transaction with kAbortCapacity.
+     */
+    bool versionLog = false;
+    /** Per-thread ring bound (entries); a window that would exceed it
+     *  aborts with CapacityAbort rather than truncate. */
+    uint32_t versionLogEntries = 1024;
 };
 
 /**
@@ -194,6 +206,28 @@ class HtmEngine
      * not cost a cross-TU call before the engine body even starts.
      */
     AccessResult access(Tid t, Addr addr, bool is_write);
+
+    /**
+     * Append one instrumented access to @p t's version log (valid
+     * only while inTx(t), with versionLog configured). Returns false
+     * when the per-thread ring is full — the transaction has already
+     * been aborted with kAbortCapacity and the caller must take the
+     * abort path. The ring never truncates: a truncated window would
+     * replay an incomplete access order and silently miss races.
+     */
+    bool logAccess(Tid t, Addr addr, ir::InstrId site, uint64_t step,
+                   bool is_write);
+
+    /** The version log, or nullptr when not configured. */
+    VersionLog *versionLog()
+    {
+        return cfg_.versionLog ? &vlog_ : nullptr;
+    }
+    const VersionLog *
+    versionLog() const
+    {
+        return cfg_.versionLog ? &vlog_ : nullptr;
+    }
 
     /** Commit @p t's transaction. Panics if none is open. */
     void commit(Tid t);
@@ -350,6 +384,7 @@ class HtmEngine
     HtmConfig cfg_;
     bool filterEnabled_;
     Rng rng_;
+    VersionLog vlog_;
     std::vector<TxState> tx_;
     LineDirectory dir_;
     /** In-use directory slot bits; slot i belongs to slotTid_[i]. */

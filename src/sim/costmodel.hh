@@ -54,6 +54,12 @@ struct CostModel
     double checkScale = 1.0;
     /** Flat penalty for processing one transactional abort. */
     uint64_t rollbackCost = 30;
+    /**
+     * Flat setup cost of one windowed replay: merging the victim and
+     * requester version logs and priming the detector (the per-entry
+     * replay checks are charged at effectiveCheckCost on top).
+     */
+    uint64_t windowReplaySetupCost = 18;
     /** @} */
 
     /** Effective per-access software check cost. */

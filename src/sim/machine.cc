@@ -151,6 +151,23 @@ Machine::rollback(Tid t, Bucket reason)
     tel_.registry.observe(met_.txWasted, wasted);
 }
 
+uint64_t
+Machine::replayWindow(Tid payer,
+                      const std::vector<htm::VersionLogEntry> &w)
+{
+    uint64_t check = cfg_.cost.effectiveCheckCost();
+    double stall = faults_.slowPathCostMult();
+    if (stall > 1.0)
+        check = static_cast<uint64_t>(
+            static_cast<double>(check) * stall);
+    uint64_t total = cfg_.cost.windowReplaySetupCost +
+                     check * w.size();
+    addCost(payer, total, Bucket::Conflict);
+    for (const htm::VersionLogEntry &e : w)
+        det_.replayAccess(e.tid, e.addr, e.site, e.isWrite);
+    return total;
+}
+
 ir::InstrId
 Machine::currentSite(Tid t) const
 {
@@ -303,6 +320,16 @@ Machine::run()
         reg.add(reg.counter("htm.dir.probes"), ds.probeLen.count());
         reg.add(reg.counter("htm.dir.filter_hit"),
                 htm_.counters().filterHits);
+    }
+    // Version-log telemetry (windowed slow path only): same plain-
+    // counter transfer as the directory's.
+    if (const htm::VersionLog *vl = htm_.versionLog()) {
+        auto &reg = tel_.registry;
+        const htm::VersionLogCounters &vc = vl->counters();
+        reg.add(reg.counter("htm.vlog.entries"), vc.entries);
+        reg.add(reg.counter("htm.vlog.ring_overflows"),
+                vc.ringOverflows);
+        reg.add(reg.counter("htm.vlog.published"), vc.published);
     }
     // Compatibility export: every registry counter/gauge lands in the
     // string-keyed StatSet under its registered name, so harnesses and

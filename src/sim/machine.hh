@@ -198,6 +198,19 @@ class Machine
      */
     void rollback(Tid t, Bucket reason);
 
+    /**
+     * Windowed slow path: replay a merged version-log window through
+     * the happens-before detector. Each entry is checked as its
+     * owning thread (exact, because transactional regions are
+     * synchronization-free — no clock moved since the access was
+     * logged). The whole replay — flat setup plus one software check
+     * per entry, inflated by any active slow-path-stall episode — is
+     * charged to @p payer under Bucket::Conflict. Returns the total
+     * cost charged.
+     */
+    uint64_t replayWindow(Tid payer,
+                          const std::vector<htm::VersionLogEntry> &w);
+
     /** Total virtual cost so far. */
     uint64_t totalCost() const { return totalCost_; }
 

@@ -17,6 +17,7 @@ frKindName(FrKind kind)
       case FrKind::SlowExit:  return "slow_exit";
       case FrKind::Gov:       return "gov";
       case FrKind::Budget:    return "budget";
+      case FrKind::WindowReplay: return "window_replay";
     }
     return "?";
 }

@@ -42,6 +42,7 @@ enum class FrKind : uint8_t {
     SlowExit,   ///< slow-path episode ended
     Gov,        ///< governor ladder transition (arg = new level)
     Budget,     ///< budget gate fired (arg = FrBudget detail)
+    WindowReplay, ///< windowed slow path replayed (arg = entries)
 };
 
 /** Abort reasons carried in FrKind::TxAbort's arg. */

@@ -33,13 +33,15 @@ SiteProfile::merge(const SiteProfile &o)
     slowChecks += o.slowChecks;
     slowCost += o.slowCost;
     monitorShiftMax = std::max(monitorShiftMax, o.monitorShiftMax);
+    windowReplays += o.windowReplays;
 }
 
 bool
 SiteProfile::empty() const
 {
     return !conflictAborts && !capacityAborts && !otherAborts &&
-           !slowChecks && !slowCost && !monitorShiftMax;
+           !slowChecks && !slowCost && !monitorShiftMax &&
+           !windowReplays;
 }
 
 void
@@ -54,6 +56,8 @@ AppProfile::merge(const AppProfile &o)
     monitorSiteProbes += o.monitorSiteProbes;
     monitorGatedChecks += o.monitorGatedChecks;
     monitorSampledSkips += o.monitorSampledSkips;
+    windowReplays += o.windowReplays;
+    windowFallbacks += o.windowFallbacks;
     for (const auto &[site, sp] : o.sites)
         sites[site].merge(sp);
 }
@@ -85,6 +89,8 @@ Profile::write(std::ostream &os) const
         w.field("monitor_site_probes", app.monitorSiteProbes);
         w.field("monitor_gated_checks", app.monitorGatedChecks);
         w.field("monitor_sampled_skips", app.monitorSampledSkips);
+        w.field("window_replays", app.windowReplays);
+        w.field("window_fallbacks", app.windowFallbacks);
         w.key("sites");
         w.beginObject();
         for (const auto &[site, sp] : app.sites) {
@@ -98,6 +104,7 @@ Profile::write(std::ostream &os) const
             w.field("slow_checks", sp.slowChecks);
             w.field("slow_cost", sp.slowCost);
             w.field("monitor_shift_max", sp.monitorShiftMax);
+            w.field("window_replays", sp.windowReplays);
             w.endObject();
         }
         w.endObject();
@@ -144,6 +151,8 @@ Profile::parse(const std::string &text, Profile &out, std::string &error)
         app.monitorSiteProbes = getU64(appv, "monitor_site_probes");
         app.monitorGatedChecks = getU64(appv, "monitor_gated_checks");
         app.monitorSampledSkips = getU64(appv, "monitor_sampled_skips");
+        app.windowReplays = getU64(appv, "window_replays");
+        app.windowFallbacks = getU64(appv, "window_fallbacks");
         const JsonValue *sites = appv.find("sites");
         if (!sites)
             continue;
@@ -171,6 +180,7 @@ Profile::parse(const std::string &text, Profile &out, std::string &error)
             sp.slowChecks = getU64(sitev, "slow_checks");
             sp.slowCost = getU64(sitev, "slow_cost");
             sp.monitorShiftMax = getU64(sitev, "monitor_shift_max");
+            sp.windowReplays = getU64(sitev, "window_replays");
         }
     }
     return true;

@@ -46,6 +46,10 @@ struct SiteProfile
     /** Deepest monitor sampling shift ever applied (max-merged; a
      *  site that was ever cut to 1/2^k sampling keeps that mark). */
     uint64_t monitorShiftMax = 0;
+    /** Windowed replays this site triggered as the conflicting
+     *  requester (input for reshaping: a site that keeps forcing
+     *  replays is a transaction-boundary candidate). */
+    uint64_t windowReplays = 0;
 
     void merge(const SiteProfile &o);
     bool empty() const;
@@ -63,6 +67,8 @@ struct AppProfile
     uint64_t monitorSiteProbes = 0;
     uint64_t monitorGatedChecks = 0;
     uint64_t monitorSampledSkips = 0;
+    uint64_t windowReplays = 0;   ///< windowed slow-path replays
+    uint64_t windowFallbacks = 0; ///< replay-cap solo-slow fallbacks
     std::map<uint32_t, SiteProfile> sites;
 
     void merge(const AppProfile &o);

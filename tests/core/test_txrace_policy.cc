@@ -82,7 +82,12 @@ TEST(TxRace, ConflictTriggersSlowPathAndPinpointsRace)
     b.endFunction();
     Program p = b.build();
 
-    core::RunResult r = core::runProgram(p, txraceConfig());
+    // Region mode: this pins the paper's TxFail broadcast protocol
+    // (the windowed default never publishes TxFail; its detection
+    // equivalence is covered by the slowpath differential test).
+    core::RunConfig cfg = txraceConfig();
+    cfg.slowpath = core::SlowPathKind::Region;
+    core::RunResult r = core::runProgram(p, cfg);
     EXPECT_GE(r.stats.get("tx.abort.conflict"), 1u);
     EXPECT_GE(r.stats.get("txrace.txfail_writes"), 1u);
     ASSERT_EQ(r.races.count(), 1u);
@@ -582,10 +587,14 @@ TEST(TxRace, ConflictAddressHintsKeepTheTriggeringRace)
     b.endFunction();
     Program p = b.build();
 
+    // Hints scope region-mode slow episodes; the windowed default
+    // answers conflicts with replays and rarely enters one at all.
     core::RunConfig plain = txraceConfig();
+    plain.slowpath = core::SlowPathKind::Region;
     core::RunResult r_plain = core::runProgram(p, plain);
 
     core::RunConfig hinted = txraceConfig();
+    hinted.slowpath = core::SlowPathKind::Region;
     hinted.conflictAddressHints = true;
     core::RunResult r_hint = core::runProgram(p, hinted);
 

@@ -56,6 +56,9 @@ TEST(EventLog, RecordsTheTxFailProtocolSequence)
     Program p = conflictingProgram();
     core::RunConfig cfg;
     cfg.mode = core::RunMode::TxRaceDynLoopcut;
+    // The TxFail broadcast only exists in region mode; the windowed
+    // default answers conflicts with a log replay instead.
+    cfg.slowpath = core::SlowPathKind::Region;
     cfg.machine.interruptPerStep = 0.0;
     cfg.machine.recordEvents = true;
     core::RunResult r = core::runProgram(p, cfg);
