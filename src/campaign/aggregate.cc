@@ -7,21 +7,11 @@
 #include "core/repro.hh"
 #include "support/log.hh"
 #include "telemetry/json.hh"
+#include "telemetry/jsonparse.hh"
 
 namespace txrace::campaign {
 
 namespace {
-
-const char *
-kindName(detector::RaceKind kind)
-{
-    switch (kind) {
-      case detector::RaceKind::WriteWrite: return "write-write";
-      case detector::RaceKind::ReadWrite: return "read-write";
-      case detector::RaceKind::WriteRead: return "write-read";
-    }
-    return "unknown";
-}
 
 std::string
 hex64(uint64_t v)
@@ -31,10 +21,38 @@ hex64(uint64_t v)
     return ss.str();
 }
 
+uint64_t
+getU64(const telemetry::JsonValue &obj, std::string_view key)
+{
+    const telemetry::JsonValue *v = obj.find(key);
+    return v ? v->asU64() : 0;
+}
+
+std::string
+getStr(const telemetry::JsonValue &obj, std::string_view key)
+{
+    const telemetry::JsonValue *v = obj.find(key);
+    return v && v->isString() ? v->str : std::string();
+}
+
 } // namespace
 
-void
+bool
 Aggregator::add(const JobOutcome &outcome)
+{
+    // At-least-once delivery (service resume re-submits jobs whose
+    // outcomes may already be checkpointed): a duplicate id folds
+    // nothing.
+    if (!seenJobs_.insert(outcome.spec.id).second)
+        return false;
+    foldCounters(outcome);
+    for (const FoundRace &race : outcome.races)
+        foldRace(outcome, race);
+    return true;
+}
+
+void
+Aggregator::foldCounters(const JobOutcome &outcome)
 {
     ++runs_;
     maxRound_ = std::max<uint64_t>(maxRound_, outcome.spec.round);
@@ -44,32 +62,245 @@ Aggregator::add(const JobOutcome &outcome)
     abortConflict_ += outcome.abortConflict;
     abortCapacity_ += outcome.abortCapacity;
     abortUnknown_ += outcome.abortUnknown;
+    apps_.insert(outcome.spec.app);
 
     VariantAcc &va = variants_[outcome.spec.variant];
     ++va.runs;
     va.rawReports += outcome.races.size();
     rawReports_ += outcome.races.size();
     profile_.merge(outcome.profile);
+}
 
-    for (const FoundRace &race : outcome.races) {
-        Acc &acc = findings_[race.sig.key];
-        if (acc.runsSeen == 0) {
-            acc.sig = race.sig;
-            acc.app = outcome.spec.app;
+bool
+Aggregator::foldRace(const JobOutcome &outcome, const FoundRace &race)
+{
+    Acc &acc = findings_[race.sig.key];
+    const bool fresh = acc.runsSeen == 0;
+    if (fresh) {
+        acc.sig = race.sig;
+        acc.app = outcome.spec.app;
+    }
+    ++acc.runsSeen;
+    acc.totalHits += race.hits;
+    // First sighting is the LOWEST job id ever to report the
+    // race, regardless of the order outcomes reach us.
+    if (outcome.spec.id < acc.firstJob) {
+        acc.firstJob = outcome.spec.id;
+        acc.firstKind = race.kind;
+        acc.firstSeed = outcome.spec.seed;
+        acc.firstVariant = outcome.spec.variant;
+        acc.firstConfigDigest = outcome.configDigest;
+        acc.firstRepro = outcome.repro;
+    }
+    return fresh;
+}
+
+void
+Aggregator::merge(const Aggregator &o)
+{
+    seenJobs_.insert(o.seenJobs_.begin(), o.seenJobs_.end());
+    apps_.insert(o.apps_.begin(), o.apps_.end());
+    runs_ += o.runs_;
+    errors_ += o.errors_;
+    rawReports_ += o.rawReports_;
+    txCommitted_ += o.txCommitted_;
+    abortConflict_ += o.abortConflict_;
+    abortCapacity_ += o.abortCapacity_;
+    abortUnknown_ += o.abortUnknown_;
+    maxRound_ = std::max(maxRound_, o.maxRound_);
+    for (const auto &[name, va] : o.variants_) {
+        VariantAcc &into = variants_[name];
+        into.runs += va.runs;
+        into.rawReports += va.rawReports;
+    }
+    profile_.merge(o.profile_);
+
+    // Deterministic total order on first-sighting metadata. In the
+    // shard/resume paths equal job ids carry identical metadata
+    // (job execution is a pure function of the spec), so the
+    // fallthrough comparisons only matter for unions of unrelated
+    // stores — there they keep merge commutative.
+    auto sightingLess = [](const Acc &x, const Acc &y) {
+        if (x.firstJob != y.firstJob)
+            return x.firstJob < y.firstJob;
+        if (x.firstVariant != y.firstVariant)
+            return x.firstVariant < y.firstVariant;
+        if (x.firstSeed != y.firstSeed)
+            return x.firstSeed < y.firstSeed;
+        if (x.firstConfigDigest != y.firstConfigDigest)
+            return x.firstConfigDigest < y.firstConfigDigest;
+        if (x.firstRepro != y.firstRepro)
+            return x.firstRepro < y.firstRepro;
+        return uint8_t(x.firstKind) < uint8_t(y.firstKind);
+    };
+    for (const auto &[key, theirs] : o.findings_) {
+        Acc &ours = findings_[key];
+        if (ours.runsSeen == 0) {
+            ours = theirs;
+            continue;
         }
-        ++acc.runsSeen;
-        acc.totalHits += race.hits;
-        // First sighting is the LOWEST job id ever to report the
-        // race, regardless of the order outcomes reach us.
-        if (outcome.spec.id < acc.firstJob) {
-            acc.firstJob = outcome.spec.id;
-            acc.firstKind = race.kind;
-            acc.firstSeed = outcome.spec.seed;
-            acc.firstVariant = outcome.spec.variant;
-            acc.firstConfigDigest = outcome.configDigest;
-            acc.firstRepro = outcome.repro;
+        ours.runsSeen += theirs.runsSeen;
+        ours.totalHits += theirs.totalHits;
+        if (sightingLess(theirs, ours)) {
+            ours.firstJob = theirs.firstJob;
+            ours.firstKind = theirs.firstKind;
+            ours.firstSeed = theirs.firstSeed;
+            ours.firstVariant = theirs.firstVariant;
+            ours.firstConfigDigest = theirs.firstConfigDigest;
+            ours.firstRepro = theirs.firstRepro;
         }
     }
+}
+
+void
+Aggregator::writeState(telemetry::JsonWriter &w) const
+{
+    w.beginObject();
+    w.field("runs", runs_);
+    w.field("errors", errors_);
+    w.field("raw_reports", rawReports_);
+    w.field("tx_committed", txCommitted_);
+    w.field("abort_conflict", abortConflict_);
+    w.field("abort_capacity", abortCapacity_);
+    w.field("abort_unknown", abortUnknown_);
+    w.field("max_round", maxRound_);
+    w.key("seen_jobs");
+    w.beginArray();
+    for (uint64_t id : seenJobs_)
+        w.value(id);
+    w.endArray();
+    w.key("apps");
+    w.beginArray();
+    for (const std::string &app : apps_)
+        w.value(app);
+    w.endArray();
+    w.key("findings");
+    w.beginArray();
+    for (const auto &[key, acc] : findings_) {
+        w.beginObject();
+        w.key("sig");
+        core::writeRaceSig(w, acc.sig);
+        w.field("app", acc.app);
+        w.field("runs_seen", acc.runsSeen);
+        w.field("total_hits", acc.totalHits);
+        w.field("first_job", acc.firstJob);
+        w.field("first_kind", detector::raceKindName(acc.firstKind));
+        w.field("first_seed", acc.firstSeed);
+        w.field("first_config", acc.firstConfigDigest);
+        w.field("first_variant", acc.firstVariant);
+        w.field("first_repro", acc.firstRepro);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("variants");
+    w.beginObject();
+    for (const auto &[name, va] : variants_) {
+        w.key(name);
+        w.beginObject();
+        w.field("runs", va.runs);
+        w.field("raw_reports", va.rawReports);
+        w.endObject();
+    }
+    w.endObject();
+    w.key("profile");
+    w.beginObject();
+    profile_.writeBody(w);
+    w.endObject();
+    w.endObject();
+}
+
+bool
+Aggregator::loadState(const telemetry::JsonValue &v, std::string &error)
+{
+    *this = Aggregator{};
+    if (!v.isObject()) {
+        error = "aggregate state is not an object";
+        return false;
+    }
+    runs_ = getU64(v, "runs");
+    errors_ = getU64(v, "errors");
+    rawReports_ = getU64(v, "raw_reports");
+    txCommitted_ = getU64(v, "tx_committed");
+    abortConflict_ = getU64(v, "abort_conflict");
+    abortCapacity_ = getU64(v, "abort_capacity");
+    abortUnknown_ = getU64(v, "abort_unknown");
+    maxRound_ = getU64(v, "max_round");
+
+    const telemetry::JsonValue *seen = v.find("seen_jobs");
+    if (!seen || !seen->isArray()) {
+        error = "aggregate state: missing seen_jobs array";
+        return false;
+    }
+    for (const telemetry::JsonValue &id : seen->array)
+        seenJobs_.insert(id.asU64());
+
+    if (const telemetry::JsonValue *apps = v.find("apps");
+        apps && apps->isArray())
+        for (const telemetry::JsonValue &app : apps->array)
+            if (app.isString())
+                apps_.insert(app.str);
+
+    const telemetry::JsonValue *findings = v.find("findings");
+    if (!findings || !findings->isArray()) {
+        error = "aggregate state: missing findings array";
+        return false;
+    }
+    for (const telemetry::JsonValue &f : findings->array) {
+        if (!f.isObject()) {
+            error = "aggregate state: finding entry is not an object";
+            return false;
+        }
+        const telemetry::JsonValue *sigv = f.find("sig");
+        Acc acc;
+        if (!sigv || !core::readRaceSig(*sigv, acc.sig, error)) {
+            if (error.empty())
+                error = "aggregate state: finding without sig";
+            return false;
+        }
+        acc.app = getStr(f, "app");
+        acc.runsSeen = getU64(f, "runs_seen");
+        acc.totalHits = getU64(f, "total_hits");
+        if (acc.runsSeen == 0) {
+            error = "aggregate state: finding '" + acc.sig.a +
+                    "' with zero runs_seen";
+            return false;
+        }
+        acc.firstJob = getU64(f, "first_job");
+        if (!detector::raceKindFromName(getStr(f, "first_kind"),
+                                        acc.firstKind)) {
+            error = "aggregate state: bad first_kind '" +
+                    getStr(f, "first_kind") + "'";
+            return false;
+        }
+        acc.firstSeed = getU64(f, "first_seed");
+        acc.firstConfigDigest = getU64(f, "first_config");
+        acc.firstVariant = getStr(f, "first_variant");
+        acc.firstRepro = getStr(f, "first_repro");
+        if (!findings_.emplace(acc.sig.key, std::move(acc)).second) {
+            error = "aggregate state: duplicate finding key";
+            return false;
+        }
+    }
+
+    if (const telemetry::JsonValue *vars = v.find("variants");
+        vars && vars->isObject()) {
+        for (const auto &[name, entry] : vars->object) {
+            if (!entry.isObject()) {
+                error = "aggregate state: variant '" + name +
+                        "' is not an object";
+                return false;
+            }
+            VariantAcc &va = variants_[name];
+            va.runs = getU64(entry, "runs");
+            va.rawReports = getU64(entry, "raw_reports");
+        }
+    }
+
+    if (const telemetry::JsonValue *prof = v.find("profile")) {
+        if (!telemetry::Profile::parseBody(*prof, profile_, error))
+            return false;
+    }
+    return true;
 }
 
 std::vector<std::tuple<std::string, uint64_t, uint64_t>>
@@ -79,6 +310,12 @@ Aggregator::variantCounters() const
     for (const auto &[name, va] : variants_)
         out.emplace_back(name, va.runs, va.rawReports);
     return out;
+}
+
+std::vector<std::string>
+Aggregator::appsSeen() const
+{
+    return std::vector<std::string>(apps_.begin(), apps_.end());
 }
 
 CampaignResult
@@ -106,7 +343,7 @@ Aggregator::finalize(const CampaignConfig &cfg,
         Finding f;
         f.sig = acc.sig;
         f.app = acc.app;
-        f.kind = kindName(acc.firstKind);
+        f.kind = detector::raceKindName(acc.firstKind);
         f.runsSeen = acc.runsSeen;
         f.totalHits = acc.totalHits;
         f.firstJob = acc.firstJob;
@@ -207,8 +444,9 @@ writeCampaignJson(std::ostream &os, const CampaignConfig &cfg,
     w.field("schema", "txrace-campaign-v1");
 
     // Campaign identity: everything that determines the report.
-    // Deliberately NOT here: jobs, wall time, steals — execution
-    // facts that must not leak into the deterministic artifact.
+    // Deliberately NOT here: jobs, shards, wall time, steals —
+    // execution facts that must not leak into the deterministic
+    // artifact.
     w.key("campaign");
     w.beginObject();
     w.field("master_seed", cfg.masterSeed);

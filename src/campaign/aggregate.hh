@@ -11,6 +11,14 @@
  * ID that reported it — a min-fold, order-independent — and its
  * seed/variant/config digest/repro command are what the report
  * carries as reproduction metadata.
+ *
+ * Delivery contract: add() is idempotent on job id. The service
+ * layer re-submits jobs whose outcomes may or may not have been
+ * checkpointed (at-least-once delivery across kill/resume), so a
+ * duplicate fold must change nothing. State is also a commutative
+ * monoid under merge(): shard aggregators and independently
+ * produced findings stores union into the same bytes no matter the
+ * merge order.
  */
 
 #ifndef TXRACE_CAMPAIGN_AGGREGATE_HH
@@ -26,14 +34,26 @@
 #include "campaign/job.hh"
 #include "telemetry/profile.hh"
 
+namespace txrace::telemetry {
+class JsonWriter;
+struct JsonValue;
+} // namespace txrace::telemetry
+
 namespace txrace::campaign {
 
 class Aggregator
 {
   public:
-    /** Fold one outcome in. Any order; idempotence NOT assumed —
-     *  each job must be added exactly once. */
-    void add(const JobOutcome &outcome);
+    /**
+     * Fold one outcome in. Any order; idempotent on the job id — a
+     * second add of an id already folded (including via merge() of a
+     * checkpointed state) is a no-op. Returns false for such
+     * duplicates, true when the outcome was folded.
+     */
+    bool add(const JobOutcome &outcome);
+
+    /** Whether job @p id has already been folded in. */
+    bool seen(uint64_t id) const { return seenJobs_.count(id) != 0; }
 
     /** Outcomes folded so far. */
     uint64_t runs() const { return runs_; }
@@ -50,6 +70,35 @@ class Aggregator
     /** Per-variant (runs, raw reports) so far, name-ordered. */
     std::vector<std::tuple<std::string, uint64_t, uint64_t>>
     variantCounters() const;
+    /** Apps that contributed at least one outcome, sorted. */
+    std::vector<std::string> appsSeen() const;
+
+    /**
+     * Commutative, associative fold of another aggregator's state
+     * into this one: counters sum, first sightings min-fold by job
+     * id, variant and finding maps union, seen-job sets union. The
+     * shard merge and the cross-host findings-store union both rely
+     * on merge(A, B) == merge(B, A). Callers union states holding
+     * DISJOINT job sets (shards of one campaign, hosts covering
+     * different parts of a matrix); overlapping sets would double
+     * count the jobs both sides folded.
+     */
+    void merge(const Aggregator &o);
+
+    /**
+     * Serialize the accumulated state as the `aggregate` object of a
+     * txrace-findings-v1 document (docs/OBSERVABILITY.md).
+     * Byte-deterministic: sorted maps and integer-only counters, so
+     * checkpoint → load → checkpoint round-trips exactly.
+     */
+    void writeState(telemetry::JsonWriter &w) const;
+
+    /**
+     * Restore state from a parsed `aggregate` object, replacing the
+     * current contents. Returns false with a description in
+     * @p error on malformed input; the aggregator is left empty.
+     */
+    bool loadState(const telemetry::JsonValue &v, std::string &error);
 
     /**
      * Produce the deterministic result (no timing filled in).
@@ -62,6 +111,8 @@ class Aggregator
                                 &groundTruth) const;
 
   private:
+    friend class ShardedAggregator;
+
     /** Accumulating state of one deduplicated race. */
     struct Acc
     {
@@ -78,6 +129,12 @@ class Aggregator
         std::string firstRepro;
     };
 
+    /** Job-level tallies of @p outcome (everything but the races). */
+    void foldCounters(const JobOutcome &outcome);
+    /** One race report of @p outcome into the findings map. Returns
+     *  true when the race key was new (a finding delta). */
+    bool foldRace(const JobOutcome &outcome, const FoundRace &race);
+
     /** Keyed by RaceSig::key (full identity, not the hash). */
     std::map<std::string, Acc> findings_;
 
@@ -90,6 +147,11 @@ class Aggregator
 
     /** Fleet profile union (commutative merge ⇒ order-free). */
     telemetry::Profile profile_;
+
+    /** Job ids already folded (the idempotence ledger). */
+    std::set<uint64_t> seenJobs_;
+    /** Apps that contributed at least one outcome. */
+    std::set<std::string> apps_;
 
     uint64_t runs_ = 0;
     uint64_t errors_ = 0;

@@ -5,167 +5,43 @@
 #include <chrono>
 #include <map>
 #include <set>
-#include <tuple>
 
 #include "campaign/aggregate.hh"
+#include "campaign/execute.hh"
 #include "campaign/pool.hh"
+#include "campaign/progress.hh"
 #include "campaign/queue.hh"
+#include "campaign/shard.hh"
 #include "campaign/strategy.hh"
-#include "core/driver.hh"
-#include "core/metrics_export.hh"
 #include "core/repro.hh"
 #include "support/log.hh"
-#include "telemetry/json.hh"
 #include "workloads/workloads.hh"
 
 namespace txrace::campaign {
 
 namespace {
 
-/**
- * Per-worker workload cache. Building an AppModel (program synthesis
- * + optional calibration) dwarfs many short runs, and the same app
- * recurs across seeds; each worker keeps its own cache so no lock
- * sits between the fleet and the registry.
- */
-class WorkerCache
-{
-  public:
-    const workloads::AppModel &
-    get(const std::string &app, uint32_t workers, uint64_t scale,
-        bool calibrate)
-    {
-        Key key{app, workers, scale};
-        auto it = cache_.find(key);
-        if (it != cache_.end())
-            return it->second;
-        workloads::WorkloadParams params;
-        params.nWorkers = workers;
-        params.scale = scale;
-        params.calibrate = calibrate;
-        return cache_.emplace(key, workloads::makeApp(app, params))
-            .first->second;
-    }
-
-  private:
-    using Key = std::tuple<std::string, uint32_t, uint64_t>;
-    std::map<Key, workloads::AppModel> cache_;
-};
-
-JobOutcome
-executeJob(const JobSpec &spec, WorkerCache &cache, bool calibrate,
-           core::SlowPathKind slowpath)
-{
-    const workloads::AppModel &app =
-        cache.get(spec.app, spec.workers, spec.scale, calibrate);
-
-    core::RunConfig rc;
-    rc.mode = spec.mode;
-    rc.machine = app.machine;
-    rc.machine.seed = spec.seed;
-    rc.machine.interruptPerStep *= spec.interruptScale;
-    rc.governor.enabled = spec.governor;
-    rc.slowpath = slowpath;
-
-    core::RunIdentity identity;
-    identity.target = core::RunTarget::App;
-    identity.name = spec.app;
-    identity.mode = core::cliModeName(spec.mode);
-    identity.workers = spec.workers;
-    identity.scale = spec.scale;
-    identity.seed = spec.seed;
-    identity.governor = spec.governor;
-    identity.irqScale = spec.interruptScale;
-    identity.calibrated = calibrate;
-    identity.slowpath = slowpath;
-
-    JobOutcome outcome;
-    outcome.spec = spec;
-    outcome.configDigest = core::configDigest(rc);
-    outcome.repro = core::reproCommand(identity);
-
-    auto t0 = std::chrono::steady_clock::now();
-    core::RunResult result = core::runProgram(app.program, rc);
-    auto t1 = std::chrono::steady_clock::now();
-    outcome.wallMicros = uint64_t(
-        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
-            .count());
-
-    outcome.ok = result.error.ok();
-    outcome.error = sim::runErrorKindName(result.error.kind);
-    outcome.totalCost = result.totalCost;
-    outcome.txCommitted = result.stats.get("tx.committed");
-    outcome.abortConflict = result.stats.get("tx.abort.conflict");
-    outcome.abortCapacity = result.stats.get("tx.abort.capacity");
-    outcome.abortUnknown = result.stats.get("tx.abort.unknown");
-
-    // Race ids reference instructions of the source program (passes
-    // insert but never renumber), so fingerprinting against
-    // app.program is exact. Scope by app name: identical tags exist
-    // in different apps.
-    for (const auto &[sig, race] :
-         core::fingerprintedRaces(app.program, result.races, spec.app)) {
-        FoundRace found;
-        found.sig = sig;
-        found.kind = race.kind;
-        found.hits = race.hits;
-        found.addr = race.addr;
-        outcome.races.push_back(std::move(found));
-    }
-    outcome.profile = core::buildRunProfile(spec.app, result);
-    return outcome;
-}
-
-/**
- * One NDJSON heartbeat record. Compact single-line JSON; cadence is
- * decided by the caller (every cfg.progressEvery completions).
- */
 void
 emitProgress(std::ostream &os, const char *event, uint64_t round,
              uint64_t jobsTotal, uint64_t jobsDone,
-             const Aggregator &agg,
+             const ShardedAggregator &agg,
              const std::vector<uint64_t> &workerDone,
              const std::vector<std::atomic<uint8_t>> &workerBusy)
 {
-    telemetry::JsonWriter w(os, /*pretty=*/false);
-    w.beginObject();
-    w.field("schema", "txrace-progress-v1");
-    w.field("event", event);
-    w.field("round", round);
-    w.field("jobs_total", jobsTotal);
-    w.field("jobs_done", jobsDone);
-    w.field("in_flight", jobsTotal - jobsDone);
-    w.field("findings", agg.findingCount());
-    w.field("raw_reports", agg.rawReports());
-    w.field("dedup_ratio",
-            agg.findingCount()
-                ? double(agg.rawReports()) / double(agg.findingCount())
-                : 1.0);
-    w.field("errors", agg.errorCount());
-    w.key("variants");
-    w.beginObject();
-    for (const auto &[name, runs, raw] : agg.variantCounters()) {
-        w.key(name);
-        w.beginObject();
-        w.field("runs", runs);
-        w.field("raw_reports", raw);
-        w.endObject();
-    }
-    w.endObject();
-    w.key("workers");
-    w.beginArray();
-    for (size_t i = 0; i < workerDone.size(); ++i) {
-        w.beginObject();
-        w.field("worker", uint64_t(i));
-        w.field("done", workerDone[i]);
-        w.field("phase", workerBusy[i].load(std::memory_order_relaxed)
-                             ? "run"
-                             : "idle");
-        w.endObject();
-    }
-    w.endArray();
-    w.endObject();
-    os << "\n" << std::flush;
+    ProgressRecord rec;
+    rec.event = event;
+    rec.round = round;
+    rec.jobsTotal = jobsTotal;
+    rec.jobsDone = jobsDone;
+    rec.findings = agg.findingCount();
+    rec.rawReports = agg.rawReports();
+    rec.errors = agg.errorCount();
+    rec.variants = agg.variantCounters();
+    for (size_t i = 0; i < workerDone.size(); ++i)
+        rec.workers.emplace_back(
+            workerDone[i],
+            workerBusy[i].load(std::memory_order_relaxed) != 0);
+    writeProgressRecord(os, rec);
 }
 
 } // namespace
@@ -215,7 +91,7 @@ runCampaign(const CampaignConfig &cfg, std::ostream *progress,
         queue);
 
     std::unique_ptr<Strategy> strategy = makeStrategy(cfg.strategy);
-    Aggregator aggregator;
+    ShardedAggregator aggregator(cfg.shards);
     std::vector<JobOutcome> history;
     uint64_t nextId = 0;
     uint64_t rounds = 0;
@@ -264,7 +140,8 @@ runCampaign(const CampaignConfig &cfg, std::ostream *progress,
         emitProgress(*progressJson, "end", rounds, jobsTotal, jobsDone,
                      aggregator, workerDone, workerBusy);
 
-    CampaignResult result = aggregator.finalize(cfg, groundTruth);
+    CampaignResult result =
+        aggregator.collapse().finalize(cfg, groundTruth);
     result.timing.wallSeconds =
         std::chrono::duration<double>(wall1 - wall0).count();
     result.timing.runsPerSec =

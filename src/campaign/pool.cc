@@ -26,7 +26,22 @@ WorkStealingPool::~WorkStealingPool()
     }
     wake_.notify_all();
     for (std::thread &t : threads_)
-        t.join();
+        if (t.joinable())
+            t.join();
+}
+
+void
+WorkStealingPool::stopAndJoin()
+{
+    abandon_.store(true, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(wakeMu_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &t : threads_)
+        if (t.joinable())
+            t.join();
 }
 
 void
@@ -86,6 +101,8 @@ void
 WorkStealingPool::workerLoop(uint32_t self)
 {
     for (;;) {
+        if (abandon_.load(std::memory_order_relaxed))
+            return;
         JobSpec job;
         bool stolen = false;
         if (takeJob(self, job, stolen)) {

@@ -48,6 +48,18 @@ class WorkStealingPool
      *  callers drain every submitted job before destruction. */
     ~WorkStealingPool();
 
+    /**
+     * Graceful early stop (service shutdown): workers finish the job
+     * they are executing, abandon everything still queued, and are
+     * joined before this returns. Abandoned jobs never produce an
+     * outcome — the caller must count pops against ids actually
+     * folded, not against ids submitted. Call from a thread that is
+     * NOT the result-queue consumer (an in-flight worker may be
+     * blocked pushing into a full queue; someone must keep
+     * draining). Idempotent; the destructor afterwards is a no-op.
+     */
+    void stopAndJoin();
+
     WorkStealingPool(const WorkStealingPool &) = delete;
     WorkStealingPool &operator=(const WorkStealingPool &) = delete;
 
@@ -84,6 +96,8 @@ class WorkStealingPool
     std::mutex wakeMu_;
     std::condition_variable wake_;
     bool stop_ = false;
+    /** Early-stop: abandon queued jobs instead of draining them. */
+    std::atomic<bool> abandon_{false};
 
     std::atomic<uint64_t> steals_{0};
 };

@@ -1,0 +1,162 @@
+#include "campaign/shard.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "support/log.hh"
+
+namespace txrace::campaign {
+
+ShardedAggregator::ShardedAggregator(uint32_t shards)
+{
+    if (shards == 0)
+        fatal("ShardedAggregator: need at least one shard");
+    shards_.reserve(shards);
+    for (uint32_t i = 0; i < shards; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+}
+
+bool
+ShardedAggregator::add(const JobOutcome &outcome,
+                       std::vector<const FoundRace *> *newFindings)
+{
+    const size_t n = shards_.size();
+    // The owner shard holds the job's ledger entry and all job-level
+    // counters; taking its lock first makes the duplicate check and
+    // the counter fold one atomic step.
+    Shard &owner = *shards_[outcome.spec.id % n];
+    {
+        std::lock_guard<std::mutex> lock(owner.mu);
+        if (!owner.agg.seenJobs_.insert(outcome.spec.id).second)
+            return false;
+        owner.agg.foldCounters(outcome);
+    }
+    for (const FoundRace &race : outcome.races) {
+        Shard &s = *shards_[race.sig.hash % n];
+        std::lock_guard<std::mutex> lock(s.mu);
+        if (s.agg.foldRace(outcome, race) && newFindings)
+            newFindings->push_back(&race);
+    }
+    return true;
+}
+
+void
+ShardedAggregator::seed(const Aggregator &base)
+{
+    const size_t n = shards_.size();
+    for (const auto &[key, acc] : base.findings_)
+        shards_[acc.sig.hash % n]->agg.findings_.emplace(key, acc);
+    for (uint64_t id : base.seenJobs_)
+        shards_[id % n]->agg.seenJobs_.insert(id);
+
+    Aggregator &z = shards_[0]->agg;
+    z.apps_.insert(base.apps_.begin(), base.apps_.end());
+    z.runs_ += base.runs_;
+    z.errors_ += base.errors_;
+    z.rawReports_ += base.rawReports_;
+    z.txCommitted_ += base.txCommitted_;
+    z.abortConflict_ += base.abortConflict_;
+    z.abortCapacity_ += base.abortCapacity_;
+    z.abortUnknown_ += base.abortUnknown_;
+    z.maxRound_ = std::max(z.maxRound_, base.maxRound_);
+    for (const auto &[name, va] : base.variants_) {
+        auto &into = z.variants_[name];
+        into.runs += va.runs;
+        into.rawReports += va.rawReports;
+    }
+    z.profile_.merge(base.profile_);
+}
+
+bool
+ShardedAggregator::seen(uint64_t id) const
+{
+    const Shard &owner = *shards_[id % shards_.size()];
+    std::lock_guard<std::mutex> lock(owner.mu);
+    return owner.agg.seen(id);
+}
+
+std::vector<uint64_t>
+ShardedAggregator::shardDepths() const
+{
+    std::vector<uint64_t> depths;
+    depths.reserve(shards_.size());
+    for (const auto &s : shards_) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        depths.push_back(s->agg.findingCount());
+    }
+    return depths;
+}
+
+uint64_t
+ShardedAggregator::runs() const
+{
+    uint64_t total = 0;
+    for (const auto &s : shards_) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        total += s->agg.runs();
+    }
+    return total;
+}
+
+uint64_t
+ShardedAggregator::findingCount() const
+{
+    uint64_t total = 0;
+    for (const auto &s : shards_) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        total += s->agg.findingCount();
+    }
+    return total;
+}
+
+uint64_t
+ShardedAggregator::rawReports() const
+{
+    uint64_t total = 0;
+    for (const auto &s : shards_) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        total += s->agg.rawReports();
+    }
+    return total;
+}
+
+uint64_t
+ShardedAggregator::errorCount() const
+{
+    uint64_t total = 0;
+    for (const auto &s : shards_) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        total += s->agg.errorCount();
+    }
+    return total;
+}
+
+std::vector<std::tuple<std::string, uint64_t, uint64_t>>
+ShardedAggregator::variantCounters() const
+{
+    std::map<std::string, std::pair<uint64_t, uint64_t>> sums;
+    for (const auto &s : shards_) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        for (const auto &[name, runs, raw] : s->agg.variantCounters()) {
+            sums[name].first += runs;
+            sums[name].second += raw;
+        }
+    }
+    std::vector<std::tuple<std::string, uint64_t, uint64_t>> out;
+    for (const auto &[name, v] : sums)
+        out.emplace_back(name, v.first, v.second);
+    return out;
+}
+
+Aggregator
+ShardedAggregator::collapse() const
+{
+    Aggregator total;
+    for (const auto &s : shards_) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        total.merge(s->agg);
+    }
+    return total;
+}
+
+} // namespace txrace::campaign

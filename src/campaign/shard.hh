@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Sharded aggregation: the single Aggregator partitioned by
+ * fingerprint hash into N independently locked shards.
+ *
+ * The single-threaded aggregator is fine behind a round barrier, but
+ * a continuous service ingesting outcomes from many threads (or many
+ * spool files) serializes on it. A ShardedAggregator splits the work
+ * two ways:
+ *
+ *  - JOB-level facts (run counters, idempotence ledger, variants,
+ *    profile) fold into the job's OWNER shard, `spec.id % N` — one
+ *    shard owns each job, so the duplicate check is a single
+ *    lock acquisition and counters are never split.
+ *  - Each RACE folds into the shard `sig.hash % N` — the same key
+ *    always lands on the same shard, so per-shard findings maps hold
+ *    disjoint key sets and dedup needs no cross-shard coordination.
+ *
+ * Because every Aggregator fold is commutative and associative,
+ * collapse() — merging the shards in any order — yields byte-for-byte
+ * the state the single aggregator would have built: N and the merge
+ * order are execution facts, invisible in the report. That is the
+ * shard-determinism contract the campaign tests pin
+ * (`--shards 1/4/16` byte-identical).
+ */
+
+#ifndef TXRACE_CAMPAIGN_SHARD_HH
+#define TXRACE_CAMPAIGN_SHARD_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "campaign/aggregate.hh"
+
+namespace txrace::campaign {
+
+class ShardedAggregator
+{
+  public:
+    /** @p shards >= 1 enforced (fatal on 0). */
+    explicit ShardedAggregator(uint32_t shards = 1);
+
+    /**
+     * Fold one outcome in. Thread-safe and idempotent on job id:
+     * concurrent or repeated adds of the same id fold exactly once.
+     * Returns false for duplicates. When @p newFindings is non-null
+     * it receives pointers (into @p outcome) to the races that
+     * created a NEW finding — the service's incremental delta feed.
+     */
+    bool add(const JobOutcome &outcome,
+             std::vector<const FoundRace *> *newFindings = nullptr);
+
+    /** Whether job @p id has been folded (checks the owner shard). */
+    bool seen(uint64_t id) const;
+
+    /**
+     * Pre-load restored state (service resume) before any add().
+     * Findings scatter to their hash-owned shards and seen ids to
+     * their id-owned shards — both placements are what add() will
+     * probe — while the indivisible job-level sums land on shard 0
+     * (merge commutativity makes the placement invisible). NOT
+     * thread-safe; call before the fleet starts.
+     */
+    void seed(const Aggregator &base);
+
+    uint32_t shardCount() const { return uint32_t(shards_.size()); }
+
+    /**
+     * Direct shard access for explicit merge-order tests and the
+     * shard-depth gauges. NOT safe concurrently with add().
+     */
+    const Aggregator &shard(uint32_t i) const { return shards_[i]->agg; }
+
+    /** Findings held per shard (service telemetry gauge). */
+    std::vector<uint64_t> shardDepths() const;
+
+    // Live snapshot accessors for the progress stream: sum across
+    // shards under the shard locks. Deterministic at any point where
+    // a fixed set of outcomes has been folded.
+    uint64_t runs() const;
+    uint64_t findingCount() const;
+    uint64_t rawReports() const;
+    uint64_t errorCount() const;
+    std::vector<std::tuple<std::string, uint64_t, uint64_t>>
+    variantCounters() const;
+
+    /**
+     * Merge every shard into one Aggregator. Deterministic for ANY
+     * shard count and internal merge order (Aggregator::merge is
+     * commutative/associative and shard key sets are disjoint).
+     */
+    Aggregator collapse() const;
+
+  private:
+    struct Shard
+    {
+        mutable std::mutex mu;
+        Aggregator agg;
+    };
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+} // namespace txrace::campaign
+
+#endif // TXRACE_CAMPAIGN_SHARD_HH

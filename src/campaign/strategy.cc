@@ -10,6 +10,14 @@ namespace txrace::campaign {
 
 namespace {
 
+uint64_t
+stateOr(const std::map<std::string, uint64_t> &in, const char *key,
+        uint64_t fallback)
+{
+    auto it = in.find(key);
+    return it == in.end() ? fallback : it->second;
+}
+
 JobSpec
 baseJob(const CampaignConfig &cfg, uint64_t &nextId, uint32_t round,
         const std::string &app, uint64_t seed)
@@ -50,6 +58,18 @@ class SeedSweep final : public Strategy
                     cfg, nextId, 0, app,
                     deriveSeed(cfg.masterSeed, app, 0, i)));
         return jobs;
+    }
+
+    void
+    saveState(std::map<std::string, uint64_t> &out) const override
+    {
+        out["done"] = done_ ? 1 : 0;
+    }
+
+    void
+    restoreState(const std::map<std::string, uint64_t> &in) override
+    {
+        done_ = stateOr(in, "done", 0) != 0;
     }
 
   private:
@@ -150,6 +170,20 @@ class AbortGuided final : public Strategy
         return jobs;
     }
 
+    void
+    saveState(std::map<std::string, uint64_t> &out) const override
+    {
+        out["round"] = round_;
+        out["probe_per_app"] = probePerApp_;
+    }
+
+    void
+    restoreState(const std::map<std::string, uint64_t> &in) override
+    {
+        round_ = uint32_t(stateOr(in, "round", 0));
+        probePerApp_ = stateOr(in, "probe_per_app", 0);
+    }
+
   private:
     uint32_t round_ = 0;
     uint64_t probePerApp_ = 0;
@@ -214,6 +248,18 @@ class PerturbSweep final : public Strategy
             }
         }
         return jobs;
+    }
+
+    void
+    saveState(std::map<std::string, uint64_t> &out) const override
+    {
+        out["done"] = done_ ? 1 : 0;
+    }
+
+    void
+    restoreState(const std::map<std::string, uint64_t> &in) override
+    {
+        done_ = stateOr(in, "done", 0) != 0;
     }
 
   private:

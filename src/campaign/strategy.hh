@@ -13,6 +13,8 @@
 #ifndef TXRACE_CAMPAIGN_STRATEGY_HH
 #define TXRACE_CAMPAIGN_STRATEGY_HH
 
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -39,6 +41,25 @@ class Strategy
     nextRound(const CampaignConfig &cfg,
               const std::vector<JobOutcome> &history,
               uint64_t &nextId) = 0;
+
+    /**
+     * Serialize resumable progress as a flat name → u64 map — every
+     * strategy's state machine is a handful of counters, and a flat
+     * map keeps the checkpoint schema strategy-agnostic. A resumed
+     * strategy must continue the campaign exactly where the saved
+     * one stopped (kill-and-resume determinism test pins this).
+     */
+    virtual void saveState(std::map<std::string, uint64_t> &out) const
+    {
+        (void)out;
+    }
+
+    /** Restore saveState() output. Unknown keys are ignored; missing
+     *  keys keep the freshly constructed state. */
+    virtual void restoreState(const std::map<std::string, uint64_t> &in)
+    {
+        (void)in;
+    }
 };
 
 /**

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "telemetry/json.hh"
+#include "telemetry/jsonparse.hh"
+
 namespace txrace::core {
 
 namespace {
@@ -88,6 +91,54 @@ raceSig(const ir::Program &prog, const detector::Race &race,
     sig.label = raceLabelKey(prog.instr(race.first).tag,
                              prog.instr(race.second).tag);
     return sig;
+}
+
+void
+writeRaceSig(telemetry::JsonWriter &w, const RaceSig &sig)
+{
+    w.beginObject();
+    w.field("hash", sig.hash);
+    w.field("key", sig.key);
+    w.field("label", sig.label);
+    w.field("a", sig.a);
+    w.field("b", sig.b);
+    w.endObject();
+}
+
+bool
+readRaceSig(const telemetry::JsonValue &v, RaceSig &out,
+            std::string &error)
+{
+    if (!v.isObject()) {
+        error = "race sig is not an object";
+        return false;
+    }
+    const telemetry::JsonValue *key = v.find("key");
+    if (!key || !key->isString() || key->str.empty()) {
+        error = "race sig: missing key";
+        return false;
+    }
+    RaceSig sig;
+    sig.key = key->str;
+    sig.hash = fnv1a64(sig.key);
+    if (const telemetry::JsonValue *h = v.find("hash");
+        h && h->asU64() != sig.hash) {
+        error = "race sig: hash does not match key";
+        return false;
+    }
+    const telemetry::JsonValue *label = v.find("label");
+    const telemetry::JsonValue *a = v.find("a");
+    const telemetry::JsonValue *b = v.find("b");
+    if (!label || !label->isString() || !a || !a->isString() || !b ||
+        !b->isString()) {
+        error = "race sig: missing label/endpoint strings";
+        return false;
+    }
+    sig.label = label->str;
+    sig.a = a->str;
+    sig.b = b->str;
+    out = std::move(sig);
+    return true;
 }
 
 std::vector<std::pair<RaceSig, detector::Race>>

@@ -27,6 +27,11 @@
 #include "detector/report.hh"
 #include "ir/program.hh"
 
+namespace txrace::telemetry {
+class JsonWriter;
+struct JsonValue;
+} // namespace txrace::telemetry
+
 namespace txrace::core {
 
 /** FNV-1a 64-bit hash (the fingerprint primitive). */
@@ -78,6 +83,22 @@ std::vector<std::pair<RaceSig, detector::Race>>
 fingerprintedRaces(const ir::Program &prog,
                    const detector::RaceSet &races,
                    const std::string &scope = "");
+
+/**
+ * Serialize @p sig as a JSON object (hash in decimal; key and label
+ * round-trip their separator control bytes via \\u00XX escapes).
+ * Used by the txrace-findings-v1 store.
+ */
+void writeRaceSig(telemetry::JsonWriter &w, const RaceSig &sig);
+
+/**
+ * Restore a RaceSig written by writeRaceSig. The hash is recomputed
+ * from the key (and cross-checked against the stored value) so a
+ * corrupted store cannot smuggle in an inconsistent fingerprint.
+ * Returns false with a message in @p error on malformed input.
+ */
+bool readRaceSig(const telemetry::JsonValue &v, RaceSig &out,
+                 std::string &error);
 
 } // namespace txrace::core
 

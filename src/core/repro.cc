@@ -71,6 +71,30 @@ cliModeName(RunMode mode)
     return "?";
 }
 
+bool
+cliModeFromName(const std::string &name, RunMode &out)
+{
+    for (int m = 0; m <= int(RunMode::TxRaceProfLoopcut); ++m) {
+        if (name == cliModeName(RunMode(m))) {
+            out = RunMode(m);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+slowPathKindFromName(const std::string &name, SlowPathKind &out)
+{
+    for (SlowPathKind k : {SlowPathKind::Window, SlowPathKind::Region}) {
+        if (name == slowPathKindName(k)) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
 uint64_t
 configDigest(const RunConfig &cfg)
 {

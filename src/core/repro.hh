@@ -63,6 +63,12 @@ struct RunIdentity
 /** CLI mode token for @p mode (inverse of txrace_run's parseMode). */
 const char *cliModeName(RunMode mode);
 
+/** Inverse of cliModeName; false (out untouched) on unknown tokens. */
+bool cliModeFromName(const std::string &name, RunMode &out);
+
+/** Inverse of slowPathKindName; false on unknown tokens. */
+bool slowPathKindFromName(const std::string &name, SlowPathKind &out);
+
 /**
  * Order-sensitive digest of every behaviour-affecting RunConfig
  * field: mode, sampling, machine knobs (seed included), HTM

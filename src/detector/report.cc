@@ -16,6 +16,19 @@ raceKindName(RaceKind kind)
 }
 
 bool
+raceKindFromName(std::string_view name, RaceKind &out)
+{
+    for (RaceKind k : {RaceKind::WriteWrite, RaceKind::ReadWrite,
+                       RaceKind::WriteRead}) {
+        if (name == raceKindName(k)) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
 RaceSet::record(ir::InstrId a, ir::InstrId b, RaceKind kind,
                 ir::Addr addr)
 {

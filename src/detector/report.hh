@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <map>
 #include <set>
+#include <string_view>
 #include <vector>
 
 #include "ir/instruction.hh"
@@ -28,6 +29,9 @@ enum class RaceKind : uint8_t {
 
 /** Display name of a race kind ("write-write" etc., stable in JSON). */
 const char *raceKindName(RaceKind kind);
+
+/** Inverse of raceKindName; false (out untouched) on unknown names. */
+bool raceKindFromName(std::string_view name, RaceKind &out);
 
 /** One deduplicated race: an unordered static instruction pair. */
 struct Race

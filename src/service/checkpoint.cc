@@ -1,0 +1,324 @@
+#include "service/checkpoint.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "service/store.hh"
+#include "telemetry/json.hh"
+#include "telemetry/jsonparse.hh"
+
+namespace txrace::service {
+
+namespace {
+
+constexpr const char *kSchema = "txrace-checkpoint-v1";
+
+uint64_t
+getU64(const telemetry::JsonValue &obj, std::string_view key)
+{
+    const telemetry::JsonValue *v = obj.find(key);
+    return v ? v->asU64() : 0;
+}
+
+double
+getDouble(const telemetry::JsonValue &obj, std::string_view key,
+          double fallback)
+{
+    const telemetry::JsonValue *v = obj.find(key);
+    return v && v->isNumber() ? v->asDouble() : fallback;
+}
+
+std::string
+getStr(const telemetry::JsonValue &obj, std::string_view key)
+{
+    const telemetry::JsonValue *v = obj.find(key);
+    return v && v->isString() ? v->str : std::string();
+}
+
+bool
+getBool(const telemetry::JsonValue &obj, std::string_view key)
+{
+    const telemetry::JsonValue *v = obj.find(key);
+    return v && v->type == telemetry::JsonValue::Type::Bool &&
+           v->boolean;
+}
+
+void
+writeSpecFields(telemetry::JsonWriter &w, uint64_t id, uint32_t round,
+                const std::string &app, uint64_t seed,
+                const std::string &variant, uint32_t workers,
+                uint64_t scale, double irqScale, bool governor)
+{
+    w.field("id", id);
+    w.field("round", uint64_t(round));
+    w.field("app", app);
+    w.field("seed", seed);
+    w.field("variant", variant);
+    w.field("workers", uint64_t(workers));
+    w.field("scale", scale);
+    w.field("irq_scale", irqScale);
+    w.field("governor", governor);
+}
+
+bool
+readSpec(const telemetry::JsonValue &v,
+         const campaign::CampaignConfig &cfg, campaign::JobSpec &spec,
+         std::string &error)
+{
+    if (!v.isObject()) {
+        error = "checkpoint: plan entry is not an object";
+        return false;
+    }
+    spec.id = getU64(v, "id");
+    spec.round = uint32_t(getU64(v, "round"));
+    spec.app = getStr(v, "app");
+    if (spec.app.empty()) {
+        error = "checkpoint: plan entry without app";
+        return false;
+    }
+    spec.seed = getU64(v, "seed");
+    spec.variant = getStr(v, "variant");
+    if (spec.variant.empty())
+        spec.variant = "base";
+    spec.workers = uint32_t(getU64(v, "workers"));
+    spec.scale = getU64(v, "scale");
+    spec.interruptScale = getDouble(v, "irq_scale", 1.0);
+    spec.governor = getBool(v, "governor");
+    spec.mode = cfg.mode;
+    return true;
+}
+
+} // namespace
+
+OutcomeSummary
+OutcomeSummary::of(const campaign::JobOutcome &o)
+{
+    OutcomeSummary s;
+    s.id = o.spec.id;
+    s.round = o.spec.round;
+    s.app = o.spec.app;
+    s.seed = o.spec.seed;
+    s.variant = o.spec.variant;
+    s.workers = o.spec.workers;
+    s.scale = o.spec.scale;
+    s.irqScale = o.spec.interruptScale;
+    s.governor = o.spec.governor;
+    s.ok = o.ok;
+    s.abortConflict = o.abortConflict;
+    s.rawReports = o.races.size();
+    return s;
+}
+
+campaign::JobOutcome
+OutcomeSummary::toOutcome(const campaign::CampaignConfig &cfg) const
+{
+    campaign::JobOutcome o;
+    o.spec.id = id;
+    o.spec.round = round;
+    o.spec.app = app;
+    o.spec.seed = seed;
+    o.spec.variant = variant;
+    o.spec.workers = workers;
+    o.spec.scale = scale;
+    o.spec.interruptScale = irqScale;
+    o.spec.governor = governor;
+    o.spec.mode = cfg.mode;
+    o.ok = ok;
+    o.abortConflict = abortConflict;
+    return o;
+}
+
+void
+Checkpoint::write(std::ostream &os) const
+{
+    telemetry::JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", kSchema);
+    w.key("campaign");
+    w.beginObject();
+    writeCampaignIdentity(w, campaign);
+    w.endObject();
+    w.field("next_id", nextId);
+    w.field("rounds_done", roundsDone);
+    w.field("jobs_total", jobsTotal);
+    w.key("strategy");
+    w.beginObject();
+    w.field("name", strategyName);
+    w.key("state");
+    w.beginObject();
+    for (const auto &[key, value] : strategyState)
+        w.field(key, value);
+    w.endObject();
+    w.endObject();
+    w.key("plan");
+    w.beginArray();
+    for (const campaign::JobSpec &spec : plan) {
+        w.beginObject();
+        writeSpecFields(w, spec.id, spec.round, spec.app, spec.seed,
+                        spec.variant, spec.workers, spec.scale,
+                        spec.interruptScale, spec.governor);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("history");
+    w.beginArray();
+    {
+        std::vector<const OutcomeSummary *> sorted;
+        sorted.reserve(history.size());
+        for (const OutcomeSummary &s : history)
+            sorted.push_back(&s);
+        std::sort(sorted.begin(), sorted.end(),
+                  [](const OutcomeSummary *x, const OutcomeSummary *y) {
+                      return x->id < y->id;
+                  });
+        for (const OutcomeSummary *s : sorted) {
+            w.beginObject();
+            writeSpecFields(w, s->id, s->round, s->app, s->seed,
+                            s->variant, s->workers, s->scale,
+                            s->irqScale, s->governor);
+            w.field("ok", s->ok);
+            w.field("abort_conflict", s->abortConflict);
+            w.field("raw_reports", s->rawReports);
+            w.endObject();
+        }
+    }
+    w.endArray();
+    w.key("spool");
+    w.beginObject();
+    for (const auto &[file, firstId] : spoolFirstId)
+        w.field(file, firstId);
+    w.endObject();
+    w.key("aggregate");
+    aggregate.writeState(w);
+    w.endObject();
+    os << "\n";
+}
+
+bool
+Checkpoint::parse(const std::string &text, Checkpoint &out,
+                  std::string &error)
+{
+    out = Checkpoint{};
+    telemetry::JsonValue doc;
+    if (!telemetry::parseJson(text, doc, error))
+        return false;
+    if (!telemetry::checkSchema(doc, kSchema, error))
+        return false;
+    const telemetry::JsonValue *id = doc.find("campaign");
+    if (!id || !readCampaignIdentity(*id, out.campaign, error)) {
+        if (error.empty())
+            error = "checkpoint: missing campaign identity";
+        return false;
+    }
+    out.nextId = getU64(doc, "next_id");
+    out.roundsDone = getU64(doc, "rounds_done");
+    out.jobsTotal = getU64(doc, "jobs_total");
+
+    const telemetry::JsonValue *strat = doc.find("strategy");
+    if (!strat || !strat->isObject()) {
+        error = "checkpoint: missing strategy object";
+        return false;
+    }
+    out.strategyName = getStr(*strat, "name");
+    if (const telemetry::JsonValue *state = strat->find("state");
+        state && state->isObject())
+        for (const auto &[key, value] : state->object)
+            out.strategyState[key] = value.asU64();
+
+    const telemetry::JsonValue *plan = doc.find("plan");
+    if (!plan || !plan->isArray()) {
+        error = "checkpoint: missing plan array";
+        return false;
+    }
+    for (const telemetry::JsonValue &entry : plan->array) {
+        campaign::JobSpec spec;
+        if (!readSpec(entry, out.campaign, spec, error))
+            return false;
+        out.plan.push_back(std::move(spec));
+    }
+
+    const telemetry::JsonValue *history = doc.find("history");
+    if (!history || !history->isArray()) {
+        error = "checkpoint: missing history array";
+        return false;
+    }
+    for (const telemetry::JsonValue &entry : history->array) {
+        campaign::JobSpec spec;
+        if (!readSpec(entry, out.campaign, spec, error))
+            return false;
+        OutcomeSummary s;
+        s.id = spec.id;
+        s.round = spec.round;
+        s.app = spec.app;
+        s.seed = spec.seed;
+        s.variant = spec.variant;
+        s.workers = spec.workers;
+        s.scale = spec.scale;
+        s.irqScale = spec.interruptScale;
+        s.governor = spec.governor;
+        s.ok = getBool(entry, "ok");
+        s.abortConflict = getU64(entry, "abort_conflict");
+        s.rawReports = getU64(entry, "raw_reports");
+        out.history.push_back(std::move(s));
+    }
+
+    if (const telemetry::JsonValue *spool = doc.find("spool");
+        spool && spool->isObject())
+        for (const auto &[file, firstId] : spool->object)
+            out.spoolFirstId[file] = firstId.asU64();
+
+    const telemetry::JsonValue *agg = doc.find("aggregate");
+    if (!agg) {
+        error = "checkpoint: missing aggregate object";
+        return false;
+    }
+    return out.aggregate.loadState(*agg, error);
+}
+
+bool
+writeFileAtomic(const std::string &path, const std::string &content,
+                std::string &error)
+{
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "w");
+    if (!f) {
+        error = "cannot write " + tmp;
+        return false;
+    }
+    bool ok =
+        std::fwrite(content.data(), 1, content.size(), f) ==
+            content.size() &&
+        std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok) {
+        error = "short write to " + tmp;
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        error = "cannot rename " + tmp + " to " + path;
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+readFile(const std::string &path, std::string &out, std::string &error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        error = "cannot read " + path;
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+} // namespace txrace::service

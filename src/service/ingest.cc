@@ -1,0 +1,96 @@
+#include "service/ingest.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+
+#include "telemetry/jsonparse.hh"
+
+namespace txrace::service {
+
+bool
+parseJobLine(const std::string &line,
+             const campaign::CampaignConfig &cfg,
+             campaign::JobSpec &spec, std::string &error)
+{
+    telemetry::JsonValue doc;
+    if (!telemetry::parseJson(line, doc, error))
+        return false;
+    if (!doc.isObject()) {
+        error = "job record is not an object";
+        return false;
+    }
+    spec = campaign::JobSpec{};
+    spec.mode = cfg.mode;
+    spec.workers = cfg.workers;
+    spec.scale = cfg.scale;
+
+    const telemetry::JsonValue *app = doc.find("app");
+    if (!app || !app->isString() || app->str.empty()) {
+        error = "job record without app";
+        return false;
+    }
+    spec.app = app->str;
+    if (const telemetry::JsonValue *v = doc.find("seed"))
+        spec.seed = v->asU64();
+    if (const telemetry::JsonValue *v = doc.find("variant");
+        v && v->isString() && !v->str.empty())
+        spec.variant = v->str;
+    if (const telemetry::JsonValue *v = doc.find("workers"))
+        spec.workers = uint32_t(v->asU64());
+    if (const telemetry::JsonValue *v = doc.find("scale"))
+        spec.scale = v->asU64();
+    if (const telemetry::JsonValue *v = doc.find("irq_scale");
+        v && v->isNumber())
+        spec.interruptScale = v->asDouble();
+    if (const telemetry::JsonValue *v = doc.find("governor"))
+        spec.governor =
+            v->type == telemetry::JsonValue::Type::Bool && v->boolean;
+    return true;
+}
+
+bool
+parseJobBatch(const std::string &text,
+              const campaign::CampaignConfig &cfg,
+              std::vector<campaign::JobSpec> &specs, std::string &error)
+{
+    std::istringstream in(text);
+    std::string line;
+    size_t lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        campaign::JobSpec spec;
+        if (!parseJobLine(line, cfg, spec, error)) {
+            error = "line " + std::to_string(lineNo) + ": " + error;
+            return false;
+        }
+        specs.push_back(std::move(spec));
+    }
+    return true;
+}
+
+std::vector<std::string>
+listSpoolFiles(const std::string &dir)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> files;
+    std::error_code ec;
+    for (const fs::directory_entry &entry :
+         fs::directory_iterator(dir, ec)) {
+        if (!entry.is_regular_file(ec))
+            continue;
+        std::string name = entry.path().filename().string();
+        // Skip partially written files by convention: producers write
+        // `name.tmp` and rename into place.
+        if (name.size() > 4 &&
+            name.compare(name.size() - 4, 4, ".tmp") == 0)
+            continue;
+        files.push_back(std::move(name));
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+} // namespace txrace::service

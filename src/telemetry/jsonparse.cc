@@ -304,4 +304,31 @@ parseJson(std::string_view text, JsonValue &out, std::string &error)
     return Parser(text, error).parse(out);
 }
 
+bool
+checkSchema(const JsonValue &doc, std::string_view expect,
+            std::string &error)
+{
+    const std::string want(expect);
+    if (!doc.isObject()) {
+        error = "$: document is not an object (expected a \"" + want +
+                "\" document)";
+        return false;
+    }
+    const JsonValue *schema = doc.find("schema");
+    if (!schema) {
+        error = "$.schema: missing (expected \"" + want + "\")";
+        return false;
+    }
+    if (!schema->isString()) {
+        error = "$.schema: not a string (expected \"" + want + "\")";
+        return false;
+    }
+    if (schema->str != expect) {
+        error = "$.schema: unknown version \"" + schema->str +
+                "\" (expected \"" + want + "\")";
+        return false;
+    }
+    return true;
+}
+
 } // namespace txrace::telemetry

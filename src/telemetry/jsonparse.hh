@@ -62,6 +62,17 @@ struct JsonValue
  */
 bool parseJson(std::string_view text, JsonValue &out, std::string &error);
 
+/**
+ * Validate the `schema` member of a versioned document root against
+ * @p expect (e.g. "txrace-profile-v1"). On mismatch the error names
+ * the offending JSON path and what was actually found — missing key,
+ * wrong type, or unknown version — so fleet tooling can tell a stale
+ * file from a corrupt one. Every versioned loader goes through this;
+ * none of them may crash on foreign input.
+ */
+bool checkSchema(const JsonValue &doc, std::string_view expect,
+                 std::string &error);
+
 } // namespace txrace::telemetry
 
 #endif // TXRACE_TELEMETRY_JSONPARSE_HH

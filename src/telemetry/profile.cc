@@ -75,6 +75,14 @@ Profile::write(std::ostream &os) const
     JsonWriter w(os);
     w.beginObject();
     w.field("schema", kSchema);
+    writeBody(w);
+    w.endObject();
+    os << "\n";
+}
+
+void
+Profile::writeBody(JsonWriter &w) const
+{
     w.key("apps");
     w.beginObject();
     for (const auto &[name, app] : apps) {
@@ -111,8 +119,6 @@ Profile::write(std::ostream &os) const
         w.endObject();
     }
     w.endObject();
-    w.endObject();
-    os << "\n";
 }
 
 bool
@@ -122,16 +128,21 @@ Profile::parse(const std::string &text, Profile &out, std::string &error)
     JsonValue doc;
     if (!parseJson(text, doc, error))
         return false;
-    if (!doc.isObject()) {
-        error = "profile document is not an object";
+    if (!checkSchema(doc, kSchema, error))
+        return false;
+    return parseBody(doc, out, error);
+}
+
+bool
+Profile::parseBody(const JsonValue &body, Profile &out,
+                   std::string &error)
+{
+    out = Profile{};
+    if (!body.isObject()) {
+        error = "profile body is not an object";
         return false;
     }
-    const JsonValue *schema = doc.find("schema");
-    if (!schema || !schema->isString() || schema->str != kSchema) {
-        error = "not a " + std::string(kSchema) + " document";
-        return false;
-    }
-    const JsonValue *apps = doc.find("apps");
+    const JsonValue *apps = body.find("apps");
     if (!apps || !apps->isObject()) {
         error = "missing apps object";
         return false;

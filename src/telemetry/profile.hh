@@ -35,6 +35,9 @@
 
 namespace txrace::telemetry {
 
+class JsonWriter;
+struct JsonValue;
+
 /** Accumulated counters for one static IR site. */
 struct SiteProfile
 {
@@ -88,6 +91,14 @@ struct Profile
     void write(std::ostream &os) const;
 
     /**
+     * Emit the fields of the profile body (`apps`) into an object
+     * @p w has already opened. Lets other documents (the
+     * txrace-findings-v1 store) embed a profile without nesting a
+     * second schema header.
+     */
+    void writeBody(JsonWriter &w) const;
+
+    /**
      * Parse a txrace-profile-v1 document. Returns true on success;
      * false with a message in @p error on malformed input or a
      * schema/version mismatch. Unknown fields are ignored so later
@@ -95,6 +106,10 @@ struct Profile
      */
     static bool parse(const std::string &text, Profile &out,
                       std::string &error);
+
+    /** Inverse of writeBody: restore from a parsed body object. */
+    static bool parseBody(const JsonValue &body, Profile &out,
+                          std::string &error);
 };
 
 } // namespace txrace::telemetry

@@ -1,0 +1,391 @@
+/**
+ * @file
+ * End-to-end service tests: the kill-and-resume determinism contract
+ * (an interrupted + resumed campaign emits byte-identical artifacts
+ * to an uninterrupted one, for any --jobs and --shards), stream-mode
+ * ingestion, cross-host store union, and the progress side channel.
+ * In-process interruption uses the service's stop flag — the same
+ * path the SIGTERM handler drives in txrace_hunt.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "campaign/campaign.hh"
+#include "service/checkpoint.hh"
+#include "service/service.hh"
+#include "service/store.hh"
+#include "workloads/workloads.hh"
+
+using namespace txrace;
+using namespace txrace::service;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+campaign::CampaignConfig
+smallCampaign()
+{
+    campaign::CampaignConfig cfg;
+    cfg.apps = {"raytrace", "canneal"};
+    cfg.seedsPerApp = 2;
+    cfg.masterSeed = 7;
+    cfg.jobs = 2;
+    return cfg;
+}
+
+std::string
+freshDir(const std::string &name)
+{
+    std::string dir = testing::TempDir() + "txrace_service_" + name;
+    fs::remove_all(dir);
+    return dir;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::string out, error;
+    EXPECT_TRUE(readFile(path, out, error)) << error;
+    return out;
+}
+
+/** Run a service campaign start to finish in @p dir. */
+ServiceResult
+runToCompletion(const campaign::CampaignConfig &cfg,
+                const std::string &dir, std::ostream *progress = nullptr)
+{
+    ServiceOptions opt;
+    opt.cfg = cfg;
+    opt.stateDir = dir;
+    opt.checkpointEvery = 1;
+    opt.progressJson = progress;
+    ServiceResult res = runService(opt);
+    EXPECT_TRUE(res.completed);
+    return res;
+}
+
+} // namespace
+
+TEST(Service, CampaignJsonMatchesRunCampaignByteExactly)
+{
+    campaign::CampaignConfig cfg = smallCampaign();
+    const std::string dir = freshDir("vs_campaign");
+    runToCompletion(cfg, dir);
+
+    campaign::CampaignResult direct = campaign::runCampaign(cfg);
+    std::ostringstream os;
+    campaign::writeCampaignJson(os, cfg, direct);
+    EXPECT_EQ(slurp(dir + "/campaign.json"), os.str());
+    fs::remove_all(dir);
+}
+
+TEST(Service, KillAndResumeIsByteIdenticalForAnyJobsAndShards)
+{
+    campaign::CampaignConfig base = smallCampaign();
+    const std::string refDir = freshDir("resume_ref");
+    runToCompletion(base, refDir);
+    const std::string wantCampaign = slurp(refDir + "/campaign.json");
+    const std::string wantFindings = slurp(refDir + "/findings.json");
+
+    const uint32_t jobsChoices[] = {1, 8};
+    const uint32_t shardChoices[] = {1, 16};
+    for (uint32_t jobs : jobsChoices) {
+        for (uint32_t shards : shardChoices) {
+            campaign::CampaignConfig cfg = base;
+            cfg.jobs = jobs;
+            cfg.shards = shards;
+            const std::string dir = freshDir(
+                "resume_" + std::to_string(jobs) + "_" +
+                std::to_string(shards));
+
+            // Interrupt almost immediately: the stop flag is already
+            // raised, so the service folds one job, checkpoints, and
+            // shuts down — exactly the SIGTERM path.
+            std::atomic<bool> stop{true};
+            ServiceOptions opt;
+            opt.cfg = cfg;
+            opt.stateDir = dir;
+            opt.checkpointEvery = 1;
+            opt.stopFlag = &stop;
+            ServiceResult interrupted = runService(opt);
+            EXPECT_FALSE(interrupted.completed);
+            EXPECT_GT(interrupted.checkpoints, 0u);
+            ASSERT_TRUE(fs::exists(dir + "/checkpoint.json"));
+
+            // A second interrupted leg: resume, fold a bit, die again.
+            opt.resume = true;
+            ServiceResult again = runService(opt);
+            EXPECT_FALSE(again.completed);
+
+            // Final leg completes.
+            stop.store(false);
+            ServiceResult done = runService(opt);
+            EXPECT_TRUE(done.completed);
+
+            EXPECT_EQ(slurp(dir + "/campaign.json"), wantCampaign)
+                << "jobs=" << jobs << " shards=" << shards;
+            EXPECT_EQ(slurp(dir + "/findings.json"), wantFindings)
+                << "jobs=" << jobs << " shards=" << shards;
+            fs::remove_all(dir);
+        }
+    }
+    fs::remove_all(refDir);
+}
+
+TEST(Service, AdaptiveStrategySurvivesMidCampaignKill)
+{
+    // abort-guided reseeds from round-0 history — resume must rebuild
+    // that history from the checkpoint, not re-observe it.
+    campaign::CampaignConfig cfg = smallCampaign();
+    cfg.strategy = "abort-guided";
+    cfg.seedsPerApp = 4;
+
+    const std::string refDir = freshDir("adaptive_ref");
+    runToCompletion(cfg, refDir);
+
+    const std::string dir = freshDir("adaptive_resume");
+    std::atomic<bool> stop{true};
+    ServiceOptions opt;
+    opt.cfg = cfg;
+    opt.stateDir = dir;
+    opt.checkpointEvery = 1;
+    opt.stopFlag = &stop;
+    EXPECT_FALSE(runService(opt).completed);
+    stop.store(false);
+    opt.resume = true;
+    EXPECT_TRUE(runService(opt).completed);
+
+    EXPECT_EQ(slurp(dir + "/campaign.json"),
+              slurp(refDir + "/campaign.json"));
+    fs::remove_all(dir);
+    fs::remove_all(refDir);
+}
+
+TEST(Service, ResumeAfterCompletionIsAnIdempotentNoOp)
+{
+    campaign::CampaignConfig cfg = smallCampaign();
+    const std::string dir = freshDir("noop_resume");
+    runToCompletion(cfg, dir);
+    const std::string campaignBytes = slurp(dir + "/campaign.json");
+    const std::string findingsBytes = slurp(dir + "/findings.json");
+
+    ServiceOptions opt;
+    opt.cfg = cfg;
+    opt.stateDir = dir;
+    opt.resume = true;
+    ServiceResult res = runService(opt);
+    EXPECT_TRUE(res.completed);
+    EXPECT_EQ(res.jobsFolded, 0u);
+    EXPECT_EQ(slurp(dir + "/campaign.json"), campaignBytes);
+    EXPECT_EQ(slurp(dir + "/findings.json"), findingsBytes);
+    fs::remove_all(dir);
+}
+
+TEST(Service, SpoolIngestIsDeterministicAcrossJobsAndShards)
+{
+    const std::string spool = freshDir("spool_src");
+    fs::create_directories(spool);
+    std::ofstream(spool + "/001.ndjson")
+        << "{\"app\": \"raytrace\", \"seed\": 3}\n"
+        << "{\"app\": \"raytrace\", \"seed\": 4}\n";
+    std::ofstream(spool + "/002.ndjson")
+        << "{\"app\": \"canneal\", \"seed\": 7}\n";
+
+    campaign::CampaignConfig cfg = smallCampaign();
+    std::string want;
+    for (uint32_t pass = 0; pass < 2; ++pass) {
+        cfg.jobs = pass == 0 ? 1 : 4;
+        cfg.shards = pass == 0 ? 1 : 8;
+        const std::string dir =
+            freshDir("spool_run" + std::to_string(pass));
+        ServiceOptions opt;
+        opt.cfg = cfg;
+        opt.stateDir = dir;
+        opt.spoolDir = spool;
+        ServiceResult res = runService(opt);
+        EXPECT_TRUE(res.completed);
+        EXPECT_EQ(res.jobsFolded, 3u);
+        std::string got = slurp(dir + "/findings.json");
+        if (want.empty())
+            want = got;
+        EXPECT_EQ(got, want);
+        fs::remove_all(dir);
+    }
+    fs::remove_all(spool);
+}
+
+TEST(Service, SpoolResumeKeepsJobIdsStable)
+{
+    const std::string spool = freshDir("spool_resume_src");
+    fs::create_directories(spool);
+    std::ofstream(spool + "/001.ndjson")
+        << "{\"app\": \"raytrace\", \"seed\": 3}\n"
+        << "{\"app\": \"canneal\", \"seed\": 7}\n";
+
+    campaign::CampaignConfig cfg = smallCampaign();
+    const std::string refDir = freshDir("spool_resume_ref");
+    {
+        ServiceOptions opt;
+        opt.cfg = cfg;
+        opt.stateDir = refDir;
+        opt.spoolDir = spool;
+        EXPECT_TRUE(runService(opt).completed);
+    }
+
+    const std::string dir = freshDir("spool_resume_run");
+    std::atomic<bool> stop{true};
+    ServiceOptions opt;
+    opt.cfg = cfg;
+    opt.stateDir = dir;
+    opt.spoolDir = spool;
+    opt.checkpointEvery = 1;
+    opt.stopFlag = &stop;
+    EXPECT_FALSE(runService(opt).completed);
+    stop.store(false);
+    opt.resume = true;
+    ServiceResult res = runService(opt);
+    EXPECT_TRUE(res.completed);
+    // The interrupted leg folded some jobs; resume must skip exactly
+    // those (stable spool id assignment), not re-fold them.
+    EXPECT_GT(res.duplicatesSkipped, 0u);
+
+    EXPECT_EQ(slurp(dir + "/findings.json"),
+              slurp(refDir + "/findings.json"));
+    fs::remove_all(dir);
+    fs::remove_all(refDir);
+    fs::remove_all(spool);
+}
+
+TEST(Service, StdinBatchesFoldLikeSpoolBatches)
+{
+    campaign::CampaignConfig cfg = smallCampaign();
+    const std::string dir = freshDir("stdin_run");
+    std::istringstream jobs(
+        "{\"app\": \"raytrace\", \"seed\": 3}\n"
+        "{\"app\": \"raytrace\", \"seed\": 4}\n"
+        "\n"
+        "{\"app\": \"canneal\", \"seed\": 7}\n");
+    ServiceOptions opt;
+    opt.cfg = cfg;
+    opt.stateDir = dir;
+    opt.jobStream = &jobs;
+    ServiceResult res = runService(opt);
+    EXPECT_TRUE(res.completed);
+    EXPECT_EQ(res.jobsFolded, 3u);
+
+    FindingsStore store;
+    std::string error;
+    ASSERT_TRUE(FindingsStore::parse(slurp(dir + "/findings.json"),
+                                     store, error))
+        << error;
+    EXPECT_EQ(store.aggregate.runs(), 3u);
+    fs::remove_all(dir);
+}
+
+TEST(Service, CrossHostStoresUnionIdenticallyInBothOrders)
+{
+    // Two hosts hunt disjoint halves of the same campaign via spools;
+    // their stores must union into identical bytes in either order.
+    campaign::CampaignConfig cfg = smallCampaign();
+    const std::string spoolA = freshDir("host_a_spool");
+    const std::string spoolB = freshDir("host_b_spool");
+    fs::create_directories(spoolA);
+    fs::create_directories(spoolB);
+    std::ofstream(spoolA + "/001.ndjson")
+        << "{\"app\": \"raytrace\", \"seed\": 3}\n"
+        << "{\"app\": \"raytrace\", \"seed\": 4}\n";
+    std::ofstream(spoolB + "/001.ndjson")
+        << "{\"app\": \"canneal\", \"seed\": 7}\n"
+        << "{\"app\": \"canneal\", \"seed\": 8}\n";
+
+    const std::string dirA = freshDir("host_a");
+    const std::string dirB = freshDir("host_b");
+    for (auto [dir, spool] : {std::pair{dirA, spoolA},
+                              std::pair{dirB, spoolB}}) {
+        ServiceOptions opt;
+        opt.cfg = cfg;
+        opt.stateDir = dir;
+        opt.spoolDir = spool;
+        EXPECT_TRUE(runService(opt).completed);
+    }
+
+    FindingsStore a, b;
+    std::string error;
+    ASSERT_TRUE(FindingsStore::parse(slurp(dirA + "/findings.json"),
+                                     a, error))
+        << error;
+    ASSERT_TRUE(FindingsStore::parse(slurp(dirB + "/findings.json"),
+                                     b, error))
+        << error;
+    FindingsStore ab = a, ba = b;
+    ASSERT_TRUE(ab.merge(b, error)) << error;
+    ASSERT_TRUE(ba.merge(a, error)) << error;
+    std::ostringstream osAB, osBA;
+    ab.write(osAB);
+    ba.write(osBA);
+    EXPECT_EQ(osAB.str(), osBA.str());
+
+    for (const std::string &d : {dirA, dirB, spoolA, spoolB})
+        fs::remove_all(d);
+}
+
+TEST(Service, ProgressStreamCarriesGaugesAndFindingDeltas)
+{
+    campaign::CampaignConfig cfg = smallCampaign();
+    cfg.progressEvery = 1;
+    const std::string dir = freshDir("progress");
+    std::ostringstream progress;
+    runToCompletion(cfg, dir, &progress);
+    const std::string stream = progress.str();
+
+    EXPECT_NE(stream.find("\"event\":\"start\""), std::string::npos);
+    EXPECT_NE(stream.find("\"event\":\"finding\""),
+              std::string::npos);
+    EXPECT_NE(stream.find("\"event\":\"checkpoint\""),
+              std::string::npos);
+    EXPECT_NE(stream.find("\"event\":\"end\""), std::string::npos);
+    EXPECT_NE(stream.find("\"service\""), std::string::npos);
+    EXPECT_NE(stream.find("\"jobs_ingested\""), std::string::npos);
+    EXPECT_NE(stream.find("\"checkpoints\""), std::string::npos);
+    EXPECT_NE(stream.find("\"fingerprint\""), std::string::npos);
+    // NDJSON: every record is one line of valid compact JSON.
+    std::istringstream lines(stream);
+    std::string line;
+    size_t records = 0;
+    while (std::getline(lines, line)) {
+        if (line.empty())
+            continue;
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+        ++records;
+    }
+    EXPECT_GT(records, 4u);
+    fs::remove_all(dir);
+}
+
+TEST(ServiceE2E, AllWorkloadsShardDeterminism)
+{
+    // The full registry x 10 seeds, byte-identical across shard
+    // counts — the heavyweight pin of the sharding contract.
+    campaign::CampaignConfig cfg;
+    cfg.apps = workloads::appNames();
+    cfg.seedsPerApp = 10;
+    cfg.masterSeed = 3;
+    cfg.jobs = 4;
+    std::string want;
+    for (uint32_t shards : {1u, 4u, 16u}) {
+        cfg.shards = shards;
+        campaign::CampaignResult result = campaign::runCampaign(cfg);
+        std::ostringstream os;
+        campaign::writeCampaignJson(os, cfg, result);
+        if (want.empty())
+            want = os.str();
+        EXPECT_EQ(os.str(), want) << shards << " shards";
+    }
+}

@@ -9,14 +9,20 @@
  *   txrace_hunt --apps all --strategy perturb --seeds 2
  */
 
+#include <atomic>
+#include <csignal>
 #include <cstring>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <sstream>
 
 #include "campaign/campaign.hh"
 #include "campaign/strategy.hh"
 #include "core/repro.hh"
+#include "service/checkpoint.hh"
+#include "service/service.hh"
+#include "service/store.hh"
 #include "support/log.hh"
 #include "workloads/workloads.hh"
 
@@ -33,6 +39,8 @@ usage()
         "  --seeds N        seed budget per app (default 4)\n"
         "  --jobs N         pool worker threads (default 4; never\n"
         "                   affects the report, only wall time)\n"
+        "  --shards N       aggregation shards (default 1; like\n"
+        "                   --jobs, never affects the report)\n"
         "  --strategy S     sweep | abort-guided | perturb\n"
         "                   (default sweep)\n"
         "  --mode M         detection mode (default txrace-dyn)\n"
@@ -49,6 +57,31 @@ usage()
         "  --trace-json FILE  write a Chrome trace-event timeline of\n"
         "                   per-job spans (worker lanes)\n"
         "  --quiet          no per-round progress chatter\n"
+        "\n"
+        "service mode (long-running, resumable):\n"
+        "  --serve          run as the hunting service: checkpoint to\n"
+        "                   the state dir, fold idempotently, shut\n"
+        "                   down cleanly on SIGTERM/SIGINT\n"
+        "  --state-dir D    where checkpoint.json / findings.json /\n"
+        "                   campaign.json live (required with --serve)\n"
+        "  --resume         restore the state dir's checkpoint and\n"
+        "                   continue; only unseen jobs run\n"
+        "  --checkpoint-every N  checkpoint cadence in folded jobs\n"
+        "                   (default 16; 0 = round barriers only)\n"
+        "  --spool D        ingest NDJSON job-batch files from D in\n"
+        "                   sorted-filename order instead of running\n"
+        "                   the campaign strategy\n"
+        "  --stdin-jobs     ingest blank-line-separated NDJSON job\n"
+        "                   batches from stdin\n"
+        "  --follow         with --spool: keep polling for new batch\n"
+        "                   files until SIGTERM\n"
+        "\n"
+        "store tools:\n"
+        "  --merge F1,F2,.. union txrace-findings-v1 stores from the\n"
+        "                   same campaign (commutative: any order\n"
+        "                   yields identical bytes)\n"
+        "  --findings-out FILE  where --merge writes the union\n"
+        "                   (default '-')\n"
         "\n"
         "FILE may be '-' for stdout on any of the JSON exports.\n";
     std::exit(0);
@@ -97,6 +130,62 @@ parseMode(const std::string &name)
     fatal("unknown mode '%s'", name.c_str());
 }
 
+/** Raised by SIGTERM/SIGINT; the service polls it between folds. */
+std::atomic<bool> g_stop{false};
+
+extern "C" void
+onStopSignal(int)
+{
+    g_stop.store(true, std::memory_order_relaxed);
+}
+
+std::vector<std::string>
+splitCommas(const std::string &list)
+{
+    std::vector<std::string> items;
+    size_t pos = 0;
+    while (pos <= list.size()) {
+        size_t comma = list.find(',', pos);
+        if (comma == std::string::npos)
+            comma = list.size();
+        std::string item = list.substr(pos, comma - pos);
+        if (!item.empty())
+            items.push_back(item);
+        pos = comma + 1;
+    }
+    return items;
+}
+
+/** `--merge F1,F2,...`: union findings stores, write, exit. */
+int
+mergeStores(const std::string &list, const std::string &out_path)
+{
+    std::vector<std::string> paths = splitCommas(list);
+    if (paths.size() < 2)
+        fatal("--merge needs at least two store files");
+    service::FindingsStore total;
+    std::string error;
+    for (size_t i = 0; i < paths.size(); ++i) {
+        std::string text;
+        if (!service::readFile(paths[i], text, error))
+            fatal("--merge: %s", error.c_str());
+        service::FindingsStore store;
+        if (!service::FindingsStore::parse(text, store, error))
+            fatal("--merge: %s: %s", paths[i].c_str(), error.c_str());
+        if (i == 0)
+            total = std::move(store);
+        else if (!total.merge(store, error))
+            fatal("--merge: %s: %s", paths[i].c_str(), error.c_str());
+    }
+    std::ofstream file;
+    std::ostream &out = openOut(out_path, file);
+    total.write(out);
+    if (out_path != "-")
+        std::cout << "merged " << paths.size() << " store(s) into "
+                  << out_path << "\n";
+    return 0;
+}
+
 } // namespace
 
 int
@@ -109,6 +198,15 @@ main(int argc, char **argv)
     std::string progress_json_path;
     std::string trace_json_path;
     bool quiet = false;
+    bool serve = false;
+    bool resume = false;
+    bool stdin_jobs = false;
+    bool follow = false;
+    uint64_t checkpoint_every = 16;
+    std::string state_dir;
+    std::string spool_dir;
+    std::string merge_arg;
+    std::string findings_out_path = "-";
 
     for (int i = 1; i < argc; ++i) {
         auto value = [&](const char *flag) -> const char * {
@@ -150,20 +248,80 @@ main(int argc, char **argv)
                 fatal("--progress-every must be positive");
         } else if (const char *v12 = value("--trace-json")) {
             trace_json_path = v12;
+        } else if (const char *v13 = value("--shards")) {
+            cfg.shards =
+                static_cast<uint32_t>(std::strtoul(v13, nullptr, 10));
+            if (cfg.shards == 0)
+                fatal("--shards must be positive");
+        } else if (const char *v14 = value("--state-dir")) {
+            state_dir = v14;
+        } else if (const char *v15 = value("--checkpoint-every")) {
+            checkpoint_every = std::strtoull(v15, nullptr, 10);
+        } else if (const char *v16 = value("--spool")) {
+            spool_dir = v16;
+        } else if (const char *v17 = value("--merge")) {
+            merge_arg = v17;
+        } else if (const char *v18 = value("--findings-out")) {
+            findings_out_path = v18;
+        } else if (std::strcmp(argv[i], "--serve") == 0) {
+            serve = true;
+        } else if (std::strcmp(argv[i], "--resume") == 0) {
+            resume = true;
+        } else if (std::strcmp(argv[i], "--stdin-jobs") == 0) {
+            stdin_jobs = true;
+        } else if (std::strcmp(argv[i], "--follow") == 0) {
+            follow = true;
         } else if (std::strcmp(argv[i], "--quiet") == 0) {
             quiet = true;
         } else {
             fatal("unknown option '%s' (try --help)", argv[i]);
         }
     }
-    if (apps_arg.empty())
+    if (!merge_arg.empty())
+        return mergeStores(merge_arg, findings_out_path);
+
+    // On --resume the apps come from the checkpoint, so --apps is
+    // only mandatory for fresh campaigns.
+    if (apps_arg.empty() && !(serve && resume))
         usage();
-    cfg.apps = parseApps(apps_arg);
+    if (!apps_arg.empty())
+        cfg.apps = parseApps(apps_arg);
 
     std::ofstream progress_file;
     std::ostream *progress_json = nullptr;
     if (!progress_json_path.empty())
         progress_json = &openOut(progress_json_path, progress_file);
+
+    if (serve) {
+        std::signal(SIGTERM, onStopSignal);
+        std::signal(SIGINT, onStopSignal);
+        service::ServiceOptions opt;
+        opt.cfg = cfg;
+        opt.stateDir = state_dir;
+        opt.resume = resume;
+        opt.checkpointEvery = checkpoint_every;
+        opt.spoolDir = spool_dir;
+        opt.jobStream = stdin_jobs ? &std::cin : nullptr;
+        opt.follow = follow;
+        opt.progressJson = progress_json;
+        opt.chatter = quiet ? nullptr : &std::cout;
+        opt.stopFlag = &g_stop;
+        service::ServiceResult sres = service::runService(opt);
+        std::cout << "service: " << sres.jobsFolded
+                  << " job(s) folded, " << sres.duplicatesSkipped
+                  << " duplicate(s) skipped, " << sres.checkpoints
+                  << " checkpoint(s)\n";
+        if (!sres.completed) {
+            std::cout << "interrupted: checkpoint saved to "
+                      << state_dir
+                      << "; rerun with --resume to continue\n";
+            return 3;
+        }
+        std::cout << "complete: report, findings store, and "
+                     "checkpoint written to "
+                  << state_dir << "\n";
+        return sres.report.errors == 0 ? 0 : 2;
+    }
 
     campaign::CampaignResult result = campaign::runCampaign(
         cfg, quiet ? nullptr : &std::cout, progress_json);
