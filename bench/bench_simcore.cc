@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Simulator step-loop benchmarks: wall-clock steps/sec of the decoded
+ * threaded-code quantum loop (StepLoop::Decoded) against the classic
+ * per-step switch interpreter (StepLoop::Classic) on three probes:
+ *
+ *  - compute-bound: uncontended arithmetic and thread-local memory,
+ *    the case quantum batching and threaded dispatch target. CI holds
+ *    Decoded >= 2x Classic here (same-run ratio, host-immune).
+ *  - sync-heavy: a tight lock/update/unlock loop. Every sync op is a
+ *    forced preemption point, so batching buys little; the O(1)
+ *    runnable set and decoded dispatch must still keep Decoded no
+ *    slower than Classic.
+ *  - tx-heavy: the full TxRace pipeline (transactions, conflict
+ *    detection, aborts). Dominated by the HTM engine and detector;
+ *    the gate only requires no regression.
+ *
+ * Items/sec is scheduler steps/sec (actual steps executed, taken from
+ * the run result), so the numbers compare across lanes and probes.
+ * BENCH_simcore.json commits the reference run for the baseline
+ * regression gate in scripts/bench_compare.py.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "core/driver.hh"
+#include "core/policies.hh"
+#include "ir/builder.hh"
+#include "sim/machine.hh"
+
+using namespace txrace;
+
+namespace {
+
+/** Four workers doing mostly arithmetic with thread-local memory
+ *  traffic: no sync beyond spawn/join, nothing transactional. */
+ir::Program
+computeProgram()
+{
+    ir::ProgramBuilder b;
+    ir::Addr scratch = b.alloc("scratch", 6 * 64, 64);
+    ir::FuncId worker = b.beginFunction("worker");
+    b.loop(400, [&] {
+        b.compute(1);
+        b.compute(2);
+        b.compute(1);
+        b.store(ir::AddrExpr::perThread(scratch, 64));
+        b.compute(3);
+        b.compute(1);
+        b.compute(2);
+        b.load(ir::AddrExpr::perThread(scratch, 64));
+    });
+    b.endFunction();
+    b.beginFunction("main");
+    b.spawn(worker, 4);
+    b.joinAll();
+    b.endFunction();
+    return b.build();
+}
+
+/** Four workers hammering one lock-protected counter: every
+ *  iteration is acquire, read-modify-write, release. */
+ir::Program
+syncProgram()
+{
+    ir::ProgramBuilder b;
+    ir::Addr shared = b.alloc("shared", 64, 64);
+    ir::FuncId worker = b.beginFunction("worker");
+    b.loop(250, [&] {
+        b.lock(0);
+        b.load(ir::AddrExpr::absolute(shared));
+        b.store(ir::AddrExpr::absolute(shared));
+        b.unlock(0);
+        b.compute(2);
+    });
+    b.endFunction();
+    b.beginFunction("main");
+    b.spawn(worker, 4);
+    b.joinAll();
+    b.endFunction();
+    return b.build();
+}
+
+/** Random shared-table traffic under the TxRace pipeline: plenty of
+ *  transactions, conflicts, and aborts. */
+ir::Program
+txProgram()
+{
+    ir::ProgramBuilder b;
+    ir::Addr table = b.alloc("t", 1024 * 8);
+    ir::FuncId worker = b.beginFunction("worker");
+    b.loop(50, [&] {
+        b.loop(8, [&] {
+            b.load(ir::AddrExpr::randomIn(table, 1024, 8));
+            b.compute(2);
+        });
+        b.syscall(1);
+    });
+    b.endFunction();
+    b.beginFunction("main");
+    b.spawn(worker, 4);
+    b.joinAll();
+    b.endFunction();
+    return b.build();
+}
+
+/** Run @p prog bare (NativePolicy, zero injection rates — the hot
+ *  lane) under the given step loop and count real steps/sec. */
+void
+runBare(benchmark::State &state, const ir::Program &prog,
+        sim::StepLoop lane)
+{
+    sim::MachineConfig cfg;
+    cfg.interruptPerStep = 0.0;
+    cfg.stepLoop = lane;
+    uint64_t steps = 0;
+    uint64_t seed = 1;
+    for (auto _ : state) {
+        cfg.seed = seed++;
+        core::NativePolicy policy;
+        sim::Machine m(prog, cfg, policy);
+        const sim::RunError &err = m.run();
+        benchmark::DoNotOptimize(err.kind);
+        steps += err.stepsExecuted;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(steps));
+}
+
+/** Run @p prog through the full TxRace pipeline under the given step
+ *  loop and count real steps/sec. */
+void
+runTx(benchmark::State &state, const ir::Program &prog,
+      sim::StepLoop lane)
+{
+    core::RunConfig cfg;
+    cfg.mode = core::RunMode::TxRaceNoOpt;
+    cfg.machine.stepLoop = lane;
+    uint64_t steps = 0;
+    uint64_t seed = 1;
+    for (auto _ : state) {
+        cfg.machine.seed = seed++;
+        core::RunResult r = core::runProgram(prog, cfg);
+        benchmark::DoNotOptimize(r.totalCost);
+        steps += r.error.stepsExecuted;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(steps));
+}
+
+void
+BM_SimComputeDecoded(benchmark::State &state)
+{
+    runBare(state, computeProgram(), sim::StepLoop::Decoded);
+}
+BENCHMARK(BM_SimComputeDecoded);
+
+void
+BM_SimComputeClassic(benchmark::State &state)
+{
+    runBare(state, computeProgram(), sim::StepLoop::Classic);
+}
+BENCHMARK(BM_SimComputeClassic);
+
+void
+BM_SimSyncDecoded(benchmark::State &state)
+{
+    runBare(state, syncProgram(), sim::StepLoop::Decoded);
+}
+BENCHMARK(BM_SimSyncDecoded);
+
+void
+BM_SimSyncClassic(benchmark::State &state)
+{
+    runBare(state, syncProgram(), sim::StepLoop::Classic);
+}
+BENCHMARK(BM_SimSyncClassic);
+
+void
+BM_SimTxDecoded(benchmark::State &state)
+{
+    runTx(state, txProgram(), sim::StepLoop::Decoded);
+}
+BENCHMARK(BM_SimTxDecoded);
+
+void
+BM_SimTxClassic(benchmark::State &state)
+{
+    runTx(state, txProgram(), sim::StepLoop::Classic);
+}
+BENCHMARK(BM_SimTxClassic);
+
+} // namespace
+
+/**
+ * Entry point with one convenience over BENCHMARK_MAIN: `--json FILE`
+ * expands to `--benchmark_out=FILE --benchmark_out_format=json`, the
+ * spelling every other harness binary in bench/ uses.
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args;
+    args.emplace_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--json" && i + 1 < argc) {
+            args.push_back("--benchmark_out=" +
+                           std::string(argv[++i]));
+            args.emplace_back("--benchmark_out_format=json");
+        } else {
+            args.push_back(std::move(a));
+        }
+    }
+    std::vector<char *> cargs;
+    cargs.reserve(args.size());
+    for (std::string &a : args)
+        cargs.push_back(a.data());
+    int cargc = static_cast<int>(cargs.size());
+    benchmark::Initialize(&cargc, cargs.data());
+    if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -98,12 +98,6 @@ HtmEngine::state(Tid t)
     return tx_[t];
 }
 
-const HtmEngine::TxState *
-HtmEngine::stateIfAny(Tid t) const
-{
-    return t < tx_.size() ? &tx_[t] : nullptr;
-}
-
 void
 HtmEngine::beginOccupancy(TxState &s)
 {
@@ -143,13 +137,6 @@ HtmEngine::begin(Tid t)
         vlog_.beginTx(t);
     ++inFlight_;
     ++counters_.begins;
-}
-
-bool
-HtmEngine::inTx(Tid t) const
-{
-    const TxState *s = stateIfAny(t);
-    return s && s->active;
 }
 
 uint32_t

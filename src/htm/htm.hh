@@ -395,6 +395,21 @@ class HtmEngine
     HtmCounters counters_;
 };
 
+inline const HtmEngine::TxState *
+HtmEngine::stateIfAny(Tid t) const
+{
+    return t < tx_.size() ? &tx_[t] : nullptr;
+}
+
+// Inline: the decoded step loop asks per op (phase attribution, tx
+// store buffering), so this must be a bounds check and a load.
+inline bool
+HtmEngine::inTx(Tid t) const
+{
+    const TxState *s = stateIfAny(t);
+    return s && s->active;
+}
+
 inline AccessResult
 HtmEngine::access(Tid t, Addr addr, bool is_write)
 {

@@ -26,6 +26,21 @@ namespace txrace::ir {
 /** Byte address in the simulated flat address space. */
 using Addr = uint64_t;
 
+/**
+ * Static classification of an address expression by which terms of the
+ * evaluation rule are live. The simulator's decoder uses it to select
+ * a specialized evaluation path: a constant address needs no runtime
+ * work at all, a thread-strided one a single multiply, and only the
+ * randomized shape pays for an RNG draw. Shapes are cumulative — each
+ * later shape may also carry the earlier terms.
+ */
+enum class AddrShape : uint8_t {
+    Constant,       ///< base only
+    ThreadStrided,  ///< + threadStride * tid
+    LoopIndexed,    ///< + loopStride * loopIndex (maybe thread-strided)
+    Randomized,     ///< + randomStride * uniform (any other terms too)
+};
+
 /** Symbolic address; see file comment for the evaluation rule. */
 struct AddrExpr
 {
@@ -74,6 +89,19 @@ struct AddrExpr
         e.randomCount = count;
         e.randomStride = stride;
         return e;
+    }
+
+    /** Classify which evaluation terms this expression uses. */
+    AddrShape
+    shape() const
+    {
+        if (randomCount != 0)
+            return AddrShape::Randomized;
+        if (loopStride != 0)
+            return AddrShape::LoopIndexed;
+        if (threadStride != 0)
+            return AddrShape::ThreadStrided;
+        return AddrShape::Constant;
     }
 
     bool operator==(const AddrExpr &other) const = default;

@@ -19,6 +19,8 @@
 
 namespace txrace::sim {
 
+struct DecodedOp;
+
 /** Scheduling state of a simulated thread. */
 enum class ThreadState : uint8_t {
     Runnable,
@@ -65,6 +67,11 @@ struct ThreadContext
     Tid tid = 0;
     ir::FuncId func = 0;
     uint32_t pc = 0;
+    /** Decoded body of func, bound by the machine at thread start so
+     *  the step loop fetches ops without a per-op function lookup.
+     *  Stable for the thread's lifetime (func never changes). */
+    const DecodedOp *code = nullptr;
+    uint32_t codeLen = 0;
     std::vector<LoopFrame> loops;
     Rng rng;
     ThreadState state = ThreadState::Runnable;

@@ -15,6 +15,17 @@ threadSeed(uint64_t master, Tid t)
     return splitmix64(s);
 }
 
+/** Fold one scheduler pick into the schedule digest. */
+uint64_t
+mixHash(uint64_t h, uint64_t step, Tid t)
+{
+    uint64_t s = h ^ (step + 0x9e3779b97f4a7c15ULL * (t + 1));
+    return splitmix64(s);
+}
+
+/** runnablePos_ sentinel: thread not in the dense runnable set. */
+constexpr uint32_t kNoPos = ~0u;
+
 } // namespace
 
 const char *
@@ -29,8 +40,354 @@ runErrorKindName(RunError::Kind kind)
         return "truncated";
       case RunError::Kind::Budget:
         return "budget";
+      case RunError::Kind::BadAccess:
+        return "bad-access";
     }
     return "?";
+}
+
+/**
+ * Threaded-code handler bodies. One function per opcode (memory
+ * accesses additionally per address shape and direction), resolved
+ * once at decode; the quantum loop is then an indirect call per op
+ * with no opcode switch. Handlers that constitute forced preemption
+ * points set quantumBreak_.
+ */
+struct ExecHandlers
+{
+    static void
+    nop(Machine &, ThreadContext &ctx, const DecodedOp &)
+    {
+        ++ctx.pc;
+    }
+
+    static void
+    compute(Machine &m, ThreadContext &ctx, const DecodedOp &op)
+    {
+        m.addCost(ctx.tid, op.cost, Bucket::Base);
+        ++ctx.pc;
+    }
+
+    static void
+    syscall(Machine &m, ThreadContext &ctx, const DecodedOp &op)
+    {
+        m.addCost(ctx.tid, op.cost, Bucket::Base);
+        m.tel_.registry.add(m.met_.syscalls);
+        ++ctx.pc;
+    }
+
+    /**
+     * Load/Store, specialized by pre-classified address shape: the
+     * generic evaluation's branches are resolved at decode, so each
+     * instantiation computes exactly the terms its expression uses.
+     * The bounds check is elided for constant shapes (checked at
+     * decode; statically out-of-range constants get memBad instead).
+     */
+    template <ir::AddrShape S, bool W>
+    static void
+    mem(Machine &m, ThreadContext &ctx, const DecodedOp &op)
+    {
+        const Tid t = ctx.tid;
+        m.addCost(t, op.cost, Bucket::Base);
+        ir::Addr addr = op.base;
+        if constexpr (S != ir::AddrShape::Constant)
+            addr += op.threadStride * t;
+        if constexpr (S == ir::AddrShape::LoopIndexed) {
+            const LoopFrame &frame =
+                ctx.loops[ctx.loops.size() - 1 - op.loopDepth];
+            addr += op.loopStride * frame.index;
+        }
+        if constexpr (S == ir::AddrShape::Randomized) {
+            if (op.loopStride != 0) {
+                const LoopFrame &frame =
+                    ctx.loops[ctx.loops.size() - 1 - op.loopDepth];
+                addr += op.loopStride * frame.index;
+            }
+            addr += op.randomStride * ctx.rng.below(op.randomCount);
+        }
+        if constexpr (S != ir::AddrShape::Constant) {
+            if (m.addrLimit_ != 0 && addr >= m.addrLimit_) {
+                m.badAccess(t, addr);
+                return;
+            }
+        }
+        // Any in-flight transaction makes memory order observable to
+        // conflict detection: end the quantum so transactional phases
+        // interleave per access, exactly like per-step scheduling.
+        if (m.htm_.inFlightCount() > 0)
+            m.quantumBreak_ = true;
+        if (m.policy_.onMemAccess(m, t, *op.ins, addr, W)) {
+            if constexpr (W) {
+                // Stores accumulate into their granule; inside a
+                // transaction they go to the speculative buffer.
+                uint64_t granule = mem::granuleOf(addr);
+                auto it = ctx.txStores.find(granule);
+                uint64_t old = it != ctx.txStores.end()
+                    ? it->second
+                    : m.mem_.load(addr);
+                uint64_t value = old + op.arg0 + 1;
+                if (m.htm_.inTx(t))
+                    ctx.txStores[granule] = value;
+                else
+                    m.mem_.store(addr, value);
+            }
+            ++ctx.pc;
+        } else {
+            // The access capacity/conflict-aborted this thread's own
+            // transaction; the context has been rolled back.
+            m.quantumBreak_ = true;
+        }
+    }
+
+    /** Constant address statically outside the address space: raise
+     *  the structured BadAccess error if actually executed. */
+    static void
+    memBad(Machine &m, ThreadContext &ctx, const DecodedOp &op)
+    {
+        m.addCost(ctx.tid, op.cost, Bucket::Base);
+        m.badAccess(ctx.tid, op.base);
+    }
+
+    static void
+    lockAcquire(Machine &m, ThreadContext &ctx, const DecodedOp &op)
+    {
+        const Tid t = ctx.tid;
+        m.addCost(t, op.cost, Bucket::Base);
+        if (m.sync_.lockTryAcquire(t, op.arg0)) {
+            m.policy_.onSyncPerformed(m, t, *op.ins);
+            ++ctx.pc;
+        } else {
+            m.sync_.lockEnqueue(t, op.arg0);
+            m.makeUnrunnable(ctx, ThreadState::Blocked);
+        }
+        m.quantumBreak_ = true;
+    }
+
+    static void
+    lockRelease(Machine &m, ThreadContext &ctx, const DecodedOp &op)
+    {
+        const Tid t = ctx.tid;
+        m.addCost(t, op.cost, Bucket::Base);
+        m.policy_.onSyncPerformed(m, t, *op.ins);
+        Tid next = m.sync_.lockRelease(t, op.arg0);
+        if (next != kNoTid) {
+            ThreadContext &nctx = m.contexts_[next];
+            m.policy_.onSyncPerformed(m, next,
+                                      *nctx.code[nctx.pc].ins);
+            m.makeRunnable(nctx);
+            ++nctx.pc;
+        }
+        ++ctx.pc;
+        m.quantumBreak_ = true;
+    }
+
+    static void
+    condSignal(Machine &m, ThreadContext &ctx, const DecodedOp &op)
+    {
+        const Tid t = ctx.tid;
+        m.addCost(t, op.cost, Bucket::Base);
+        m.policy_.onSyncPerformed(m, t, *op.ins);
+        Tid woken = m.sync_.condSignal(op.arg0);
+        if (woken != kNoTid) {
+            ThreadContext &wctx = m.contexts_[woken];
+            m.policy_.onSyncPerformed(m, woken,
+                                      *wctx.code[wctx.pc].ins);
+            m.makeRunnable(wctx);
+            ++wctx.pc;
+        }
+        ++ctx.pc;
+        m.quantumBreak_ = true;
+    }
+
+    static void
+    condWait(Machine &m, ThreadContext &ctx, const DecodedOp &op)
+    {
+        const Tid t = ctx.tid;
+        m.addCost(t, op.cost, Bucket::Base);
+        if (m.sync_.condTryWait(op.arg0)) {
+            m.policy_.onSyncPerformed(m, t, *op.ins);
+            ++ctx.pc;
+        } else {
+            m.sync_.condEnqueue(t, op.arg0);
+            m.makeUnrunnable(ctx, ThreadState::Blocked);
+        }
+        m.quantumBreak_ = true;
+    }
+
+    static void
+    barrier(Machine &m, ThreadContext &ctx, const DecodedOp &op)
+    {
+        const Tid t = ctx.tid;
+        m.addCost(t, op.cost, Bucket::Base);
+        auto released = m.sync_.barrierArrive(t, op.arg0, op.arg1);
+        if (released.empty()) {
+            m.makeUnrunnable(ctx, ThreadState::Blocked);
+        } else {
+            m.policy_.onBarrierRelease(m, released);
+            for (Tid p : released) {
+                ThreadContext &pctx = m.contexts_[p];
+                m.makeRunnable(pctx);
+                ++pctx.pc;
+            }
+        }
+        m.quantumBreak_ = true;
+    }
+
+    static void
+    threadCreate(Machine &m, ThreadContext &ctx, const DecodedOp &op)
+    {
+        const Tid t = ctx.tid;
+        m.addCost(t, op.cost, Bucket::Base);
+        Tid child = static_cast<Tid>(m.contexts_.size());
+        m.contexts_.emplace_back();
+        ThreadContext &cctx = m.contexts_.back();
+        cctx.tid = child;
+        cctx.func = static_cast<ir::FuncId>(op.arg0);
+        cctx.rng = Rng(threadSeed(m.cfg_.seed, child));
+        m.bindCode(cctx);
+        m.spawned_.push_back(child);
+        ++m.live_;
+        m.enrollRunnable(cctx);
+        m.policy_.onThreadCreated(m, t, child);
+        m.policy_.onThreadStart(m, child);
+        m.tel_.registry.add(m.met_.threadsCreated);
+        ++ctx.pc;
+        m.quantumBreak_ = true;
+    }
+
+    static void
+    threadJoin(Machine &m, ThreadContext &ctx, const DecodedOp &op)
+    {
+        const Tid t = ctx.tid;
+        std::vector<Tid> &targets = m.joinScratch_;
+        if (m.joinReady(*op.ins, t, targets)) {
+            m.addCost(t, op.cost, Bucket::Base);
+            for (Tid target : targets)
+                m.policy_.onThreadJoined(m, t, target);
+            ++ctx.pc;
+        } else {
+            for (Tid target : targets)
+                if (m.contexts_[target].state != ThreadState::Finished)
+                    m.joinWaiters_[target].push_back(t);
+            m.makeUnrunnable(ctx, ThreadState::Blocked);
+        }
+        m.quantumBreak_ = true;
+    }
+
+    static void
+    loopBegin(Machine &, ThreadContext &ctx, const DecodedOp &op)
+    {
+        uint64_t trips = op.arg0;
+        if (op.arg1 > 0)
+            trips += ctx.rng.below(op.arg1 + 1);
+        if (trips == 0) {
+            // Dynamically empty loop: skip past the matching LoopEnd.
+            ctx.pc = op.jump;
+        } else {
+            ctx.loops.push_back(LoopFrame{ctx.pc, 0, trips, 0});
+            ++ctx.pc;
+        }
+    }
+
+    static void
+    loopEnd(Machine &, ThreadContext &ctx, const DecodedOp &)
+    {
+        if (ctx.loops.empty())
+            panic("Machine: LoopEnd with empty loop stack");
+        LoopFrame &frame = ctx.loops.back();
+        ++frame.index;
+        if (frame.index < frame.total) {
+            ctx.pc = frame.beginPc + 1;
+        } else {
+            ctx.loops.pop_back();
+            ++ctx.pc;
+        }
+    }
+
+    static void
+    txBegin(Machine &m, ThreadContext &ctx, const DecodedOp &op)
+    {
+        m.policy_.onTxBegin(m, ctx.tid, *op.ins);
+        ++ctx.pc;
+        m.quantumBreak_ = true;
+    }
+
+    static void
+    txEnd(Machine &m, ThreadContext &ctx, const DecodedOp &op)
+    {
+        m.policy_.onTxEnd(m, ctx.tid, *op.ins);
+        ++ctx.pc;
+        m.quantumBreak_ = true;
+    }
+
+    static void
+    loopCut(Machine &m, ThreadContext &ctx, const DecodedOp &op)
+    {
+        m.policy_.onLoopCut(m, ctx.tid, *op.ins);
+        ++ctx.pc;
+        m.quantumBreak_ = true;
+    }
+};
+
+ExecFn
+resolveHandler(const ir::Instruction &ins, ir::AddrShape shape,
+               bool constant_oob)
+{
+    using H = ExecHandlers;
+    switch (ins.op) {
+      case ir::OpCode::Nop:
+        return &H::nop;
+      case ir::OpCode::Compute:
+        return &H::compute;
+      case ir::OpCode::Syscall:
+        return &H::syscall;
+      case ir::OpCode::Load:
+      case ir::OpCode::Store: {
+        if (constant_oob)
+            return &H::memBad;
+        const bool w = ins.op == ir::OpCode::Store;
+        switch (shape) {
+          case ir::AddrShape::Constant:
+            return w ? &H::mem<ir::AddrShape::Constant, true>
+                     : &H::mem<ir::AddrShape::Constant, false>;
+          case ir::AddrShape::ThreadStrided:
+            return w ? &H::mem<ir::AddrShape::ThreadStrided, true>
+                     : &H::mem<ir::AddrShape::ThreadStrided, false>;
+          case ir::AddrShape::LoopIndexed:
+            return w ? &H::mem<ir::AddrShape::LoopIndexed, true>
+                     : &H::mem<ir::AddrShape::LoopIndexed, false>;
+          case ir::AddrShape::Randomized:
+            return w ? &H::mem<ir::AddrShape::Randomized, true>
+                     : &H::mem<ir::AddrShape::Randomized, false>;
+        }
+        break;
+      }
+      case ir::OpCode::LockAcquire:
+        return &H::lockAcquire;
+      case ir::OpCode::LockRelease:
+        return &H::lockRelease;
+      case ir::OpCode::CondSignal:
+        return &H::condSignal;
+      case ir::OpCode::CondWait:
+        return &H::condWait;
+      case ir::OpCode::Barrier:
+        return &H::barrier;
+      case ir::OpCode::ThreadCreate:
+        return &H::threadCreate;
+      case ir::OpCode::ThreadJoin:
+        return &H::threadJoin;
+      case ir::OpCode::LoopBegin:
+        return &H::loopBegin;
+      case ir::OpCode::LoopEnd:
+        return &H::loopEnd;
+      case ir::OpCode::TxBegin:
+        return &H::txBegin;
+      case ir::OpCode::TxEnd:
+        return &H::txEnd;
+      case ir::OpCode::LoopCut:
+        return &H::loopCut;
+    }
+    panic("resolveHandler: unhandled opcode");
 }
 
 Machine::Machine(const ir::Program &prog, const MachineConfig &cfg,
@@ -55,12 +412,17 @@ Machine::Machine(const ir::Program &prog, const MachineConfig &cfg,
     if (cfg_.nCores == 0 || cfg_.hwThreads == 0)
         fatal("Machine: need at least one core and hardware thread");
 
+    decoded_ = decodeProgram(prog_, cfg_.cost);
+    addrLimit_ = prog_.addrSpaceSize();
+
     contexts_.emplace_back();
     ThreadContext &main = contexts_.back();
     main.tid = 0;
     main.func = prog_.entry();
     main.rng = Rng(threadSeed(cfg_.seed, 0));
+    bindCode(main);
     live_ = 1;
+    enrollRunnable(main);
     if (cfg_.recordEvents)
         events_.enable();
     if (cfg_.recordTrace)
@@ -81,6 +443,14 @@ Machine::Machine(const ir::Program &prog, const MachineConfig &cfg,
     met_.truncated = reg.gauge("machine.truncated");
     met_.txCost = reg.histogram("tx.cost.committed");
     met_.txWasted = reg.histogram("tx.cost.wasted");
+}
+
+void
+Machine::bindCode(ThreadContext &ctx)
+{
+    const DecodedFunction &fn = decoded_.funcs[ctx.func];
+    ctx.code = fn.data();
+    ctx.codeLen = static_cast<uint32_t>(fn.size());
 }
 
 ThreadContext &
@@ -177,29 +547,68 @@ Machine::currentSite(Tid t) const
 }
 
 telemetry::Phase
-Machine::phaseOf(Tid t) const
+Machine::phaseOfCtx(const ThreadContext &ctx) const
 {
-    const ThreadContext &ctx = contexts_[t];
     if (ctx.path == PathMode::Slow)
         return ctx.govForced ? telemetry::Phase::Degraded
                              : telemetry::Phase::Slow;
-    if (htm_.inTx(t))
+    if (htm_.inTx(ctx.tid))
         return telemetry::Phase::Fast;
     return telemetry::Phase::Native;
 }
 
-uint32_t
-Machine::runnableThreads() const
+telemetry::Phase
+Machine::phaseOf(Tid t) const
 {
-    uint32_t n = 0;
-    for (const auto &ctx : contexts_)
-        if (ctx.state == ThreadState::Runnable)
-            ++n;
-    return n;
+    return phaseOfCtx(contexts_[t]);
+}
+
+void
+Machine::enrollRunnable(ThreadContext &ctx)
+{
+    runnablePos_.resize(contexts_.size(), kNoPos);
+    ctx.state = ThreadState::Runnable;
+    runnablePos_[ctx.tid] = static_cast<uint32_t>(runnable_.size());
+    runnable_.push_back(ctx.tid);
+}
+
+void
+Machine::makeRunnable(ThreadContext &ctx)
+{
+    if (ctx.state == ThreadState::Runnable)
+        return;
+    ctx.state = ThreadState::Runnable;
+    runnablePos_[ctx.tid] = static_cast<uint32_t>(runnable_.size());
+    runnable_.push_back(ctx.tid);
+}
+
+void
+Machine::makeUnrunnable(ThreadContext &ctx, ThreadState to)
+{
+    if (ctx.state == ThreadState::Runnable) {
+        uint32_t pos = runnablePos_[ctx.tid];
+        Tid last = runnable_.back();
+        runnable_[pos] = last;
+        runnablePos_[last] = pos;
+        runnable_.pop_back();
+        runnablePos_[ctx.tid] = kNoPos;
+    }
+    ctx.state = to;
 }
 
 Tid
 Machine::pickRunnable()
+{
+    const size_t n = runnable_.size();
+    if (n == 0)
+        return kNoTid;
+    // Skip the RNG draw when the choice is forced (single-thread
+    // phases: program prologue/epilogue, solo slow regions).
+    return runnable_[n == 1 ? 0 : schedRng_.below(n)];
+}
+
+Tid
+Machine::pickRunnableScan()
 {
     uint32_t runnable = 0;
     for (const auto &ctx : contexts_)
@@ -215,7 +624,17 @@ Machine::pickRunnable()
             return ctx.tid;
         --pick;
     }
-    panic("Machine::pickRunnable: inconsistent runnable count");
+    panic("Machine::pickRunnableScan: inconsistent runnable count");
+}
+
+uint32_t
+Machine::runnableThreadsScan() const
+{
+    uint32_t n = 0;
+    for (const auto &ctx : contexts_)
+        if (ctx.state == ThreadState::Runnable)
+            ++n;
+    return n;
 }
 
 void
@@ -248,6 +667,44 @@ Machine::reportDeadlock()
                        strprintf("%u live threads blocked", live_));
 }
 
+void
+Machine::truncateRun()
+{
+    // Runaway guard: hand back a truncated result instead of killing
+    // the process, so harnesses can inspect it.
+    warn("Machine: exceeded %llu steps (livelock?); truncating run",
+         static_cast<unsigned long long>(cfg_.maxSteps));
+    error_.kind = RunError::Kind::Truncated;
+    captureUnfinishedThreads();
+    tel_.registry.set(met_.truncated, 1);
+    if (events_.enabled())
+        events_.record(steps_, 0, "truncated",
+                       "maxSteps runaway guard tripped");
+}
+
+void
+Machine::recordStop()
+{
+    error_.kind = stopRequest_;
+    captureUnfinishedThreads();
+    if (events_.enabled())
+        events_.record(steps_, 0, "stop-request",
+                       runErrorKindName(stopRequest_));
+}
+
+void
+Machine::badAccess(Tid t, ir::Addr a)
+{
+    // Structured error instead of process death: campaign and service
+    // workers must survive malformed workloads.
+    warn("Machine: thread %u access 0x%llx beyond address space "
+         "0x%llx",
+         t, static_cast<unsigned long long>(a),
+         static_cast<unsigned long long>(addrLimit_));
+    stopRequest_ = RunError::Kind::BadAccess;
+    quantumBreak_ = true;
+}
+
 const RunError &
 Machine::run()
 {
@@ -255,32 +712,15 @@ Machine::run()
     policy_.onRunStart(*this);
     det_.rootThread(0);
     policy_.onThreadStart(*this, 0);
-    while (live_ > 0) {
-        if (steps_ >= cfg_.maxSteps) {
-            // Runaway guard: hand back a truncated result instead of
-            // killing the process, so harnesses can inspect it.
-            warn("Machine: exceeded %llu steps (livelock?); "
-                 "truncating run",
-                 static_cast<unsigned long long>(cfg_.maxSteps));
-            error_.kind = RunError::Kind::Truncated;
-            captureUnfinishedThreads();
-            tel_.registry.set(met_.truncated, 1);
-            if (events_.enabled())
-                events_.record(steps_, 0, "truncated",
-                               "maxSteps runaway guard tripped");
-            break;
-        }
-        ++steps_;
-        if (!step())
-            break;
-        if (stopRequest_ != RunError::Kind::None) {
-            error_.kind = stopRequest_;
-            captureUnfinishedThreads();
-            if (events_.enabled())
-                events_.record(steps_, 0, "stop-request",
-                               runErrorKindName(stopRequest_));
-            break;
-        }
+    if (cfg_.stepLoop == StepLoop::Classic) {
+        runClassic();
+    } else if (!faults_.empty() || cfg_.interruptPerStep > 0.0 ||
+               cfg_.retryAbortPerStep > 0.0) {
+        runDecoded<true>();
+    } else {
+        // Hot lane: no fault plan and zero injection rates, so the
+        // per-op fault and interrupt machinery compiles out.
+        runDecoded<false>();
     }
     error_.stepsExecuted = steps_;
     // Abnormal end: drain every thread's flight window into a capture
@@ -338,12 +778,103 @@ Machine::run()
     return error_;
 }
 
+/**
+ * The decoded step loop. One scheduler pick runs a quantum of up to
+ * schedQuantum decoded ops back-to-back; handlers end the quantum
+ * early at every point where another thread's progress is observable
+ * (sync operations, transaction boundaries, memory accesses while any
+ * transaction is in flight, thread lifecycle ops) so detection-
+ * relevant interleavings keep per-op granularity. Within a quantum
+ * the loop is: bounds check, fault/interrupt lane work (Injected lane
+ * only), phase attribution, fetch, one indirect call.
+ */
+template <bool Injected>
 void
+Machine::runDecoded()
+{
+    const uint32_t quantum =
+        cfg_.schedQuantum > 0 ? cfg_.schedQuantum : 1;
+    while (live_ > 0) {
+        Tid t = pickRunnable();
+        if (t == kNoTid) {
+            reportDeadlock();
+            return;
+        }
+        schedHash_ = mixHash(schedHash_, steps_, t);
+        ThreadContext &ctx = contexts_[t];
+        uint32_t left = quantum;
+        bool first = true;
+        quantumBreak_ = false;
+        while (true) {
+            if (steps_ >= cfg_.maxSteps) {
+                truncateRun();
+                return;
+            }
+            ++steps_;
+            if constexpr (Injected) {
+                // A fault-episode edge is a forced preemption point:
+                // its modifiers apply to this op, then re-pick.
+                if (!faults_.empty() && advanceFaults())
+                    left = 1;
+            }
+            // Attribute this step to the acting thread's current
+            // detection mode (the Figure-10 breakdown). The profiler
+            // totals must equal steps executed, so this runs for
+            // consumed steps (aborts, beforeStep) too.
+            tel_.phases.note(t, phaseOfCtx(ctx));
+            if constexpr (Injected) {
+                if (htm_.inTx(t) && injectAbort(t))
+                    break;  // the abort consumed this step
+            }
+            if (first) {
+                // Policy pre-step hook, once per quantum (documented
+                // contract since quantum batching): a true return
+                // consumes the step and ends the quantum.
+                first = false;
+                if (policy_.beforeStep(*this, t))
+                    break;
+            }
+            if (ctx.pc >= ctx.codeLen) {
+                finishThread(t);
+                break;
+            }
+            const DecodedOp &op = ctx.code[ctx.pc];
+            op.fn(*this, ctx, op);
+            if (quantumBreak_ || ctx.state != ThreadState::Runnable ||
+                --left == 0 || stopRequest_ != RunError::Kind::None)
+                break;
+        }
+        if (stopRequest_ != RunError::Kind::None) {
+            recordStop();
+            return;
+        }
+    }
+}
+
+void
+Machine::runClassic()
+{
+    while (live_ > 0) {
+        if (steps_ >= cfg_.maxSteps) {
+            truncateRun();
+            return;
+        }
+        ++steps_;
+        if (!step())
+            return;
+        if (stopRequest_ != RunError::Kind::None) {
+            recordStop();
+            return;
+        }
+    }
+}
+
+bool
 Machine::advanceFaults()
 {
     const auto &transitions = faults_.advance(steps_);
     if (transitions.empty())
-        return;
+        return false;
     bool ways_changed = false;
     for (const fault::FaultTransition &tr : transitions) {
         const fault::FaultEpisode &ep = *tr.episode;
@@ -367,6 +898,53 @@ Machine::advanceFaults()
     }
     if (ways_changed)
         htm_.setWaysPenalty(faults_.capacityWaysPenalty());
+    return true;
+}
+
+bool
+Machine::injectAbort(Tid t)
+{
+    // Timer-interrupt injection: OS preemption aborts an in-flight
+    // transaction with an all-zero (unknown) status, more often when
+    // the machine is oversubscribed (paper §8.2, Figure 8). Fault
+    // episodes (interrupt storms, retry glitches) modulate the rates.
+    double p = cfg_.interruptPerStep;
+    if (runnable_.size() > cfg_.nCores)
+        p *= cfg_.oversubInterruptFactor;
+    p = p * faults_.interruptMult() + faults_.interruptAdd();
+    if (intrRng_.chance(p)) {
+        htm_.abortTx(t, 0);
+        tel_.registry.add(met_.interruptAborts);
+        if (tel_.flight.enabled())
+            tel_.flight.note(
+                t, telemetry::FrKind::TxAbort, steps_,
+                currentSite(t),
+                static_cast<uint64_t>(
+                    telemetry::FrAbort::Interrupt));
+        if (events_.enabled())
+            events_.record(steps_, t, "interrupt",
+                           "unknown abort (preemption)");
+        tel_.trace.endSpan(t, telemetry::TraceBuffer::SpanKind::Tx,
+                           steps_, "interrupt");
+        tel_.trace.instant(t, steps_, "interrupt-abort", "abort");
+        policy_.onInterruptAbort(*this, t);
+        return true;
+    }
+    double pr = cfg_.retryAbortPerStep + faults_.retryAdd();
+    if (pr > 0.0 && intrRng_.chance(pr)) {
+        htm_.abortTx(t, htm::kAbortRetry);
+        tel_.registry.add(met_.retryAborts);
+        if (tel_.flight.enabled())
+            tel_.flight.note(
+                t, telemetry::FrKind::TxAbort, steps_,
+                currentSite(t),
+                static_cast<uint64_t>(telemetry::FrAbort::Retry));
+        tel_.trace.endSpan(t, telemetry::TraceBuffer::SpanKind::Tx,
+                           steps_, "retry");
+        policy_.onRetryAbort(*this, t);
+        return true;
+    }
+    return false;
 }
 
 bool
@@ -375,58 +953,17 @@ Machine::step()
     if (!faults_.empty())
         advanceFaults();
 
-    Tid t = pickRunnable();
+    Tid t = pickRunnableScan();
     if (t == kNoTid) {
         reportDeadlock();
         return false;
     }
+    schedHash_ = mixHash(schedHash_, steps_, t);
 
-    // Attribute this step to the acting thread's current detection
-    // mode (the Figure-10 time-in-mode breakdown). One array index.
     tel_.phases.note(t, phaseOf(t));
 
-    // Timer-interrupt injection: OS preemption aborts an in-flight
-    // transaction with an all-zero (unknown) status, more often when
-    // the machine is oversubscribed (paper §8.2, Figure 8). Fault
-    // episodes (interrupt storms, retry glitches) modulate the rates.
-    if (htm_.inTx(t)) {
-        double p = cfg_.interruptPerStep;
-        if (runnableThreads() > cfg_.nCores)
-            p *= cfg_.oversubInterruptFactor;
-        p = p * faults_.interruptMult() + faults_.interruptAdd();
-        if (intrRng_.chance(p)) {
-            htm_.abortTx(t, 0);
-            tel_.registry.add(met_.interruptAborts);
-            if (tel_.flight.enabled())
-                tel_.flight.note(
-                    t, telemetry::FrKind::TxAbort, steps_,
-                    currentSite(t),
-                    static_cast<uint64_t>(
-                        telemetry::FrAbort::Interrupt));
-            if (events_.enabled())
-                events_.record(steps_, t, "interrupt",
-                               "unknown abort (preemption)");
-            tel_.trace.endSpan(t, telemetry::TraceBuffer::SpanKind::Tx,
-                               steps_, "interrupt");
-            tel_.trace.instant(t, steps_, "interrupt-abort", "abort");
-            policy_.onInterruptAbort(*this, t);
-            return true;
-        }
-        double pr = cfg_.retryAbortPerStep + faults_.retryAdd();
-        if (pr > 0.0 && intrRng_.chance(pr)) {
-            htm_.abortTx(t, htm::kAbortRetry);
-            tel_.registry.add(met_.retryAborts);
-            if (tel_.flight.enabled())
-                tel_.flight.note(
-                    t, telemetry::FrKind::TxAbort, steps_,
-                    currentSite(t),
-                    static_cast<uint64_t>(telemetry::FrAbort::Retry));
-            tel_.trace.endSpan(t, telemetry::TraceBuffer::SpanKind::Tx,
-                               steps_, "retry");
-            policy_.onRetryAbort(*this, t);
-            return true;
-        }
-    }
+    if (htm_.inTx(t) && injectAbort(t))
+        return true;
 
     if (policy_.beforeStep(*this, t))
         return true;
@@ -435,8 +972,9 @@ Machine::step()
     return true;
 }
 
-ir::Addr
-Machine::evalAddr(const ir::AddrExpr &expr, ThreadContext &ctx)
+bool
+Machine::evalAddr(const ir::AddrExpr &expr, ThreadContext &ctx,
+                  ir::Addr &out)
 {
     ir::Addr a = expr.base;
     a += expr.threadStride * ctx.tid;
@@ -451,11 +989,12 @@ Machine::evalAddr(const ir::AddrExpr &expr, ThreadContext &ctx)
     }
     if (expr.randomCount != 0)
         a += expr.randomStride * ctx.rng.below(expr.randomCount);
-    if (prog_.addrSpaceSize() > 0 && a >= prog_.addrSpaceSize())
-        fatal("Machine: access 0x%llx beyond address space 0x%llx",
-              static_cast<unsigned long long>(a),
-              static_cast<unsigned long long>(prog_.addrSpaceSize()));
-    return a;
+    if (addrLimit_ > 0 && a >= addrLimit_) {
+        badAccess(ctx.tid, a);
+        return false;
+    }
+    out = a;
+    return true;
 }
 
 void
@@ -463,7 +1002,7 @@ Machine::finishThread(Tid t)
 {
     ThreadContext &ctx = contexts_[t];
     policy_.onThreadExit(*this, t);
-    ctx.state = ThreadState::Finished;
+    makeUnrunnable(ctx, ThreadState::Finished);
     --live_;
     wakeJoinWaiters(t);
 }
@@ -476,7 +1015,7 @@ Machine::wakeJoinWaiters(Tid finished)
         return;
     for (Tid w : it->second) {
         if (contexts_[w].state == ThreadState::Blocked)
-            contexts_[w].state = ThreadState::Runnable;
+            makeRunnable(contexts_[w]);
     }
     joinWaiters_.erase(it);
 }
@@ -537,7 +1076,9 @@ Machine::execInstr(Tid t)
         bool is_write = ins.op == ir::OpCode::Store;
         addCost(t, is_write ? cost.storeCost : cost.loadCost,
                 Bucket::Base);
-        ir::Addr addr = evalAddr(ins.addr, ctx);
+        ir::Addr addr;
+        if (!evalAddr(ins.addr, ctx, addr))
+            break;  // out of address space: BadAccess stop raised
         if (policy_.onMemAccess(*this, t, ins, addr, is_write)) {
             if (is_write) {
                 // Stores accumulate into their granule; inside a
@@ -567,7 +1108,7 @@ Machine::execInstr(Tid t)
             ++ctx.pc;
         } else {
             sync_.lockEnqueue(t, ins.arg0);
-            ctx.state = ThreadState::Blocked;
+            makeUnrunnable(ctx, ThreadState::Blocked);
         }
         break;
 
@@ -579,7 +1120,7 @@ Machine::execInstr(Tid t)
             ThreadContext &nctx = contexts_[next];
             const auto &nbody = prog_.function(nctx.func).body;
             policy_.onSyncPerformed(*this, next, nbody[nctx.pc]);
-            nctx.state = ThreadState::Runnable;
+            makeRunnable(nctx);
             ++nctx.pc;
         }
         ++ctx.pc;
@@ -594,7 +1135,7 @@ Machine::execInstr(Tid t)
             ThreadContext &wctx = contexts_[woken];
             const auto &wbody = prog_.function(wctx.func).body;
             policy_.onSyncPerformed(*this, woken, wbody[wctx.pc]);
-            wctx.state = ThreadState::Runnable;
+            makeRunnable(wctx);
             ++wctx.pc;
         }
         ++ctx.pc;
@@ -608,7 +1149,7 @@ Machine::execInstr(Tid t)
             ++ctx.pc;
         } else {
             sync_.condEnqueue(t, ins.arg0);
-            ctx.state = ThreadState::Blocked;
+            makeUnrunnable(ctx, ThreadState::Blocked);
         }
         break;
 
@@ -616,12 +1157,12 @@ Machine::execInstr(Tid t)
         addCost(t, cost.syncCost, Bucket::Base);
         auto released = sync_.barrierArrive(t, ins.arg0, ins.arg1);
         if (released.empty()) {
-            ctx.state = ThreadState::Blocked;
+            makeUnrunnable(ctx, ThreadState::Blocked);
         } else {
             policy_.onBarrierRelease(*this, released);
             for (Tid p : released) {
                 ThreadContext &pctx = contexts_[p];
-                pctx.state = ThreadState::Runnable;
+                makeRunnable(pctx);
                 ++pctx.pc;
             }
         }
@@ -636,8 +1177,10 @@ Machine::execInstr(Tid t)
         cctx.tid = child;
         cctx.func = static_cast<ir::FuncId>(ins.arg0);
         cctx.rng = Rng(threadSeed(cfg_.seed, child));
+        bindCode(cctx);
         spawned_.push_back(child);
         ++live_;
+        enrollRunnable(cctx);
         policy_.onThreadCreated(*this, t, child);
         policy_.onThreadStart(*this, child);
         tel_.registry.add(met_.threadsCreated);
@@ -656,7 +1199,7 @@ Machine::execInstr(Tid t)
             for (Tid target : targets)
                 if (contexts_[target].state != ThreadState::Finished)
                     joinWaiters_[target].push_back(t);
-            ctx.state = ThreadState::Blocked;
+            makeUnrunnable(ctx, ThreadState::Blocked);
         }
         break;
       }

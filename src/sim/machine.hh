@@ -28,6 +28,7 @@
 #include "ir/program.hh"
 #include "sim/context.hh"
 #include "sim/costmodel.hh"
+#include "sim/decode.hh"
 #include "sim/eventlog.hh"
 #include "sim/policy.hh"
 #include "support/rng.hh"
@@ -36,6 +37,20 @@
 #include "telemetry/telemetry.hh"
 
 namespace txrace::sim {
+
+/**
+ * Which step-loop implementation run() uses. Decoded is the
+ * threaded-code quantum loop over the pre-decoded program. Classic is
+ * the pre-decode per-step loop (opcode switch, O(threads) runnable
+ * scan, one pick per instruction), retained for one PR as
+ * bench_simcore's reference lane and as a differential oracle — the
+ * same role the LegacyScan conflict engine served — and slated for
+ * removal. Both are seeded-deterministic; their schedules differ.
+ */
+enum class StepLoop : uint8_t {
+    Decoded,
+    Classic,
+};
 
 /** Machine-level configuration. */
 struct MachineConfig
@@ -73,6 +88,22 @@ struct MachineConfig
     /** Hard cap on scheduler steps (runaway guard). Exceeding it ends
      *  the run with RunError::Kind::Truncated, not process death. */
     uint64_t maxSteps = 500'000'000;
+    /**
+     * Scheduler quantum: how many decoded ops a picked thread may run
+     * back-to-back before the scheduler re-picks. Forced preemption
+     * points end a quantum early regardless: sync operations,
+     * transaction boundaries, any memory access while a transaction
+     * is in flight (so transactional phases still interleave per op
+     * and conflict-based detection sees the same granularity as
+     * per-step scheduling), thread create/join, and fault-episode
+     * edges. 1 reproduces per-instruction scheduling. Behaviour-
+     * affecting like the seed: runs are deterministic per value, and
+     * different values produce different (equally valid) schedules.
+     */
+    uint32_t schedQuantum = 32;
+    /** Step-loop implementation (bench/differential knob; production
+     *  front ends never change it). */
+    StepLoop stepLoop = StepLoop::Decoded;
     /** Scheduled pathology episodes injected from the scheduler loop
      *  (empty = no injection). Part of the run's identity: identical
      *  (program, config incl. plan, seed) runs are byte-identical. */
@@ -104,6 +135,7 @@ struct RunError
         Deadlock,   ///< no runnable thread but live_ > 0
         Truncated,  ///< maxSteps runaway guard tripped
         Budget,     ///< monitor overhead budget unsatisfiable
+        BadAccess,  ///< access outside the program's address space
     };
 
     Kind kind = Kind::None;
@@ -163,8 +195,19 @@ class Machine
     uint32_t liveThreads() const { return live_; }
 
     /** Threads currently competing for cores (not blocked/finished);
-     *  drives the oversubscription interrupt model. */
-    uint32_t runnableThreads() const;
+     *  drives the oversubscription interrupt model. O(1): the machine
+     *  maintains a dense runnable set across state transitions. */
+    uint32_t runnableThreads() const
+    {
+        return static_cast<uint32_t>(runnable_.size());
+    }
+
+    /** Seeded-deterministic digest of the schedule: every scheduler
+     *  pick folds (step, tid) into it. Two same-(program, config,
+     *  policy) runs must agree; the golden determinism test asserts
+     *  it. Specific to the step-loop lane and quantum, like the
+     *  schedule itself. */
+    uint64_t scheduleHash() const { return schedHash_; }
 
     /** Charge @p c cost units to @p t under bucket @p b, attributed
      *  to the phase the profiler would assign @p t right now. */
@@ -252,18 +295,54 @@ class Machine
     /** @} */
 
   private:
-    /** Execute one scheduler step; false = deadlock (error_ filled). */
+    /** Threaded-code handler bodies (defined in machine.cc). */
+    friend struct ExecHandlers;
+
+    /** Decoded quantum loop; Injected selects the lane that carries
+     *  the fault/interrupt machinery. Runs until the program ends or
+     *  error_ is filled. */
+    template <bool Injected> void runDecoded();
+    /** Classic per-step loop (see StepLoop::Classic). */
+    void runClassic();
+    /** Classic lane: one scheduler step; false = deadlock. */
     bool step();
+    /** Classic lane: switch dispatch of one instruction. */
     void execInstr(Tid t);
-    ir::Addr evalAddr(const ir::AddrExpr &expr, ThreadContext &ctx);
+    /** Evaluate an address expression; false = out of address space
+     *  (badAccess() raised, instruction incomplete). */
+    bool evalAddr(const ir::AddrExpr &expr, ThreadContext &ctx,
+                  ir::Addr &out);
+    /** In-transaction interrupt/retry injection for one op; true =
+     *  an abort was delivered (the step is consumed). */
+    bool injectAbort(Tid t);
+    /** Raise the structured BadAccess stop for an access to @p a. */
+    void badAccess(Tid t, ir::Addr a);
+    /** Record the Truncated run error (maxSteps guard). */
+    void truncateRun();
+    /** Record a pending requestStop() as the run error. */
+    void recordStop();
+    /** Point @p ctx at the decoded body of its function. */
+    void bindCode(ThreadContext &ctx);
     void finishThread(Tid t);
     void wakeJoinWaiters(Tid finished);
+    /** Add a brand-new thread to the runnable set. */
+    void enrollRunnable(ThreadContext &ctx);
+    /** Blocked -> Runnable (no-op when already runnable). */
+    void makeRunnable(ThreadContext &ctx);
+    /** Runnable -> @p to, dropping the dense-set entry (swap-remove). */
+    void makeUnrunnable(ThreadContext &ctx, ThreadState to);
     Tid pickRunnable();
+    /** Classic lane: the original O(threads) scan pick. */
+    Tid pickRunnableScan();
+    /** Classic lane: the original O(threads) runnable count. */
+    uint32_t runnableThreadsScan() const;
     void reportDeadlock();
-    /** Apply fault-plan transitions due at the current step. */
-    void advanceFaults();
+    /** Apply fault-plan transitions due at the current step; true =
+     *  an episode edge was crossed (forced preemption point). */
+    bool advanceFaults();
     /** Fill error_.threads with every unfinished thread's state. */
     void captureUnfinishedThreads();
+    telemetry::Phase phaseOfCtx(const ThreadContext &ctx) const;
 
     /** Resolve a ThreadJoin target list; returns true when all
      *  targets are finished (join completes). */
@@ -280,10 +359,29 @@ class Machine
     mem::VirtualMemory mem_;
     fault::FaultInjector faults_;
 
+    /** Program decoded under this machine's cost model. */
+    DecodedProgram decoded_;
+    /** End of the simulated address space (cached addrSpaceSize). */
+    ir::Addr addrLimit_ = 0;
+
     /** deque: reference stability across ThreadCreate growth. */
     std::deque<ThreadContext> contexts_;
     std::vector<Tid> spawned_;  ///< spawn-order list (join indexing)
     std::unordered_map<Tid, std::vector<Tid>> joinWaiters_;
+
+    /** Dense runnable set: tids in arbitrary order, swap-removed on
+     *  block/finish. runnablePos_[tid] is the tid's index (kNoPos
+     *  when absent). Every ThreadState transition goes through the
+     *  makeRunnable/makeUnrunnable/enroll helpers so the set is
+     *  always exact. */
+    std::vector<Tid> runnable_;
+    std::vector<uint32_t> runnablePos_;
+    /** Set by handlers at forced preemption points (sync ops, tx
+     *  boundaries, contended memory ops): ends the current quantum. */
+    bool quantumBreak_ = false;
+    /** Join-target scratch (avoids a per-join allocation). */
+    std::vector<Tid> joinScratch_;
+    uint64_t schedHash_ = 0x9e3779b97f4a7c15ULL;
 
     Rng schedRng_;
     Rng intrRng_;

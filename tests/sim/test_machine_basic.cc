@@ -320,10 +320,12 @@ TEST(Machine, DeadlockReturnsStructuredError)
     EXPECT_EQ(m.error().kind, RunError::Kind::Deadlock);
 }
 
-TEST(MachineDeathTest, OutOfBoundsAccessIsFatal)
+TEST(Machine, OutOfBoundsAccessIsStructuredError)
 {
     // The static base check already triggers at finalize for absolute
-    // addresses, so construct the violation dynamically.
+    // addresses, so construct the violation dynamically. A malformed
+    // workload must end the run with a structured BadAccess error, not
+    // kill the process — campaign and service workers keep going.
     ProgramBuilder b2;
     Addr base = b2.alloc("small", 64);
     b2.beginFunction("main");
@@ -337,8 +339,13 @@ TEST(MachineDeathTest, OutOfBoundsAccessIsFatal)
     Program p2 = b2.build();
     core::NativePolicy policy;
     Machine m(p2, quietConfig(), policy);
-    EXPECT_EXIT(m.run(), testing::ExitedWithCode(1),
-                "beyond address space");
+    const RunError &err = m.run();
+    EXPECT_EQ(err.kind, RunError::Kind::BadAccess);
+    EXPECT_FALSE(err.ok());
+    EXPECT_GT(err.stepsExecuted, 0u);
+    ASSERT_EQ(err.threads.size(), 1u);
+    EXPECT_EQ(err.threads[0].tid, 0u);
+    EXPECT_STREQ(runErrorKindName(err.kind), "bad-access");
 }
 
 TEST(Machine, StepLimitTruncatesInsteadOfAborting)

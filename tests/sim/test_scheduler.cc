@@ -70,6 +70,9 @@ TEST(Scheduler, InterleavingIsFineGrained)
     // With random per-step picking, no thread should run to
     // completion before the others start: capture the tid sequence
     // and check the first thread's accesses do not all come first.
+    // This deliberately asserts per-instruction granularity, so pin
+    // the quantum to 1 (the default quantum batches uncontended
+    // native-phase accesses and would alternate per quantum instead).
     Program p = spinningWorkers(2, 200);
 
     class OrderProbe : public ExecutionPolicy
@@ -87,6 +90,7 @@ TEST(Scheduler, InterleavingIsFineGrained)
     MachineConfig cfg;
     cfg.seed = 23;
     cfg.interruptPerStep = 0.0;
+    cfg.schedQuantum = 1;
     Machine m(p, cfg, policy);
     m.run();
 

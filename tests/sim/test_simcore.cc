@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Contract tests for the decoded step loop (threaded-code dispatch,
+ * quantum batching, O(1) runnable set): seeded determinism down to the
+ * schedule hash and the full stats dump, agreement between the decoded
+ * and classic lanes on schedule-independent outcomes, full-registry
+ * ground-truth recall under the new scheduler, and structured
+ * BadAccess errors instead of process death on malformed workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/driver.hh"
+#include "core/policies.hh"
+#include "ir/builder.hh"
+#include "sim/machine.hh"
+#include "workloads/workloads.hh"
+
+using namespace txrace;
+using namespace txrace::sim;
+using namespace txrace::workloads;
+
+namespace {
+
+/** Two workers mixing shared, per-thread, and loop-indexed traffic —
+ *  exercises every address shape the decoder specializes. */
+ir::Program
+mixedProgram()
+{
+    ir::ProgramBuilder b;
+    ir::Addr shared = b.alloc("shared", 64, 64);
+    ir::Addr slots = b.alloc("slots", 4 * 64, 64);
+    ir::Addr table = b.alloc("table", 64 * 8);
+    ir::FuncId worker = b.beginFunction("worker");
+    b.loop(20, [&] {
+        b.compute(3);
+        b.store(ir::AddrExpr::perThread(slots, 64));
+        b.loop(4, [&] {
+            b.load(ir::AddrExpr::perIter(table, 8));
+            b.compute(1);
+        });
+        b.store(ir::AddrExpr::absolute(shared));
+        b.load(ir::AddrExpr::randomIn(table, 8, 8));
+        b.syscall(1);
+    });
+    b.endFunction();
+    b.beginFunction("main");
+    b.spawn(worker, 2);
+    b.joinAll();
+    b.endFunction();
+    return b.build();
+}
+
+MachineConfig
+quietConfig(uint64_t seed = 1)
+{
+    MachineConfig cfg;
+    cfg.seed = seed;
+    cfg.interruptPerStep = 0.0;
+    return cfg;
+}
+
+} // namespace
+
+TEST(SimCore, ScheduleHashAndStatsDeterministicPerSeed)
+{
+    ir::Program p = mixedProgram();
+    auto once = [&](uint64_t seed) {
+        core::TsanPolicy policy(1.0, 7);
+        Machine m(p, quietConfig(seed), policy);
+        EXPECT_TRUE(m.run().ok());
+        return std::pair<uint64_t, uint64_t>(m.scheduleHash(),
+                                             m.totalCost());
+    };
+    auto [hash_a, cost_a] = once(5);
+    auto [hash_b, cost_b] = once(5);
+    EXPECT_EQ(hash_a, hash_b);
+    EXPECT_EQ(cost_a, cost_b);
+    // A different seed produces a different (equally valid) schedule.
+    auto [hash_c, cost_c] = once(6);
+    EXPECT_NE(hash_a, hash_c);
+    (void)cost_c;
+}
+
+TEST(SimCore, GoldenStatsDumpIsByteIdentical)
+{
+    // The full string-keyed stats dump — every exported counter,
+    // gauge, and histogram summary — must be identical across
+    // same-seed runs under the quantum loop, not just the headline
+    // numbers. This is the contract campaign byte-determinism and the
+    // profile `cmp` checks in CI build on.
+    WorkloadParams params;
+    params.calibrate = false;
+    AppModel app = makeApp("vips", params);
+    core::RunConfig cfg;
+    cfg.mode = core::RunMode::TxRaceDynLoopcut;
+    cfg.machine = app.machine;
+    cfg.machine.seed = 3;
+    core::RunResult a = core::runProgram(app.program, cfg);
+    core::RunResult b = core::runProgram(app.program, cfg);
+    EXPECT_EQ(a.stats.all(), b.stats.all());
+    EXPECT_EQ(a.races.keys(), b.races.keys());
+    EXPECT_EQ(a.totalCost, b.totalCost);
+}
+
+TEST(SimCore, ClassicAndDecodedAgreeOnFinalMemory)
+{
+    // Stores accumulate commutatively (granule += arg0 + 1), so final
+    // memory is schedule-independent: the classic and decoded lanes
+    // must agree exactly even though their schedules differ. This is
+    // the differential oracle for the decoded handlers' store path.
+    ir::Program p = mixedProgram();
+    auto finalMemory = [&](StepLoop lane) {
+        MachineConfig cfg = quietConfig();
+        cfg.stepLoop = lane;
+        core::NativePolicy policy;
+        Machine m(p, cfg, policy);
+        EXPECT_TRUE(m.run().ok());
+        std::vector<uint64_t> image;
+        for (ir::Addr a = 0; a < p.addrSpaceSize(); a += 8)
+            image.push_back(m.memory().load(a));
+        return image;
+    };
+    EXPECT_EQ(finalMemory(StepLoop::Decoded),
+              finalMemory(StepLoop::Classic));
+}
+
+TEST(SimCore, QuantumIsBehaviorAffectingButDeterministic)
+{
+    // schedQuantum is part of the run's identity like the seed: each
+    // value is deterministic, different values give different (valid)
+    // schedules, and final memory agrees regardless.
+    ir::Program p = mixedProgram();
+    auto run = [&](uint32_t quantum) {
+        MachineConfig cfg = quietConfig();
+        cfg.schedQuantum = quantum;
+        core::NativePolicy policy;
+        Machine m(p, cfg, policy);
+        EXPECT_TRUE(m.run().ok());
+        std::vector<uint64_t> image;
+        for (ir::Addr a = 0; a < p.addrSpaceSize(); a += 8)
+            image.push_back(m.memory().load(a));
+        return std::pair<uint64_t, std::vector<uint64_t>>(
+            m.scheduleHash(), image);
+    };
+    auto [h1a, mem1a] = run(1);
+    auto [h1b, mem1b] = run(1);
+    auto [h32, mem32] = run(32);
+    EXPECT_EQ(h1a, h1b);
+    EXPECT_EQ(mem1a, mem1b);
+    EXPECT_NE(h1a, h32);
+    EXPECT_EQ(mem1a, mem32);
+}
+
+TEST(SimCore, GroundTruthRecallAcrossRegistry)
+{
+    // The always-on happens-before baseline must still find exactly
+    // the planted races for every app in the registry under the
+    // decoded quantum loop, at more than one seed. This is the recall
+    // floor the campaign precision/recall gates build on.
+    for (const std::string &name : appNames()) {
+        WorkloadParams params;
+        params.calibrate = false;
+        AppModel app = makeApp(name, params);
+        for (uint64_t seed : {1ull, 2ull}) {
+            core::RunConfig cfg;
+            cfg.mode = core::RunMode::TSan;
+            cfg.machine = app.machine;
+            cfg.machine.seed = seed;
+            core::RunResult tsan = core::runProgram(app.program, cfg);
+            EXPECT_EQ(tsan.races.count(), app.plantedRaces)
+                << name << " seed " << seed;
+        }
+    }
+}
+
+TEST(SimCore, BadAccessSurfacesThroughDriver)
+{
+    // A worker whose thread-strided address walks off the end of the
+    // address space: the run must end with a structured BadAccess
+    // error through the full driver pipeline — campaign workers
+    // survive malformed workloads.
+    ir::ProgramBuilder b;
+    ir::Addr small = b.alloc("small", 128, 64);
+    ir::FuncId worker = b.beginFunction("worker");
+    ir::AddrExpr e;
+    e.base = small;
+    e.threadStride = 4096;  // tid >= 1 lands beyond the allocation
+    b.load(e);
+    b.endFunction();
+    b.beginFunction("main");
+    b.spawn(worker, 3);
+    b.joinAll();
+    b.endFunction();
+    ir::Program p = b.build();
+
+    core::RunConfig cfg;
+    cfg.mode = core::RunMode::TxRaceDynLoopcut;
+    cfg.machine.interruptPerStep = 0.0;
+    core::RunResult r = core::runProgram(p, cfg);
+    EXPECT_EQ(r.error.kind, RunError::Kind::BadAccess);
+    EXPECT_FALSE(r.error.ok());
+    EXPECT_FALSE(r.error.threads.empty());
+}
+
+TEST(SimCore, ClassicLaneRaisesBadAccessToo)
+{
+    ir::ProgramBuilder b;
+    ir::Addr small = b.alloc("small", 64, 64);
+    b.beginFunction("main");
+    ir::AddrExpr e;
+    e.base = small;
+    e.loopStride = 4096;
+    b.loopBegin(3);
+    b.load(e);
+    b.loopEnd();
+    b.endFunction();
+    ir::Program p = b.build();
+    core::NativePolicy policy;
+    MachineConfig cfg = quietConfig();
+    cfg.stepLoop = StepLoop::Classic;
+    Machine m(p, cfg, policy);
+    EXPECT_EQ(m.run().kind, RunError::Kind::BadAccess);
+}
